@@ -1,0 +1,415 @@
+// Command autolearn is the module's command-line interface: it drives the
+// same pipeline the notebooks wrap — collect, clean, train, evaluate — plus
+// utilities for track inspection, BYOD onboarding, and the inference
+// placement sweep.
+//
+// Usage:
+//
+//	autolearn tracks
+//	autolearn collect   -out DIR [-track default-oval] [-ticks 1200] [-driver human] [-seed 1]
+//	autolearn clean     -tub DIR
+//	autolearn merge     -out DIR SRC1 [SRC2 ...]
+//	autolearn train     -tub DIR -out FILE [-model linear] [-gpu V100] [-epochs 5]
+//	autolearn evaluate  -model FILE [-track default-oval] [-placement edge] [-ticks 600]
+//	autolearn pipeline  [-track default-oval] [-model inferred] [-gpu RTX6000]
+//	autolearn models    [-track default-oval] [-ticks 1200] [-epochs 8]
+//	autolearn twin      [-track default-oval] [-ticks 800]
+//	autolearn hybrid    [-shrink 8] [-blend 0.4] [-ticks 600]
+//	autolearn zero      [-image-mb 800]
+//	autolearn placement [-params 150000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/netem"
+	"repro/internal/nn"
+	"repro/internal/pilot"
+	"repro/internal/sim"
+	"repro/internal/testbed"
+	"repro/internal/track"
+	"repro/internal/tub"
+)
+
+var epoch = time.Date(2023, 9, 1, 9, 0, 0, 0, time.UTC)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "tracks":
+		err = cmdTracks()
+	case "collect":
+		err = cmdCollect(os.Args[2:])
+	case "clean":
+		err = cmdClean(os.Args[2:])
+	case "train":
+		err = cmdTrain(os.Args[2:])
+	case "evaluate":
+		err = cmdEvaluate(os.Args[2:])
+	case "pipeline":
+		err = cmdPipeline(os.Args[2:])
+	case "zero":
+		err = cmdZero(os.Args[2:])
+	case "placement":
+		err = cmdPlacement(os.Args[2:])
+	case "models":
+		err = cmdModels(os.Args[2:])
+	case "twin":
+		err = cmdTwin(os.Args[2:])
+	case "hybrid":
+		err = cmdHybrid(os.Args[2:])
+	case "merge":
+		err = cmdMerge(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "autolearn: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "autolearn:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `autolearn <command> [flags]
+
+commands:
+  tracks      print the stock track geometries (Fig. 3)
+  collect     drive and record a tub dataset
+  clean       run tubclean's automatic detector on a tub
+  train       train one of the six pilots from a tub
+  evaluate    drive a trained model autonomously and report metrics
+  pipeline    run the full collect-clean-train-evaluate loop (Fig. 1)
+  zero        show the BYOD zero-to-ready timeline
+  placement   print the edge/cloud/hybrid latency table
+  models      train and race all six pilot architectures
+  twin        print the digital-twin divergence table
+  hybrid      distill a student and run the hybrid edge-cloud loop
+  merge       combine several tubs into one (mix and match)`)
+}
+
+func cmdTracks() error {
+	for _, name := range []string{"default-oval", "waveshare"} {
+		trk, err := track.ByName(name)
+		if err != nil {
+			return err
+		}
+		s := trk.Summarize()
+		fmt.Printf("%-14s inner %6.1f in  outer %6.1f in  width %5.2f in  centerline %5.2f m\n",
+			s.Name, s.InnerLength/track.MetersPerInch, s.OuterLength/track.MetersPerInch,
+			s.AvgWidth/track.MetersPerInch, s.CenterLen)
+	}
+	return nil
+}
+
+func sessionOn(trackName string, camCfg sim.CameraConfig, drv func(*track.Track, *sim.Car) sim.Driver,
+	ticks int) (sim.SessionResult, *track.Track, error) {
+	trk, err := track.ByName(trackName)
+	if err != nil {
+		return sim.SessionResult{}, nil, err
+	}
+	cam, err := sim.NewCamera(camCfg, trk)
+	if err != nil {
+		return sim.SessionResult{}, nil, err
+	}
+	car, err := sim.NewCar(sim.DefaultCarConfig())
+	if err != nil {
+		return sim.SessionResult{}, nil, err
+	}
+	cfg := sim.DefaultSessionConfig()
+	cfg.MaxTicks = ticks
+	ses, err := sim.NewSession(cfg, car, cam, drv(trk, car))
+	if err != nil {
+		return sim.SessionResult{}, nil, err
+	}
+	return ses.Run(epoch), trk, nil
+}
+
+func cmdCollect(args []string) error {
+	fs := flag.NewFlagSet("collect", flag.ExitOnError)
+	out := fs.String("out", "", "tub output directory (required)")
+	trackName := fs.String("track", "default-oval", "track name")
+	ticks := fs.Int("ticks", 1200, "ticks to drive at 20 Hz")
+	driver := fs.String("driver", "human", "driver: human|expert")
+	seed := fs.Int64("seed", 1, "human-driver seed")
+	fs.Parse(args)
+	if *out == "" {
+		return fmt.Errorf("collect: -out is required")
+	}
+	res, _, err := sessionOn(*trackName, sim.SmallCameraConfig(), func(trk *track.Track, car *sim.Car) sim.Driver {
+		pp := sim.NewPurePursuit(trk, car.Cfg)
+		if *driver == "expert" {
+			return pp
+		}
+		return sim.NewHumanDriver(pp, *seed, 20)
+	}, *ticks)
+	if err != nil {
+		return err
+	}
+	t, err := tub.Create(*out)
+	if err != nil {
+		return err
+	}
+	w, err := tub.NewWriter(t)
+	if err != nil {
+		return err
+	}
+	bad, err := w.WriteSession(res)
+	if err != nil {
+		return err
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	size, err := t.SizeBytes()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("collected %d records (%d look bad) over %d laps, %d crashes; %d bytes in %s\n",
+		len(res.Records), len(bad), res.Laps, res.Crashes, size, *out)
+	return nil
+}
+
+func cmdClean(args []string) error {
+	fs := flag.NewFlagSet("clean", flag.ExitOnError)
+	dir := fs.String("tub", "", "tub directory (required)")
+	fs.Parse(args)
+	if *dir == "" {
+		return fmt.Errorf("clean: -tub is required")
+	}
+	t, err := tub.Open(*dir)
+	if err != nil {
+		return err
+	}
+	segs, err := t.DetectBadSegments(tub.DefaultCleanerConfig())
+	if err != nil {
+		return err
+	}
+	marked, err := t.CleanSegments(segs...)
+	if err != nil {
+		return err
+	}
+	live, err := t.Count()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("tubclean: %d segments, %d records marked, %d remain\n", len(segs), marked, live)
+	return nil
+}
+
+func cmdTrain(args []string) error {
+	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	dir := fs.String("tub", "", "tub directory (required)")
+	out := fs.String("out", "", "checkpoint output file (required)")
+	model := fs.String("model", "linear", "pilot kind: linear|categorical|inferred|memory|rnn|3d")
+	gpu := fs.String("gpu", "V100", "GPU SKU for the simulated wall-time estimate")
+	epochs := fs.Int("epochs", 5, "training epochs")
+	fs.Parse(args)
+	if *dir == "" || *out == "" {
+		return fmt.Errorf("train: -tub and -out are required")
+	}
+	t, err := tub.Open(*dir)
+	if err != nil {
+		return err
+	}
+	camCfg := sim.SmallCameraConfig()
+	cfg := pilot.DefaultConfig(pilot.Kind(*model), camCfg.Width, camCfg.Height, camCfg.Channels)
+	pl, err := pilot.New(cfg)
+	if err != nil {
+		return err
+	}
+	samples, err := pilot.SamplesFromTub(cfg, t)
+	if err != nil {
+		return err
+	}
+	tc := nn.DefaultTrainConfig()
+	tc.Epochs = *epochs
+	tc.Logf = func(format string, a ...any) { fmt.Printf("  "+format+"\n", a...) }
+	hist, err := pl.Train(samples, tc)
+	if err != nil {
+		return err
+	}
+	inst := &testbed.Instance{GPU: testbed.GPUType(*gpu), GPUCount: 1}
+	simTime, err := inst.TrainingTime(testbed.TrainingJob{
+		Samples: len(samples), ParamCount: pl.ParamCount(), Epochs: len(hist.Epochs), BatchSize: tc.BatchSize,
+	})
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := pl.Save(f); err != nil {
+		return err
+	}
+	fmt.Printf("trained %s (%d params) on %d samples: val loss %.4f; simulated %s time %v; saved %s\n",
+		*model, pl.ParamCount(), len(samples), hist.BestValLoss, *gpu, simTime.Round(time.Second), *out)
+	return nil
+}
+
+func cmdEvaluate(args []string) error {
+	fs := flag.NewFlagSet("evaluate", flag.ExitOnError)
+	modelFile := fs.String("model", "", "checkpoint file (required)")
+	trackName := fs.String("track", "default-oval", "track name")
+	placement := fs.String("placement", "edge", "inference placement: edge|cloud|hybrid")
+	ticks := fs.Int("ticks", 600, "evaluation ticks at 20 Hz")
+	fs.Parse(args)
+	if *modelFile == "" {
+		return fmt.Errorf("evaluate: -model is required")
+	}
+	f, err := os.Open(*modelFile)
+	if err != nil {
+		return err
+	}
+	pl, err := pilot.Load(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	pm := core.DefaultPlacementModel(netem.NewNet(1))
+	lat, err := pm.ControlLatency(core.Placement(*placement), pl.ParamCount())
+	if err != nil {
+		return err
+	}
+	drv, err := pilot.NewAutoDriver(pl)
+	if err != nil {
+		return err
+	}
+	delayed, err := core.NewDelayedDriver(drv, core.DelayTicksFor(lat, 20))
+	if err != nil {
+		return err
+	}
+	camCfg := sim.CameraConfig{Width: pl.Cfg.Width, Height: pl.Cfg.Height, Channels: pl.Cfg.Channels,
+		HeightAboveGround: 0.12, Pitch: sim.DefaultCameraConfig().Pitch, HFOV: sim.DefaultCameraConfig().HFOV}
+	res, trk, err := sessionOn(*trackName, camCfg, func(*track.Track, *sim.Car) sim.Driver { return delayed }, *ticks)
+	if err != nil {
+		return err
+	}
+	if err := drv.Err(); err != nil {
+		return err
+	}
+	rep, err := eval.Evaluate(res, trk, 20)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("placement %s: latency %v (%.1f Hz achievable)\n",
+		*placement, lat.Round(time.Microsecond), core.AchievableHz(lat))
+	fmt.Printf("laps %d  crashes %d  mean speed %.2f m/s  RMS lateral %.3f m  consistency %.3f\n",
+		rep.Laps, rep.Crashes, rep.MeanSpeed, rep.RMSLateral, rep.SpeedConsistency)
+	return nil
+}
+
+func cmdPipeline(args []string) error {
+	fs := flag.NewFlagSet("pipeline", flag.ExitOnError)
+	trackName := fs.String("track", "default-oval", "track name")
+	model := fs.String("model", "inferred", "pilot kind")
+	gpu := fs.String("gpu", "RTX6000", "GPU SKU")
+	fs.Parse(args)
+
+	cfg := core.DefaultConfig()
+	cfg.Track = *trackName
+	m, err := core.New(cfg)
+	if err != nil {
+		return err
+	}
+	student, err := m.Enroll("cli-student", "local")
+	if err != nil {
+		return err
+	}
+	work, err := os.MkdirTemp("", "autolearn-pipeline-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(work)
+	p, err := m.NewPipeline(student, work)
+	if err != nil {
+		return err
+	}
+	fmt.Println("== phase 1: data collection (simulator path)")
+	col, err := p.CollectData(core.Simulator, "drive-1", 1000)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("   %d records, %d flagged, %d laps, drive time %v\n", col.Records, col.Bad, col.Laps, col.Drive)
+	fmt.Println("== phase 2: tubclean")
+	marked, remaining, err := p.CleanData(col.TubDir)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("   %d marked, %d remain\n", marked, remaining)
+	fmt.Printf("== phase 3: training %s on %s\n", *model, *gpu)
+	tr, err := p.Train(col.TubDir, pilot.Kind(*model), testbed.GPUType(*gpu),
+		nn.TrainConfig{Epochs: 5, BatchSize: 32, ValFrac: 0.15, Seed: 2, ClipGrad: 5}, epoch)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("   node %s, provision %v, rsync %v, simulated GPU time %v, val loss %.4f\n",
+		tr.Lease.NodeID, tr.Provision, tr.Transfer.Round(time.Millisecond),
+		tr.SimGPUTime.Round(time.Second), tr.History.BestValLoss)
+	fmt.Println("== phase 4: evaluation (edge placement)")
+	ev, err := p.Evaluate(tr.ModelObject, core.EdgePlacement, core.DefaultPlacementModel(m.Net), 600)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("   latency %v, laps %d, crashes %d, mean speed %.2f m/s\n",
+		ev.Latency.Round(time.Microsecond), ev.Report.Laps, ev.Report.Crashes, ev.Report.MeanSpeed)
+	return nil
+}
+
+func cmdZero(args []string) error {
+	fs := flag.NewFlagSet("zero", flag.ExitOnError)
+	imageMB := fs.Int64("image-mb", 800, "AutoLearn Docker image size, MB")
+	fs.Parse(args)
+	m, err := core.New(core.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	res, err := m.Edge.ZeroToReady("donkeycar-1", "cli-student", m.Cfg.ProjectID,
+		"autolearn:latest", *imageMB<<20, epoch)
+	if err != nil {
+		return err
+	}
+	fmt.Println("zero-to-ready timeline:")
+	for _, s := range res.Steps {
+		fmt.Printf("  %-16s %v\n", s.Name, s.Duration.Round(time.Second))
+	}
+	fmt.Printf("  %-16s %v\n", "TOTAL", res.Total.Round(time.Second))
+	fmt.Printf("jupyter: ssh tunnel port %d, token %s\n", res.Jupyter.TunnelPort, res.Jupyter.Token)
+	return nil
+}
+
+func cmdPlacement(args []string) error {
+	fs := flag.NewFlagSet("placement", flag.ExitOnError)
+	params := fs.Int("params", 150_000, "model parameter count")
+	fs.Parse(args)
+	net := netem.NewNet(1)
+	fmt.Printf("%-12s %-10s %-14s %-12s %s\n", "wan-latency", "placement", "loop-latency", "achievable", "meets 20Hz")
+	for _, wan := range []time.Duration{5, 20, 50, 100, 200} {
+		lat := wan * time.Millisecond
+		pm := core.DefaultPlacementModel(net)
+		pm.Link = pm.Link.WithLatency(lat)
+		for _, pl := range core.AllPlacements() {
+			d, err := pm.ControlLatency(pl, *params)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-12v %-10s %-14v %-12.1f %v\n",
+				lat, pl, d.Round(time.Microsecond), core.AchievableHz(d), core.MeetsDeadline(d, 20))
+		}
+	}
+	return nil
+}

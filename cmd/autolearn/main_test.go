@@ -1,0 +1,80 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestCmdTracks(t *testing.T) {
+	if err := cmdTracks(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmdPlacement(t *testing.T) {
+	if err := cmdPlacement([]string{"-params", "100000"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmdZero(t *testing.T) {
+	if err := cmdZero([]string{"-image-mb", "100"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmdTwin(t *testing.T) {
+	if err := cmdTwin([]string{"-ticks", "120"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmdCollectRequiresOut(t *testing.T) {
+	if err := cmdCollect(nil); err == nil {
+		t.Error("missing -out accepted")
+	}
+}
+
+func TestCmdCleanRequiresTub(t *testing.T) {
+	if err := cmdClean(nil); err == nil {
+		t.Error("missing -tub accepted")
+	}
+}
+
+func TestCmdTrainRequiresArgs(t *testing.T) {
+	if err := cmdTrain(nil); err == nil {
+		t.Error("missing flags accepted")
+	}
+}
+
+func TestCmdEvaluateRequiresModel(t *testing.T) {
+	if err := cmdEvaluate(nil); err == nil {
+		t.Error("missing -model accepted")
+	}
+}
+
+func TestCmdMergeRequiresArgs(t *testing.T) {
+	if err := cmdMerge(nil); err == nil {
+		t.Error("missing args accepted")
+	}
+}
+
+func TestCollectCleanTrainEvaluateFlow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model")
+	}
+	dir := t.TempDir()
+	tubDir := dir + "/tub"
+	ckpt := dir + "/model.ckpt"
+	if err := cmdCollect([]string{"-out", tubDir, "-ticks", "400"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdClean([]string{"-tub", tubDir}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdTrain([]string{"-tub", tubDir, "-out", ckpt, "-epochs", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdEvaluate([]string{"-model", ckpt, "-ticks", "200"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,119 @@
+// Command trackgen renders a stock track's geometry: either an SVG (the
+// tape lines as students would lay them out, Fig. 3) or a CSV of the
+// centerline for external tools.
+//
+// Usage:
+//
+//	trackgen -track default-oval -svg oval.svg
+//	trackgen -track waveshare -csv center.csv
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"repro/internal/track"
+)
+
+func main() {
+	name := flag.String("track", "default-oval", "track name")
+	svgOut := flag.String("svg", "", "write an SVG rendering to this file")
+	csvOut := flag.String("csv", "", "write the centerline as CSV to this file")
+	flag.Parse()
+	if err := run(*name, *svgOut, *csvOut); err != nil {
+		fmt.Fprintln(os.Stderr, "trackgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(name, svgOut, csvOut string) error {
+	trk, err := track.ByName(name)
+	if err != nil {
+		return err
+	}
+	s := trk.Summarize()
+	fmt.Printf("%s: inner %.2f m, outer %.2f m, width %.2f m, centerline %.2f m\n",
+		s.Name, s.InnerLength, s.OuterLength, s.AvgWidth, s.CenterLen)
+	if svgOut != "" {
+		if err := writeSVG(trk, svgOut); err != nil {
+			return err
+		}
+		fmt.Println("wrote", svgOut)
+	}
+	if csvOut != "" {
+		if err := writeCSV(trk, csvOut); err != nil {
+			return err
+		}
+		fmt.Println("wrote", csvOut)
+	}
+	return nil
+}
+
+func pathPoints(p *track.Path, step float64) []track.Point {
+	var pts []track.Point
+	for s := 0.0; s < p.Length(); s += step {
+		pts = append(pts, p.PointAt(s))
+	}
+	return pts
+}
+
+func writeSVG(trk *track.Track, file string) error {
+	f, err := os.Create(file)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+
+	// Bounds with margin.
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	for _, pt := range pathPoints(trk.OuterBoundary(), 0.05) {
+		minX, maxX = math.Min(minX, pt.X), math.Max(maxX, pt.X)
+		minY, maxY = math.Min(minY, pt.Y), math.Max(maxY, pt.Y)
+	}
+	for _, pt := range pathPoints(trk.InnerBoundary(), 0.05) {
+		minX, maxX = math.Min(minX, pt.X), math.Max(maxX, pt.X)
+		minY, maxY = math.Min(minY, pt.Y), math.Max(maxY, pt.Y)
+	}
+	const scale = 120.0 // px per meter
+	margin := 0.3
+	width := (maxX - minX + 2*margin) * scale
+	height := (maxY - minY + 2*margin) * scale
+	fmt.Fprintf(w, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n",
+		width, height, width, height)
+	fmt.Fprintf(w, `<rect width="100%%" height="100%%" fill="#5a5a5f"/>`+"\n")
+
+	poly := func(p *track.Path, stroke string, strokeW float64) {
+		fmt.Fprintf(w, `<polygon fill="none" stroke="%s" stroke-width="%.1f" points="`, stroke, strokeW)
+		for _, pt := range pathPoints(p, 0.05) {
+			// SVG y grows downward; flip.
+			fmt.Fprintf(w, "%.1f,%.1f ", (pt.X-minX+margin)*scale, (maxY-pt.Y+margin)*scale)
+		}
+		fmt.Fprintf(w, `"/>`+"\n")
+	}
+	poly(trk.InnerBoundary(), "#eb7814", 0.05*scale)
+	poly(trk.OuterBoundary(), "#eb7814", 0.05*scale)
+	poly(trk.Centerline, "#9a9aa0", 0.01*scale)
+	fmt.Fprintln(w, "</svg>")
+	return w.Flush()
+}
+
+func writeCSV(trk *track.Track, file string) error {
+	f, err := os.Create(file)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	fmt.Fprintln(w, "s,x,y,heading,curvature")
+	cl := trk.Centerline
+	for s := 0.0; s < cl.Length(); s += 0.05 {
+		pt := cl.PointAt(s)
+		fmt.Fprintf(w, "%.3f,%.4f,%.4f,%.4f,%.4f\n", s, pt.X, pt.Y, cl.HeadingAt(s), cl.CurvatureAt(s))
+	}
+	return w.Flush()
+}

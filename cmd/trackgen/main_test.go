@@ -1,0 +1,50 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunWritesSVGAndCSV(t *testing.T) {
+	dir := t.TempDir()
+	svg := filepath.Join(dir, "oval.svg")
+	csv := filepath.Join(dir, "center.csv")
+	if err := run("default-oval", svg, csv); err != nil {
+		t.Fatal(err)
+	}
+	svgData, err := os.ReadFile(svg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(svgData), "<svg") {
+		t.Error("svg output missing root element")
+	}
+	if !strings.Contains(string(svgData), "polygon") {
+		t.Error("svg has no polygons")
+	}
+	csvData, err := os.ReadFile(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(csvData)), "\n")
+	if lines[0] != "s,x,y,heading,curvature" {
+		t.Errorf("csv header %q", lines[0])
+	}
+	if len(lines) < 100 {
+		t.Errorf("csv has only %d lines", len(lines))
+	}
+}
+
+func TestRunUnknownTrack(t *testing.T) {
+	if err := run("m25", "", ""); err == nil {
+		t.Error("unknown track accepted")
+	}
+}
+
+func TestRunNoOutputsIsFine(t *testing.T) {
+	if err := run("waveshare", "", ""); err != nil {
+		t.Fatal(err)
+	}
+}

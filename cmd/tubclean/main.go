@@ -1,0 +1,111 @@
+// Command tubclean is the standalone data-cleaning utility from the paper
+// ("this step is done manually by using the tubclean utility included in
+// the DonkeyCar python package"). It proposes bad segments, optionally
+// commits them, and can restore mistakes.
+//
+// Usage:
+//
+//	tubclean -tub DIR            # detect and print proposed segments
+//	tubclean -tub DIR -commit    # detect and mark
+//	tubclean -tub DIR -restore 3,4,5
+//	tubclean -tub DIR -mark 10:20,42:45
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/tub"
+)
+
+func main() {
+	dir := flag.String("tub", "", "tub directory (required)")
+	commit := flag.Bool("commit", false, "commit detected segments")
+	mark := flag.String("mark", "", "manual segments start:end[,start:end...]")
+	restore := flag.String("restore", "", "indexes to restore i[,i...]")
+	flag.Parse()
+	if *dir == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*dir, *commit, *mark, *restore); err != nil {
+		fmt.Fprintln(os.Stderr, "tubclean:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dir string, commit bool, mark, restore string) error {
+	t, err := tub.Open(dir)
+	if err != nil {
+		return err
+	}
+	if restore != "" {
+		var idx []int
+		for _, s := range strings.Split(restore, ",") {
+			i, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				return fmt.Errorf("bad index %q: %w", s, err)
+			}
+			idx = append(idx, i)
+		}
+		if err := t.Restore(idx...); err != nil {
+			return err
+		}
+		fmt.Printf("restored %d records\n", len(idx))
+		return nil
+	}
+	if mark != "" {
+		var segs []tub.Segment
+		for _, s := range strings.Split(mark, ",") {
+			lo, hi, ok := strings.Cut(strings.TrimSpace(s), ":")
+			if !ok {
+				return fmt.Errorf("bad segment %q, want start:end", s)
+			}
+			a, err := strconv.Atoi(lo)
+			if err != nil {
+				return fmt.Errorf("bad segment %q: %w", s, err)
+			}
+			b, err := strconv.Atoi(hi)
+			if err != nil {
+				return fmt.Errorf("bad segment %q: %w", s, err)
+			}
+			segs = append(segs, tub.Segment{Start: a, End: b})
+		}
+		n, err := t.CleanSegments(segs...)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("marked %d records\n", n)
+		return nil
+	}
+	segs, err := t.DetectBadSegments(tub.DefaultCleanerConfig())
+	if err != nil {
+		return err
+	}
+	if len(segs) == 0 {
+		fmt.Println("no bad segments detected")
+		return nil
+	}
+	total := 0
+	for _, s := range segs {
+		fmt.Printf("segment [%d, %d) — %d records\n", s.Start, s.End, s.Len())
+		total += s.Len()
+	}
+	if !commit {
+		fmt.Printf("%d records in %d segments; re-run with -commit to mark them\n", total, len(segs))
+		return nil
+	}
+	n, err := t.CleanSegments(segs...)
+	if err != nil {
+		return err
+	}
+	live, err := t.Count()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("marked %d records, %d remain\n", n, live)
+	return nil
+}

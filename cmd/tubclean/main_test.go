@@ -1,0 +1,93 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/tub"
+)
+
+func writeTub(t *testing.T, n int, angle func(int) float64) string {
+	t.Helper()
+	dir := t.TempDir()
+	tb, err := tub.Create(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := tub.NewWriter(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		f, err := sim.NewFrame(8, 6, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := w.Write(sim.Record{Frame: f, Steering: angle(i),
+			Timestamp: time.Unix(1_700_000_000, 0).Add(time.Duration(i) * 50 * time.Millisecond)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestRunDetectAndCommit(t *testing.T) {
+	dir := writeTub(t, 60, func(i int) float64 {
+		if i >= 20 && i < 30 {
+			return 0.9
+		}
+		return 0
+	})
+	// Dry run does not mutate.
+	if err := run(dir, false, "", ""); err != nil {
+		t.Fatal(err)
+	}
+	tb, _ := tub.Open(dir)
+	if n, _ := tb.Count(); n != 60 {
+		t.Fatalf("dry run mutated the tub: %d live", n)
+	}
+	// Commit marks.
+	if err := run(dir, true, "", ""); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := tb.Count(); n >= 60 {
+		t.Error("commit marked nothing")
+	}
+}
+
+func TestRunManualMarkAndRestore(t *testing.T) {
+	dir := writeTub(t, 20, func(int) float64 { return 0 })
+	if err := run(dir, false, "3:6,10:12", ""); err != nil {
+		t.Fatal(err)
+	}
+	tb, _ := tub.Open(dir)
+	if n, _ := tb.Count(); n != 15 {
+		t.Fatalf("live = %d, want 15", n)
+	}
+	if err := run(dir, false, "", "3,4"); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := tb.Count(); n != 17 {
+		t.Fatalf("after restore live = %d, want 17", n)
+	}
+}
+
+func TestRunBadInputs(t *testing.T) {
+	dir := writeTub(t, 5, func(int) float64 { return 0 })
+	if err := run(dir, false, "nonsense", ""); err == nil {
+		t.Error("bad segment syntax accepted")
+	}
+	if err := run(dir, false, "a:b", ""); err == nil {
+		t.Error("non-numeric segment accepted")
+	}
+	if err := run(dir, false, "", "x"); err == nil {
+		t.Error("bad restore index accepted")
+	}
+	if err := run(t.TempDir(), false, "", ""); err == nil {
+		t.Error("non-tub directory accepted")
+	}
+}

@@ -1,0 +1,71 @@
+// Command webserve runs the DonkeyCar-style web controller against a live
+// simulated car: the drive loop runs locally while a browser (or curl)
+// steers over HTTP and watches the camera at /video.
+//
+//	webserve -addr :8887 -track default-oval
+//	curl -X POST localhost:8887/drive -d '{"angle":0.2,"throttle":0.5}'
+//	curl localhost:8887/state
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/track"
+	"repro/internal/webctl"
+)
+
+func main() {
+	addr := flag.String("addr", ":8887", "listen address")
+	trackName := flag.String("track", "default-oval", "track name")
+	hz := flag.Float64("hz", 20, "drive loop rate")
+	flag.Parse()
+	if err := run(*addr, *trackName, *hz); err != nil {
+		fmt.Fprintln(os.Stderr, "webserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, trackName string, hz float64) error {
+	trk, err := track.ByName(trackName)
+	if err != nil {
+		return err
+	}
+	cam, err := sim.NewCamera(sim.DefaultCameraConfig(), trk)
+	if err != nil {
+		return err
+	}
+	car, err := sim.NewCar(sim.DefaultCarConfig())
+	if err != nil {
+		return err
+	}
+	x, y, h := trk.StartPose(0)
+	car.Reset(x, y, h)
+
+	ctl := sim.NewWebController()
+	srv, err := webctl.New(ctl, car)
+	if err != nil {
+		return err
+	}
+
+	// Drive loop: controller commands move the physics; frames refresh the
+	// /video endpoint.
+	go func() {
+		period := time.Duration(float64(time.Second) / hz)
+		ticker := time.NewTicker(period)
+		defer ticker.Stop()
+		for range ticker.C {
+			steering, throttle := ctl.Drive(car.State)
+			car.Step(steering, throttle, 1/hz)
+			srv.UpdateFrame(cam.Render(car.State))
+		}
+	}()
+
+	log.Printf("web controller on %s (track %s); POST /drive, GET /state, GET /video", addr, trk.Name)
+	return http.ListenAndServe(addr, srv)
+}

@@ -1,0 +1,169 @@
+// Competition runs the paper's student-competition extension ("Students
+// might also compete to train models yielding a combination of fastest
+// speed with fewest errors, or accuracy following tracks of different
+// shapes"): three teams train different pilot architectures on a shared
+// expert dataset, then race on the training oval and on a randomly
+// generated unseen track. The non-ML line follower and the RL lane keeper
+// enter as baseline contestants.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"time"
+
+	"repro/internal/cv"
+	"repro/internal/eval"
+	"repro/internal/nn"
+	"repro/internal/pilot"
+	"repro/internal/rl"
+	"repro/internal/sim"
+	"repro/internal/track"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+type entry struct {
+	name string
+	make func(trk *track.Track) (sim.Driver, error)
+}
+
+func run() error {
+	oval, err := track.DefaultOval()
+	if err != nil {
+		return err
+	}
+	unseen, err := track.Random(track.DefaultRandomConfig(42))
+	if err != nil {
+		return err
+	}
+	camCfg := sim.SmallCameraConfig()
+	camCfg.Width, camCfg.Height = 32, 24
+	carCfg := sim.DefaultCarConfig()
+
+	// Shared training data: expert laps on the oval.
+	fmt.Println("collecting the shared training dataset (expert, oval) ...")
+	records, err := collect(oval, camCfg, carCfg, 1200)
+	if err != nil {
+		return err
+	}
+
+	trainPilot := func(kind pilot.Kind) func(*track.Track) (sim.Driver, error) {
+		// Pilots are track-agnostic: train once on the oval data, reuse
+		// everywhere. Train lazily on first use and cache.
+		var cached *pilot.Pilot
+		return func(*track.Track) (sim.Driver, error) {
+			if cached == nil {
+				cfg := pilot.DefaultConfig(kind, camCfg.Width, camCfg.Height, camCfg.Channels)
+				p, err := pilot.New(cfg)
+				if err != nil {
+					return nil, err
+				}
+				samples, err := pilot.SamplesFromRecords(cfg, records)
+				if err != nil {
+					return nil, err
+				}
+				if _, err := p.Train(samples, nn.TrainConfig{
+					Epochs: 8, BatchSize: 32, ValFrac: 0.15, Seed: 3, ClipGrad: 5}); err != nil {
+					return nil, err
+				}
+				cached = p
+			}
+			return pilot.NewAutoDriver(cached)
+		}
+	}
+
+	entries := []entry{
+		{"team-linear", trainPilot(pilot.Linear)},
+		{"team-inferred", trainPilot(pilot.Inferred)},
+		{"team-categorical", trainPilot(pilot.Categorical)},
+		{"baseline-linefollow", func(*track.Track) (sim.Driver, error) {
+			return cv.NewLineFollower(), nil
+		}},
+		{"baseline-qlearn", func(trk *track.Track) (sim.Driver, error) {
+			cfg := rl.DefaultConfig()
+			cfg.Episodes = 200
+			agent, err := rl.NewAgent(cfg, trk, carCfg)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := agent.Train(); err != nil {
+				return nil, err
+			}
+			return agent, nil
+		}},
+	}
+
+	for _, venue := range []*track.Track{oval, unseen} {
+		fmt.Printf("\n=== race on %s (centerline %.1f m) ===\n", venue.Name, venue.Centerline.Length())
+		type standing struct {
+			name string
+			rep  eval.Report
+		}
+		var table []standing
+		for _, e := range entries {
+			drv, err := e.make(venue)
+			if err != nil {
+				return fmt.Errorf("%s: %w", e.name, err)
+			}
+			rep, err := race(venue, camCfg, carCfg, drv)
+			if err != nil {
+				return fmt.Errorf("%s: %w", e.name, err)
+			}
+			table = append(table, standing{e.name, rep})
+		}
+		sort.Slice(table, func(i, j int) bool {
+			return table[i].rep.Frontier() > table[j].rep.Frontier()
+		})
+		fmt.Printf("%-22s %-6s %-8s %-8s %s\n", "entry", "laps", "crashes", "speed", "score")
+		for i, s := range table {
+			medal := " "
+			if i == 0 {
+				medal = "🏆"
+			}
+			fmt.Printf("%-22s %-6d %-8d %-8.2f %.3f %s\n",
+				s.name, s.rep.Laps, s.rep.Crashes, s.rep.MeanSpeed, s.rep.Frontier(), medal)
+		}
+	}
+	return nil
+}
+
+func collect(trk *track.Track, camCfg sim.CameraConfig, carCfg sim.CarConfig, ticks int) ([]sim.Record, error) {
+	cam, err := sim.NewCamera(camCfg, trk)
+	if err != nil {
+		return nil, err
+	}
+	car, err := sim.NewCar(carCfg)
+	if err != nil {
+		return nil, err
+	}
+	ses, err := sim.NewSession(sim.SessionConfig{Hz: 20, MaxTicks: ticks, OffTrackMargin: 0.1, ResetOnCrash: true},
+		car, cam, sim.NewPurePursuit(trk, carCfg))
+	if err != nil {
+		return nil, err
+	}
+	return ses.Run(time.Unix(1_700_000_000, 0)).Records, nil
+}
+
+func race(trk *track.Track, camCfg sim.CameraConfig, carCfg sim.CarConfig, drv sim.Driver) (eval.Report, error) {
+	cam, err := sim.NewCamera(camCfg, trk)
+	if err != nil {
+		return eval.Report{}, err
+	}
+	car, err := sim.NewCar(carCfg)
+	if err != nil {
+		return eval.Report{}, err
+	}
+	ses, err := sim.NewSession(sim.SessionConfig{Hz: 20, MaxTicks: 800, OffTrackMargin: 0.15, ResetOnCrash: true},
+		car, cam, drv)
+	if err != nil {
+		return eval.Report{}, err
+	}
+	res := ses.Run(time.Unix(1_700_000_500, 0))
+	return eval.Evaluate(res, trk, 20)
+}

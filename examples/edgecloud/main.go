@@ -1,0 +1,110 @@
+// Edgecloud reproduces the edge-vs-cloud inference trade-off exploration
+// ("Chasing Clouds with Donkeycar: Holistic Exploration of Edge and Cloud
+// Inferencing Trade-Offs in E2E Self-Driving Cars", SC'23 poster, and the
+// §3.3 extension): one trained pilot is driven under edge, cloud, and
+// hybrid placements across WAN latencies, measuring control-loop latency,
+// the achievable loop rate, and the actual driving quality with the
+// latency injected into the simulation.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/netem"
+	"repro/internal/nn"
+	"repro/internal/pilot"
+	"repro/internal/testbed"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	start := time.Date(2023, 9, 1, 9, 0, 0, 0, time.UTC)
+	m, err := core.New(core.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	student, err := m.Enroll("edgecloud-student", "example.edu")
+	if err != nil {
+		return err
+	}
+	work, err := os.MkdirTemp("", "autolearn-edgecloud-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(work)
+	p, err := m.NewPipeline(student, work)
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("training one inferred pilot to share across all placements ...")
+	col, err := p.CollectData(core.Simulator, "drive", 900)
+	if err != nil {
+		return err
+	}
+	if _, _, err := p.CleanData(col.TubDir); err != nil {
+		return err
+	}
+	tr, err := p.Train(col.TubDir, pilot.Inferred, testbed.A100,
+		nn.TrainConfig{Epochs: 6, BatchSize: 32, ValFrac: 0.15, Seed: 1, ClipGrad: 5}, start)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("pilot: %d params, val loss %.4f\n\n", tr.Pilot.ParamCount(), tr.History.BestValLoss)
+
+	fmt.Printf("%-8s %-8s %-12s %-10s %-6s %-5s %-8s %s\n",
+		"wan", "place", "latency", "loop-Hz", "laps", "crash", "speed", "meets 20Hz")
+	for _, wanMS := range []int{5, 20, 50, 100, 200} {
+		for _, placement := range core.AllPlacements() {
+			pm := core.DefaultPlacementModel(m.Net)
+			pm.Link = netem.CampusWAN.WithLatency(time.Duration(wanMS) * time.Millisecond)
+			ev, err := p.Evaluate(tr.ModelObject, placement, pm, 500)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-8s %-8s %-12v %-10.1f %-6d %-5d %-8.2f %v\n",
+				fmt.Sprintf("%dms", wanMS), placement,
+				ev.Latency.Round(time.Microsecond), core.AchievableHz(ev.Latency),
+				ev.Report.Laps, ev.Report.Crashes, ev.Report.MeanSpeed,
+				core.MeetsDeadline(ev.Latency, 20))
+		}
+	}
+
+	fmt.Println("\ncrossover check: a 60M-parameter pilot on a FABRIC-class link")
+	pm := core.DefaultPlacementModel(m.Net)
+	pm.Link = netem.FabricManaged
+	big := 60_000_000
+	for _, placement := range core.AllPlacements() {
+		lat, err := pm.ControlLatency(placement, big)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %-8s %v (%.1f Hz)\n", placement, lat.Round(time.Microsecond), core.AchievableHz(lat))
+	}
+
+	// The pure evaluation report for the winner placement on the default WAN.
+	pmDefault := core.DefaultPlacementModel(m.Net)
+	best, err := p.Evaluate(tr.ModelObject, core.EdgePlacement, pmDefault, 800)
+	if err != nil {
+		return err
+	}
+	report(best.Report)
+	return nil
+}
+
+func report(r eval.Report) {
+	fmt.Println("\nedge placement, full report:")
+	fmt.Printf("  laps %d, best lap %v, mean lap %v\n", r.Laps, r.BestLap.Round(10*time.Millisecond), r.MeanLap.Round(10*time.Millisecond))
+	fmt.Printf("  mean speed %.2f m/s (max %.2f), speed consistency %.3f\n", r.MeanSpeed, r.MaxSpeed, r.SpeedConsistency)
+	fmt.Printf("  RMS lateral %.3f m, max lateral %.3f m, errors/lap %.2f\n", r.RMSLateral, r.MaxLateral, r.ErrorsPerLap)
+}

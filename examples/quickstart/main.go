@@ -1,0 +1,79 @@
+// Quickstart runs the minimal AutoLearn loop from Fig. 1 end to end:
+// enroll on the testbed, collect driving data in the simulator, clean it
+// with tubclean, train a linear pilot on a reserved GPU node, and evaluate
+// the trained model driving autonomously at the edge.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/nn"
+	"repro/internal/pilot"
+	"repro/internal/testbed"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	start := time.Date(2023, 9, 1, 9, 0, 0, 0, time.UTC)
+
+	// A module on the default oval with the small (fast) camera.
+	m, err := core.New(core.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	student, err := m.Enroll("quickstart-student", "example.edu")
+	if err != nil {
+		return err
+	}
+	work, err := os.MkdirTemp("", "autolearn-quickstart-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(work)
+	p, err := m.NewPipeline(student, work)
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("1) collecting data in the simulator ...")
+	col, err := p.CollectData(core.Simulator, "my-first-drive", 800)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("   %d records over %d laps (%d records look bad)\n", col.Records, col.Laps, col.Bad)
+
+	fmt.Println("2) cleaning with tubclean ...")
+	marked, remaining, err := p.CleanData(col.TubDir)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("   marked %d, %d remain\n", marked, remaining)
+
+	fmt.Println("3) training a linear pilot on a V100 node ...")
+	tr, err := p.Train(col.TubDir, pilot.Linear, testbed.V100,
+		nn.TrainConfig{Epochs: 5, BatchSize: 32, ValFrac: 0.15, Seed: 1, ClipGrad: 5}, start)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("   lease %s on %s; rsync %v; simulated GPU time %v; val loss %.4f\n",
+		tr.Lease.ID, tr.Lease.NodeID, tr.Transfer.Round(time.Millisecond),
+		tr.SimGPUTime.Round(time.Second), tr.History.BestValLoss)
+
+	fmt.Println("4) evaluating the model driving at the edge ...")
+	ev, err := p.Evaluate(tr.ModelObject, core.EdgePlacement, core.DefaultPlacementModel(m.Net), 600)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("   control latency %v; %d laps, %d crashes, mean speed %.2f m/s\n",
+		ev.Latency.Round(time.Microsecond), ev.Report.Laps, ev.Report.Crashes, ev.Report.MeanSpeed)
+	return nil
+}

@@ -1,0 +1,205 @@
+package repro
+
+// Cross-package integration tests: scenarios that span most of the stack,
+// beyond what any single package's tests exercise.
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/nn"
+	"repro/internal/pilot"
+	"repro/internal/testbed"
+	"repro/internal/tub"
+)
+
+// TestConcurrentStudents runs several students through collection and
+// cleaning simultaneously against one shared module — the classroom
+// reality the control-plane locks exist for.
+func TestConcurrentStudents(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.Camera.Width, cfg.Camera.Height = 16, 12
+	m, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := t.TempDir()
+	const students = 6
+	var wg sync.WaitGroup
+	errs := make(chan error, students)
+	for i := 0; i < students; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := fmt.Sprintf("student-%d", i)
+			s, err := m.Enroll(name, "edu")
+			if err != nil {
+				errs <- err
+				return
+			}
+			p, err := m.NewPipeline(s, filepath.Join(root, name))
+			if err != nil {
+				errs <- err
+				return
+			}
+			col, err := p.CollectData(core.Simulator, "drive", 200)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if _, _, err := p.CleanData(col.TubDir); err != nil {
+				errs <- err
+				return
+			}
+			// Everyone books a training slot at the same wall time; the
+			// big RTX6000 pool absorbs all of them.
+			start := time.Date(2023, 9, 6, 13, 0, 0, 0, time.UTC)
+			if _, err := s.Reserve(testbed.NodeFilter{GPU: testbed.RTX6000}, start, start.Add(time.Hour)); err != nil {
+				errs <- err
+				return
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	// All six slots landed on distinct nodes.
+	util := m.Testbed.Utilization(testbed.NodeFilter{GPU: testbed.RTX6000},
+		time.Date(2023, 9, 6, 13, 0, 0, 0, time.UTC),
+		time.Date(2023, 9, 6, 14, 0, 0, 0, time.UTC))
+	want := float64(students) / 40
+	if util < want-0.001 || util > want+0.001 {
+		t.Errorf("RTX6000 utilization %.3f, want %.3f", util, want)
+	}
+}
+
+// TestModelTrainedOnOvalTransfersToWaveshare checks the cross-track
+// generalization pathway students explore: train on one track, evaluate on
+// another (the model sees only pixels, so this must at least run and make
+// forward progress).
+func TestModelTrainedOnOvalTransfersToWaveshare(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model")
+	}
+	cfgOval := core.DefaultConfig()
+	cfgOval.Camera.Width, cfgOval.Camera.Height = 24, 16
+	mOval, err := core.New(cfgOval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := mOval.Enroll("student", "edu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := mOval.NewPipeline(s, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := p.CollectData(core.Simulator, "d", 700)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := p.CleanData(col.TubDir); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := p.Train(col.TubDir, pilot.Linear, testbed.RTX6000,
+		nn.TrainConfig{Epochs: 5, BatchSize: 32, ValFrac: 0.15, Seed: 2, ClipGrad: 5}, time.Date(2023, 9, 1, 9, 0, 0, 0, time.UTC))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Move the checkpoint into a module on the other track and evaluate.
+	data, _, err := mOval.Store.Get(core.ContainerModels, tr.ModelObject)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgWave := cfgOval
+	cfgWave.Track = "waveshare"
+	mWave, err := core.New(cfgWave)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mWave.Store.Put(core.ContainerModels, tr.ModelObject, data, nil); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := mWave.Enroll("student", "edu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := mWave.NewPipeline(s2, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := p2.Evaluate(tr.ModelObject, core.EdgePlacement, core.DefaultPlacementModel(mWave.Net), 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Report.MeanSpeed <= 0.05 {
+		t.Errorf("transferred model frozen: mean speed %g", ev.Report.MeanSpeed)
+	}
+	t.Logf("oval->waveshare transfer: laps %d crashes %d speed %.2f",
+		ev.Report.Laps, ev.Report.Crashes, ev.Report.MeanSpeed)
+}
+
+// TestTubSurvivesPackTransferUnpackTrain is the full data-logistics path:
+// pack a tub, ship it through the object store, unpack on "the training
+// node", and train from the unpacked copy.
+func TestTubSurvivesPackTransferUnpackTrain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model")
+	}
+	cfg := core.DefaultConfig()
+	cfg.Camera.Width, cfg.Camera.Height = 16, 12
+	m, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.PublishSampleDataset("shared", 300, 11); err != nil {
+		t.Fatal(err)
+	}
+	s, err := m.Enroll("student", "edu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := m.NewPipeline(s, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := p.CollectData(core.SampleDatasets, "shared", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := tub.Open(col.TubDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := tb.Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 300 {
+		t.Fatalf("unpacked %d records", n)
+	}
+	pcfg := m.DefaultPilotConfig(pilot.Inferred)
+	pl, err := pilot.New(pcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := pilot.SamplesFromTub(pcfg, tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := pl.Train(samples, nn.TrainConfig{Epochs: 2, BatchSize: 32, ValFrac: 0.1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Epochs) == 0 {
+		t.Fatal("no training epochs")
+	}
+}

@@ -1,0 +1,170 @@
+// Package core is the AutoLearn module itself — the paper's contribution:
+// an educational edge-to-cloud pipeline that wires the driving simulator
+// (standing in for the car and the Unity simulator), the tub data format,
+// the autopilot models, CHI@Edge, the Chameleon testbed, the object store,
+// the network emulator, and the Trovi artifact hub into the three-phase
+// learning loop of Fig. 1 (collect → train → evaluate) with the three data
+// collection paths of Fig. 2 and the edge/cloud/hybrid inference placement
+// of the §3.3 extensions.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/edge"
+	"repro/internal/netem"
+	"repro/internal/objstore"
+	"repro/internal/pilot"
+	"repro/internal/sim"
+	"repro/internal/testbed"
+	"repro/internal/track"
+	"repro/internal/trovi"
+)
+
+// Pathway selects one of the module's three documented learning pathways
+// (§4: "regular, classroom, and digital path").
+type Pathway string
+
+// The three pathways.
+const (
+	Regular   Pathway = "regular"   // self-paced with a physical car
+	Classroom Pathway = "classroom" // instructor-led, shared testbed slots
+	Digital   Pathway = "digital"   // simulator-only, no physical car
+)
+
+// CollectionPath is one of the three data collection paths of Fig. 2.
+type CollectionPath string
+
+// The three collection paths.
+const (
+	SampleDatasets CollectionPath = "sample-datasets" // download a packaged tub
+	Simulator      CollectionPath = "simulator"       // virtual car, virtual track
+	PhysicalCar    CollectionPath = "physical-car"    // drive the real car
+)
+
+// Config assembles an AutoLearn deployment.
+type Config struct {
+	Pathway Pathway
+	Track   string // "default-oval" or "waveshare"
+	Camera  sim.CameraConfig
+	Car     sim.CarConfig
+	Seed    int64
+
+	// ProjectID is the Chameleon education project backing the module.
+	ProjectID string
+}
+
+// DefaultConfig returns a digital-pathway module on the default oval with
+// the small camera (fast enough for CPU training).
+func DefaultConfig() Config {
+	return Config{
+		Pathway:   Digital,
+		Track:     "default-oval",
+		Camera:    sim.SmallCameraConfig(),
+		Car:       sim.DefaultCarConfig(),
+		Seed:      1,
+		ProjectID: "CHI-231987-edu",
+	}
+}
+
+// Validate checks the config.
+func (c Config) Validate() error {
+	switch c.Pathway {
+	case Regular, Classroom, Digital:
+	default:
+		return fmt.Errorf("core: unknown pathway %q", c.Pathway)
+	}
+	if _, err := track.ByName(c.Track); err != nil {
+		return err
+	}
+	if err := c.Camera.Validate(); err != nil {
+		return err
+	}
+	if err := c.Car.Validate(); err != nil {
+		return err
+	}
+	if c.ProjectID == "" {
+		return fmt.Errorf("core: project id required")
+	}
+	return nil
+}
+
+// Module is a fully wired AutoLearn deployment.
+type Module struct {
+	Cfg Config
+
+	Track   *track.Track
+	Testbed *testbed.Testbed
+	Edge    *edge.Hub
+	Store   *objstore.Store
+	Net     *netem.Net
+	Trovi   *trovi.Hub
+
+	camera *sim.Camera
+}
+
+// Object store container names used by the module.
+const (
+	ContainerDatasets = "autolearn-datasets"
+	ContainerModels   = "autolearn-models"
+)
+
+// New builds a module: testbed with the paper's inventory, an empty edge
+// hub, object store containers for datasets and models, a network, and a
+// Trovi hub.
+func New(cfg Config) (*Module, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	trk, err := track.ByName(cfg.Track)
+	if err != nil {
+		return nil, err
+	}
+	cam, err := sim.NewCamera(cfg.Camera, trk)
+	if err != nil {
+		return nil, err
+	}
+	m := &Module{
+		Cfg:     cfg,
+		Track:   trk,
+		Testbed: testbed.New(testbed.DefaultInventory()),
+		Edge:    edge.NewHub(),
+		Store:   objstore.New(),
+		Net:     netem.NewNet(cfg.Seed),
+		Trovi:   trovi.NewHub(),
+		camera:  cam,
+	}
+	if _, err := m.Testbed.CreateProject(cfg.ProjectID, "AutoLearn education", true); err != nil {
+		return nil, err
+	}
+	for _, c := range []string{ContainerDatasets, ContainerModels} {
+		if err := m.Store.CreateContainer(c); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// Camera returns the module's camera (shared tape map, cheap to reuse).
+func (m *Module) Camera() *sim.Camera { return m.camera }
+
+// NewCar builds a car with the module's configuration.
+func (m *Module) NewCar() (*sim.Car, error) { return sim.NewCar(m.Cfg.Car) }
+
+// Enroll registers a student with the testbed project and returns their
+// authenticated session (the federated-identity login step).
+func (m *Module) Enroll(name, institution string) (*testbed.Session, error) {
+	u := testbed.User{Name: name, Institution: institution}
+	if err := m.Testbed.AddMember(m.Cfg.ProjectID, u); err != nil {
+		return nil, err
+	}
+	return m.Testbed.Login(u, m.Cfg.ProjectID)
+}
+
+// DefaultPilotConfig returns the pilot configuration matched to the
+// module's camera geometry.
+func (m *Module) DefaultPilotConfig(kind pilot.Kind) pilot.Config {
+	c := pilot.DefaultConfig(kind, m.Cfg.Camera.Width, m.Cfg.Camera.Height, m.Cfg.Camera.Channels)
+	c.Seed = m.Cfg.Seed
+	return c
+}

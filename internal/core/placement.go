@@ -1,0 +1,182 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/netem"
+	"repro/internal/sim"
+	"repro/internal/testbed"
+)
+
+// Placement selects where autopilot inference runs — the trade-off studied
+// by the §3.3 extension "attempting to run inference models in the cloud,
+// constructing hybrid edge cloud inference models" and the companion
+// poster "Chasing Clouds with Donkeycar".
+type Placement string
+
+// The three placements.
+const (
+	EdgePlacement   Placement = "edge"   // in-situ on the car's Pi
+	CloudPlacement  Placement = "cloud"  // frames shipped to a GPU instance
+	HybridPlacement Placement = "hybrid" // small model on-car, cloud refines
+)
+
+// AllPlacements lists the placements in presentation order.
+func AllPlacements() []Placement {
+	return []Placement{EdgePlacement, CloudPlacement, HybridPlacement}
+}
+
+// PlacementModel computes control-loop latency for each placement given
+// the hardware and the WAN link between car and cloud.
+type PlacementModel struct {
+	Net   *netem.Net
+	Link  netem.Link
+	Cloud *testbed.Instance
+	Edge  testbed.EdgeDevice
+
+	// FrameBytes is the size of one camera frame on the wire (JPEG-ish);
+	// CmdBytes the steering/throttle response.
+	FrameBytes int
+	CmdBytes   int
+
+	// HybridShrink divides the model parameter count for the distilled
+	// on-car model used by the hybrid placement (default 8).
+	HybridShrink int
+}
+
+// DefaultPlacementModel wires a V100 cloud instance against a Pi-class
+// edge device over the campus WAN.
+func DefaultPlacementModel(net *netem.Net) PlacementModel {
+	return PlacementModel{
+		Net:          net,
+		Link:         netem.CampusWAN,
+		Cloud:        &testbed.Instance{GPU: testbed.V100, GPUCount: 1},
+		Edge:         testbed.DefaultEdgeDevice(),
+		FrameBytes:   12 * 1024,
+		CmdBytes:     64,
+		HybridShrink: 8,
+	}
+}
+
+// Validate checks the model.
+func (pm PlacementModel) Validate() error {
+	if pm.Net == nil || pm.Cloud == nil {
+		return fmt.Errorf("core: placement model needs Net and Cloud")
+	}
+	if pm.FrameBytes <= 0 || pm.CmdBytes <= 0 {
+		return fmt.Errorf("core: payload sizes must be positive")
+	}
+	if pm.HybridShrink < 2 {
+		return fmt.Errorf("core: HybridShrink must be >= 2")
+	}
+	return nil
+}
+
+// ControlLatency returns the per-tick latency from frame capture to
+// actuation for a model with paramCount parameters under the placement.
+func (pm PlacementModel) ControlLatency(p Placement, paramCount int) (time.Duration, error) {
+	if err := pm.Validate(); err != nil {
+		return 0, err
+	}
+	if paramCount <= 0 {
+		return 0, fmt.Errorf("core: param count must be positive")
+	}
+	switch p {
+	case EdgePlacement:
+		return pm.Edge.InferenceTime(paramCount)
+	case CloudPlacement:
+		rtt, err := pm.Net.RTT(pm.Link, pm.FrameBytes, pm.CmdBytes)
+		if err != nil {
+			return 0, err
+		}
+		inf, err := pm.Cloud.InferenceTime(paramCount)
+		if err != nil {
+			return 0, err
+		}
+		return rtt + inf, nil
+	case HybridPlacement:
+		// The distilled on-car model closes the loop; the cloud model's
+		// refinements arrive asynchronously and do not add to the critical
+		// path (they improve quality, not latency).
+		small := paramCount / pm.HybridShrink
+		if small < 1 {
+			small = 1
+		}
+		return pm.Edge.InferenceTime(small)
+	default:
+		return 0, fmt.Errorf("core: unknown placement %q", p)
+	}
+}
+
+// AchievableHz converts a control latency into the highest loop rate the
+// placement sustains.
+func AchievableHz(latency time.Duration) float64 {
+	if latency <= 0 {
+		return 0
+	}
+	return float64(time.Second) / float64(latency)
+}
+
+// MeetsDeadline reports whether the placement can keep up with the
+// vehicle's control rate (DonkeyCar runs at 20 Hz).
+func MeetsDeadline(latency time.Duration, hz float64) bool {
+	if hz <= 0 {
+		return false
+	}
+	return latency <= time.Duration(float64(time.Second)/hz)
+}
+
+// DelayedDriver wraps a frame driver and delays its commands by a fixed
+// number of ticks, modeling control-loop latency inside the simulation:
+// the actuation applied now was computed DelayTicks ago. Until the queue
+// fills, the car coasts on neutral commands.
+type DelayedDriver struct {
+	Inner      sim.FrameDriver
+	DelayTicks int
+
+	queue [][2]float64
+}
+
+// NewDelayedDriver builds the wrapper; delayTicks 0 is pass-through.
+func NewDelayedDriver(inner sim.FrameDriver, delayTicks int) (*DelayedDriver, error) {
+	if inner == nil {
+		return nil, fmt.Errorf("core: nil inner driver")
+	}
+	if delayTicks < 0 {
+		return nil, fmt.Errorf("core: negative delay")
+	}
+	return &DelayedDriver{Inner: inner, DelayTicks: delayTicks}, nil
+}
+
+// DelayTicksFor converts a control latency to whole ticks of command
+// delay at the loop rate: a command that is ready within its own tick
+// period (latency < one tick) actuates on schedule (0 extra ticks); each
+// additional full period of latency pushes actuation one tick later.
+func DelayTicksFor(latency time.Duration, hz float64) int {
+	if hz <= 0 || latency <= 0 {
+		return 0
+	}
+	tick := time.Duration(float64(time.Second) / hz)
+	return int(latency / tick)
+}
+
+// DriveFrame implements sim.FrameDriver.
+func (d *DelayedDriver) DriveFrame(f *sim.Frame, st sim.CarState) (float64, float64) {
+	s, t := d.Inner.DriveFrame(f, st)
+	if d.DelayTicks == 0 {
+		return s, t
+	}
+	d.queue = append(d.queue, [2]float64{s, t})
+	if len(d.queue) <= d.DelayTicks {
+		return 0, 0
+	}
+	cmd := d.queue[0]
+	d.queue = d.queue[1:]
+	return cmd[0], cmd[1]
+}
+
+// Drive implements sim.Driver.
+func (d *DelayedDriver) Drive(st sim.CarState) (float64, float64) {
+	return d.Inner.Drive(st)
+}

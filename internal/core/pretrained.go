@@ -1,0 +1,82 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+
+	"repro/internal/nn"
+	"repro/internal/pilot"
+)
+
+// This file implements the "mix and match" pathway of §3.4/§3.5: "students
+// can use one of the packed pre-trained models" stored in Chameleon's
+// object store, skipping collection and training entirely — the shortest
+// pathway through the module (useful for ML-light engineering courses).
+
+// PretrainedName is the object-store naming convention for packed models.
+func PretrainedName(kind pilot.Kind) string {
+	return fmt.Sprintf("pretrained-%s.ckpt", kind)
+}
+
+// PublishPretrained trains a pilot on a freshly generated expert dataset
+// (as the module authors did) and stores the checkpoint in the models
+// container under the pretrained naming convention. Returns the stored
+// size and the validation loss achieved.
+func (m *Module) PublishPretrained(kind pilot.Kind, ticks int, trainCfg nn.TrainConfig) (int64, float64, error) {
+	if ticks <= 0 {
+		return 0, 0, fmt.Errorf("core: positive ticks required")
+	}
+	dir, err := tempTubDir()
+	if err != nil {
+		return 0, 0, err
+	}
+	defer os.RemoveAll(dir)
+	_, t, err := m.driveAndStore(dir, ticks, m.Cfg.Seed+100, false)
+	if err != nil {
+		return 0, 0, err
+	}
+	pcfg := m.DefaultPilotConfig(kind)
+	pl, err := pilot.New(pcfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	samples, err := pilot.SamplesFromTub(pcfg, t)
+	if err != nil {
+		return 0, 0, err
+	}
+	hist, err := pl.Train(samples, trainCfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	var buf bytes.Buffer
+	if err := pl.Save(&buf); err != nil {
+		return 0, 0, err
+	}
+	if _, err := m.Store.Put(ContainerModels, PretrainedName(kind), buf.Bytes(),
+		map[string]string{"kind": string(kind), "pretrained": "true"}); err != nil {
+		return 0, 0, err
+	}
+	return int64(buf.Len()), hist.BestValLoss, nil
+}
+
+// ListPretrained lists the packed pre-trained models available in the
+// object store.
+func (m *Module) ListPretrained() ([]string, error) {
+	infos, err := m.Store.List(ContainerModels, "pretrained-")
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(infos))
+	for _, info := range infos {
+		names = append(names, info.Name)
+	}
+	return names, nil
+}
+
+// EvaluatePretrained is the shortest pathway through Fig. 1: download a
+// packed model and evaluate it directly, skipping collection, cleaning,
+// and training.
+func (p *Pipeline) EvaluatePretrained(kind pilot.Kind, placement Placement, pm PlacementModel, ticks int) (EvalResult, error) {
+	return p.Evaluate(PretrainedName(kind), placement, pm, ticks)
+}

@@ -1,0 +1,310 @@
+// Package edge emulates CHI@Edge, Chameleon's edge testbed, as the paper
+// uses it (§3.2, §3.5): Bring-Your-Own-Device enrollment of the cars'
+// Raspberry Pis (CLI utility registers the device, an SD-card image is
+// configured and flashed, a daemon connects the booted device and enforces
+// whitelist access policies), container-based reconfiguration instead of
+// bare-metal, a built-in console, and the Basic Jupyter Server Appliance
+// reachable through an SSH tunnel.
+package edge
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// DeviceStatus tracks a BYOD device through its lifecycle.
+type DeviceStatus string
+
+// Lifecycle states: registered (CLI ran), flashed (SD image written),
+// connected (daemon checked in), offline.
+const (
+	StatusRegistered DeviceStatus = "registered"
+	StatusFlashed    DeviceStatus = "flashed"
+	StatusConnected  DeviceStatus = "connected"
+	StatusOffline    DeviceStatus = "offline"
+)
+
+// Device is one enrolled edge device (a car's Raspberry Pi).
+type Device struct {
+	ID        string
+	Name      string
+	Owner     string
+	Arch      string // "aarch64" for Raspberry Pi
+	Status    DeviceStatus
+	Whitelist map[string]bool // project IDs allowed to allocate the device
+}
+
+// Container is a deployed workload on a device (CHI@Edge reconfigures
+// devices "by deploying a Docker container rather than bare-metal
+// reconfiguration").
+type Container struct {
+	ID       string
+	DeviceID string
+	Image    string
+	Project  string
+	ReadyAt  time.Time
+	jupyter  *JupyterServer
+}
+
+// JupyterServer is the Basic Jupyter Server Appliance running inside a
+// container, reachable from a laptop via an SSH tunnel.
+type JupyterServer struct {
+	ContainerID string
+	TunnelPort  int
+	Token       string
+}
+
+// Errors returned by edge operations.
+var (
+	ErrNoDevice       = errors.New("edge: device not found")
+	ErrNotConnected   = errors.New("edge: device is not connected")
+	ErrNotWhitelisted = errors.New("edge: project not in device whitelist")
+	ErrBusy           = errors.New("edge: device already runs a container")
+	ErrNoContainer    = errors.New("edge: container not found")
+	ErrConsole        = errors.New("edge: console error")
+)
+
+// Timing model for the zero-to-ready pathway (coarse but realistic values;
+// the benchmark only relies on their relative structure).
+const (
+	FlashTime     = 4 * time.Minute  // writing the SD card image
+	BootTime      = 45 * time.Second // Pi boot until the daemon connects
+	ImagePullBase = 20 * time.Second // registry round trips
+)
+
+// Hub is the CHI@Edge control plane. It is safe for concurrent use.
+type Hub struct {
+	mu         sync.Mutex
+	devices    map[string]*Device
+	containers map[string]*Container
+	byDevice   map[string]string    // deviceID -> containerID
+	lastSeen   map[string]time.Time // device heartbeats
+	nextID     int
+
+	// ImagePullRate is container-image bytes per second onto the device.
+	ImagePullRate float64
+}
+
+// NewHub creates an empty CHI@Edge control plane.
+func NewHub() *Hub {
+	return &Hub{
+		devices:       map[string]*Device{},
+		containers:    map[string]*Container{},
+		byDevice:      map[string]string{},
+		ImagePullRate: 6.25e6, // 50 Mbit/s onto the Pi
+	}
+}
+
+// RegisterDevice is the BYOD CLI step: it registers the device with the
+// testbed and returns the device record in the "registered" state.
+func (h *Hub) RegisterDevice(name, owner string) (*Device, error) {
+	if name == "" || owner == "" {
+		return nil, fmt.Errorf("edge: device name and owner required")
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.nextID++
+	d := &Device{
+		ID:        fmt.Sprintf("dev-%04d", h.nextID),
+		Name:      name,
+		Owner:     owner,
+		Arch:      "aarch64",
+		Status:    StatusRegistered,
+		Whitelist: map[string]bool{},
+	}
+	h.devices[d.ID] = d
+	return d, nil
+}
+
+// FlashImage configures and "writes" the SD-card image for the device.
+// It returns how long the flash takes.
+func (h *Hub) FlashImage(deviceID string) (time.Duration, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	d, ok := h.devices[deviceID]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrNoDevice, deviceID)
+	}
+	if d.Status != StatusRegistered && d.Status != StatusOffline {
+		return 0, fmt.Errorf("edge: device %s cannot be flashed in state %s", deviceID, d.Status)
+	}
+	d.Status = StatusFlashed
+	return FlashTime, nil
+}
+
+// Boot powers the device; its daemon connects it to the testbed. It
+// returns the boot-to-connected duration.
+func (h *Hub) Boot(deviceID string) (time.Duration, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	d, ok := h.devices[deviceID]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrNoDevice, deviceID)
+	}
+	if d.Status != StatusFlashed {
+		return 0, fmt.Errorf("edge: device %s cannot boot from state %s (flash first)", deviceID, d.Status)
+	}
+	d.Status = StatusConnected
+	return BootTime, nil
+}
+
+// SetOffline marks a device as disconnected (battery died, Wi-Fi drop).
+func (h *Hub) SetOffline(deviceID string) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	d, ok := h.devices[deviceID]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoDevice, deviceID)
+	}
+	d.Status = StatusOffline
+	delete(h.byDevice, deviceID)
+	return nil
+}
+
+// Whitelist grants a project access to the device (the daemon "configures
+// whitelist-based access policies").
+func (h *Hub) Whitelist(deviceID, projectID string) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	d, ok := h.devices[deviceID]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoDevice, deviceID)
+	}
+	d.Whitelist[projectID] = true
+	return nil
+}
+
+// Devices lists registered devices sorted by ID.
+func (h *Hub) Devices() []Device {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]Device, 0, len(h.devices))
+	for _, d := range h.devices {
+		cp := *d
+		cp.Whitelist = map[string]bool{}
+		for k, v := range d.Whitelist {
+			cp.Whitelist[k] = v
+		}
+		out = append(out, cp)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Device returns a snapshot of one device.
+func (h *Hub) Device(id string) (Device, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	d, ok := h.devices[id]
+	if !ok {
+		return Device{}, fmt.Errorf("%w: %q", ErrNoDevice, id)
+	}
+	return *d, nil
+}
+
+// LaunchContainer deploys an image (of the given size in bytes) onto a
+// connected, whitelisted device at virtual time now. One container per
+// device; the container is ready after the image pull completes.
+func (h *Hub) LaunchContainer(deviceID, projectID, image string, imageBytes int64, now time.Time) (*Container, error) {
+	if image == "" || imageBytes <= 0 {
+		return nil, fmt.Errorf("edge: image name and positive size required")
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	d, ok := h.devices[deviceID]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoDevice, deviceID)
+	}
+	if d.Status != StatusConnected {
+		return nil, fmt.Errorf("%w: %s is %s", ErrNotConnected, deviceID, d.Status)
+	}
+	if !d.Whitelist[projectID] {
+		return nil, fmt.Errorf("%w: %s on %s", ErrNotWhitelisted, projectID, deviceID)
+	}
+	if _, busy := h.byDevice[deviceID]; busy {
+		return nil, fmt.Errorf("%w: %s", ErrBusy, deviceID)
+	}
+	h.nextID++
+	pull := ImagePullBase + time.Duration(float64(imageBytes)/h.ImagePullRate*float64(time.Second))
+	c := &Container{
+		ID:       fmt.Sprintf("ctr-%04d", h.nextID),
+		DeviceID: deviceID,
+		Image:    image,
+		Project:  projectID,
+		ReadyAt:  now.Add(pull),
+	}
+	h.containers[c.ID] = c
+	h.byDevice[deviceID] = c.ID
+	return c, nil
+}
+
+// StopContainer removes a container, freeing its device.
+func (h *Hub) StopContainer(containerID string) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	c, ok := h.containers[containerID]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoContainer, containerID)
+	}
+	delete(h.containers, containerID)
+	delete(h.byDevice, c.DeviceID)
+	return nil
+}
+
+// StartJupyter launches the Basic Jupyter Server Appliance inside the
+// container and returns the SSH-tunnel endpoint a laptop would use.
+func (h *Hub) StartJupyter(containerID string) (*JupyterServer, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	c, ok := h.containers[containerID]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoContainer, containerID)
+	}
+	if c.jupyter != nil {
+		return c.jupyter, nil
+	}
+	h.nextID++
+	c.jupyter = &JupyterServer{
+		ContainerID: containerID,
+		TunnelPort:  8800 + h.nextID%100,
+		Token:       fmt.Sprintf("tok-%06d", h.nextID*7919%1000000),
+	}
+	return c.jupyter, nil
+}
+
+// Exec runs a command in the container's built-in console. The console
+// supports simple non-interactive commands; interactive text editors are
+// rejected, matching the paper's observation that "text editing is not
+// supported in the console at the present time".
+func (h *Hub) Exec(containerID, cmd string) (string, error) {
+	h.mu.Lock()
+	c, ok := h.containers[containerID]
+	h.mu.Unlock()
+	if !ok {
+		return "", fmt.Errorf("%w: %q", ErrNoContainer, containerID)
+	}
+	fields := strings.Fields(cmd)
+	if len(fields) == 0 {
+		return "", fmt.Errorf("%w: empty command", ErrConsole)
+	}
+	switch fields[0] {
+	case "vi", "vim", "nano", "emacs":
+		return "", fmt.Errorf("%w: text editing is not supported in the console", ErrConsole)
+	case "echo":
+		return strings.Join(fields[1:], " ") + "\n", nil
+	case "hostname":
+		return c.DeviceID + "\n", nil
+	case "uname":
+		return "Linux " + c.DeviceID + " aarch64\n", nil
+	case "ls":
+		return "data/\nmodels/\nmycar/\n", nil
+	case "python", "python3":
+		return "", nil // programs run silently; stdout modeling is out of scope
+	default:
+		return "", fmt.Errorf("%w: command not found: %s", ErrConsole, fields[0])
+	}
+}

@@ -1,0 +1,71 @@
+package edge
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// This file models the device daemon's heartbeat: connected devices check
+// in periodically; a device that misses its window is marked offline and
+// its container is reaped — the failure mode classes hit when a car's
+// battery dies mid-session.
+
+// HeartbeatWindow is how long a connected device may stay silent before
+// the control plane declares it offline.
+const HeartbeatWindow = 90 * time.Second
+
+// Heartbeat records a check-in from the device's daemon at virtual time
+// now.
+func (h *Hub) Heartbeat(deviceID string, now time.Time) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	d, ok := h.devices[deviceID]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoDevice, deviceID)
+	}
+	if d.Status != StatusConnected {
+		return fmt.Errorf("%w: %s is %s", ErrNotConnected, deviceID, d.Status)
+	}
+	if h.lastSeen == nil {
+		h.lastSeen = map[string]time.Time{}
+	}
+	h.lastSeen[deviceID] = now
+	return nil
+}
+
+// SweepHeartbeats marks devices silent for longer than HeartbeatWindow as
+// offline and reaps their containers, returning the IDs of devices taken
+// offline (sorted). Devices that have never heartbeated since connecting
+// are given the benefit of the doubt until their first window elapses from
+// the sweep that first observes them.
+func (h *Hub) SweepHeartbeats(now time.Time) []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.lastSeen == nil {
+		h.lastSeen = map[string]time.Time{}
+	}
+	var dropped []string
+	for id, d := range h.devices {
+		if d.Status != StatusConnected {
+			continue
+		}
+		seen, ok := h.lastSeen[id]
+		if !ok {
+			// First observation: start the clock now.
+			h.lastSeen[id] = now
+			continue
+		}
+		if now.Sub(seen) > HeartbeatWindow {
+			d.Status = StatusOffline
+			if ctr, busy := h.byDevice[id]; busy {
+				delete(h.containers, ctr)
+				delete(h.byDevice, id)
+			}
+			delete(h.lastSeen, id)
+			dropped = append(dropped, id)
+		}
+	}
+	sort.Strings(dropped)
+	return dropped
+}

@@ -1,0 +1,80 @@
+package edge
+
+import (
+	"fmt"
+	"time"
+)
+
+// ZeroToReadyStep is one stage of the paper's "zero to ready" configuration
+// pathway (§3.5): register → flash → boot → whitelist → launch container →
+// start Jupyter.
+type ZeroToReadyStep struct {
+	Name     string
+	Duration time.Duration
+}
+
+// ZeroToReadyResult is the full timeline of bringing a fresh car online.
+type ZeroToReadyResult struct {
+	Device    *Device
+	Container *Container
+	Jupyter   *JupyterServer
+	Steps     []ZeroToReadyStep
+	Total     time.Duration
+}
+
+// ZeroToReady runs the complete BYOD onboarding for one car: the paper's
+// "zero to ready configuration pathway with minimum time and effort",
+// triggered by "executing one cell in the corresponding Jupyter notebook".
+// imageBytes is the size of the AutoLearn Docker image (DonkeyCar deps +
+// Jupyter appliance).
+func (h *Hub) ZeroToReady(name, owner, projectID, image string, imageBytes int64, start time.Time) (*ZeroToReadyResult, error) {
+	res := &ZeroToReadyResult{}
+	add := func(step string, d time.Duration) {
+		res.Steps = append(res.Steps, ZeroToReadyStep{Name: step, Duration: d})
+		res.Total += d
+	}
+
+	dev, err := h.RegisterDevice(name, owner)
+	if err != nil {
+		return nil, fmt.Errorf("register: %w", err)
+	}
+	add("register", 5*time.Second)
+
+	flash, err := h.FlashImage(dev.ID)
+	if err != nil {
+		return nil, fmt.Errorf("flash: %w", err)
+	}
+	add("flash-sd", flash)
+
+	boot, err := h.Boot(dev.ID)
+	if err != nil {
+		return nil, fmt.Errorf("boot: %w", err)
+	}
+	add("boot", boot)
+
+	if err := h.Whitelist(dev.ID, projectID); err != nil {
+		return nil, fmt.Errorf("whitelist: %w", err)
+	}
+	add("whitelist", time.Second)
+
+	ctr, err := h.LaunchContainer(dev.ID, projectID, image, imageBytes, start.Add(res.Total))
+	if err != nil {
+		return nil, fmt.Errorf("launch: %w", err)
+	}
+	add("pull-and-start", ctr.ReadyAt.Sub(start.Add(res.Total)))
+
+	jup, err := h.StartJupyter(ctr.ID)
+	if err != nil {
+		return nil, fmt.Errorf("jupyter: %w", err)
+	}
+	add("jupyter", 8*time.Second)
+
+	snapshot, err := h.Device(dev.ID)
+	if err != nil {
+		return nil, err
+	}
+	res.Device = &snapshot
+	res.Container = ctr
+	res.Jupyter = jup
+	return res, nil
+}

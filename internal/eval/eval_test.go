@@ -1,0 +1,139 @@
+package eval
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/track"
+)
+
+func expertRun(t testing.TB, ticks int) (sim.SessionResult, *track.Track) {
+	t.Helper()
+	trk, err := track.DefaultOval()
+	if err != nil {
+		t.Fatal(err)
+	}
+	car, err := sim.NewCar(sim.DefaultCarConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cam, err := sim.NewCamera(sim.SmallCameraConfig(), trk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ses, err := sim.NewSession(sim.SessionConfig{Hz: 20, MaxTicks: ticks, OffTrackMargin: 0.1, ResetOnCrash: true},
+		car, cam, sim.NewPurePursuit(trk, car.Cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ses.Run(time.Unix(1_700_000_000, 0)), trk
+}
+
+func TestEvaluateExpertRun(t *testing.T) {
+	res, trk := expertRun(t, 2500)
+	r, err := Evaluate(res, trk, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Laps != res.Laps {
+		t.Errorf("laps %d != session %d", r.Laps, res.Laps)
+	}
+	if r.Laps < 2 {
+		t.Fatalf("expert completed only %d laps", r.Laps)
+	}
+	if len(r.LapTimes) != r.Laps {
+		t.Errorf("%d lap times for %d laps", len(r.LapTimes), r.Laps)
+	}
+	if r.BestLap <= 0 || r.MeanLap < r.BestLap {
+		t.Errorf("lap stats: best %v mean %v", r.BestLap, r.MeanLap)
+	}
+	if r.MaxLateral > trk.Width/2 {
+		t.Errorf("expert max lateral %g beyond lane", r.MaxLateral)
+	}
+	if r.RMSLateral <= 0 || r.RMSLateral > r.MaxLateral {
+		t.Errorf("RMS lateral %g vs max %g", r.RMSLateral, r.MaxLateral)
+	}
+	if r.MeanSpeed <= 0 || r.MaxSpeed < r.MeanSpeed {
+		t.Errorf("speed stats: mean %g max %g", r.MeanSpeed, r.MaxSpeed)
+	}
+	if r.SpeedConsistency < 0 || r.SpeedConsistency > 1 {
+		t.Errorf("speed consistency %g out of plausible range", r.SpeedConsistency)
+	}
+	if r.ErrorsPerLap != 0 {
+		t.Errorf("expert errors/lap %g", r.ErrorsPerLap)
+	}
+}
+
+func TestEvaluateValidation(t *testing.T) {
+	res, trk := expertRun(t, 50)
+	if _, err := Evaluate(res, nil, 20); err == nil {
+		t.Error("nil track accepted")
+	}
+	if _, err := Evaluate(res, trk, 0); err == nil {
+		t.Error("zero hz accepted")
+	}
+	empty, err := Evaluate(sim.SessionResult{}, trk, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty.Records != 0 || empty.MeanSpeed != 0 {
+		t.Errorf("empty run report %+v", empty)
+	}
+}
+
+func TestErrorsPerLapEdgeCases(t *testing.T) {
+	_, trk := expertRun(t, 10)
+	r, err := Evaluate(sim.SessionResult{Crashes: 3}, trk, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(r.ErrorsPerLap, 1) {
+		t.Errorf("crashes without laps: %g", r.ErrorsPerLap)
+	}
+}
+
+func TestFrontierPrefersFastClean(t *testing.T) {
+	fast := Report{MeanSpeed: 2.0, Crashes: 0}
+	slow := Report{MeanSpeed: 1.0, Crashes: 0}
+	fastCrashy := Report{MeanSpeed: 2.0, Crashes: 4}
+	if fast.Frontier() <= slow.Frontier() {
+		t.Error("faster clean run should score higher")
+	}
+	if fastCrashy.Frontier() >= slow.Frontier() {
+		t.Error("crashy run should score lower than clean slower run")
+	}
+}
+
+func TestBest(t *testing.T) {
+	rows := []Comparison{
+		{Name: "linear", Report: Report{MeanSpeed: 1.2, Crashes: 1}},
+		{Name: "inferred", Report: Report{MeanSpeed: 1.8, Crashes: 0}},
+		{Name: "rnn", Report: Report{MeanSpeed: 1.1, Crashes: 0}},
+	}
+	if got := Best(rows); got != 1 {
+		t.Errorf("Best = %d, want 1 (inferred)", got)
+	}
+	if got := Best(nil); got != -1 {
+		t.Errorf("Best(nil) = %d", got)
+	}
+}
+
+func TestLapTimesRoughlyConsistentForExpert(t *testing.T) {
+	res, trk := expertRun(t, 3500)
+	r, err := Evaluate(res, trk, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.LapTimes) < 2 {
+		t.Skip("need 2+ laps")
+	}
+	// Steady-state expert laps (after the first) should agree within 25%.
+	for i := 2; i < len(r.LapTimes); i++ {
+		a, b := r.LapTimes[i-1].Seconds(), r.LapTimes[i].Seconds()
+		if math.Abs(a-b)/math.Max(a, b) > 0.25 {
+			t.Errorf("laps %d and %d differ too much: %gs vs %gs", i-1, i, a, b)
+		}
+	}
+}

@@ -1,0 +1,202 @@
+// Package netem models the networks of the edge-to-cloud continuum: the
+// campus WAN between a car's Raspberry Pi and the Chameleon datacenter, the
+// SSH tunnel students use to reach the on-car Jupyter server, and the
+// FABRIC-style managed-latency links between Chameleon sites. It is a
+// deterministic virtual-time model: transfers and RPCs report how long they
+// would take rather than sleeping, so experiments are reproducible and fast.
+package netem
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Link describes one direction of a network path.
+type Link struct {
+	Name      string
+	Latency   time.Duration // one-way propagation delay
+	Bandwidth float64       // bytes per second
+	Jitter    time.Duration // stddev of latency noise
+	LossRate  float64       // packet loss probability in [0, 1)
+	MTU       int           // bytes per packet; 0 selects 1500
+}
+
+// Validate checks the link parameters.
+func (l Link) Validate() error {
+	switch {
+	case l.Latency < 0:
+		return fmt.Errorf("netem: negative latency")
+	case l.Bandwidth <= 0:
+		return fmt.Errorf("netem: bandwidth must be positive")
+	case l.LossRate < 0 || l.LossRate >= 1:
+		return fmt.Errorf("netem: loss rate must be in [0,1)")
+	case l.Jitter < 0:
+		return fmt.Errorf("netem: negative jitter")
+	case l.MTU < 0:
+		return fmt.Errorf("netem: negative MTU")
+	}
+	return nil
+}
+
+func (l Link) mtu() int {
+	if l.MTU == 0 {
+		return 1500
+	}
+	return l.MTU
+}
+
+// Stock link profiles used across the benchmarks.
+var (
+	// CampusWAN is a typical university-to-Chameleon path.
+	CampusWAN = Link{Name: "campus-wan", Latency: 20 * time.Millisecond,
+		Bandwidth: 12.5e6, Jitter: 2 * time.Millisecond, LossRate: 0.001} // 100 Mbit/s
+	// HomeBroadband is a student working from home.
+	HomeBroadband = Link{Name: "home-broadband", Latency: 35 * time.Millisecond,
+		Bandwidth: 3.125e6, Jitter: 6 * time.Millisecond, LossRate: 0.005} // 25 Mbit/s
+	// WiFiLocal is the car's Pi to a laptop on the same access point.
+	WiFiLocal = Link{Name: "wifi-local", Latency: 3 * time.Millisecond,
+		Bandwidth: 6.25e6, Jitter: 1 * time.Millisecond, LossRate: 0.002} // 50 Mbit/s
+	// FabricManaged is a FABRIC-style managed-latency site interconnect.
+	FabricManaged = Link{Name: "fabric", Latency: 8 * time.Millisecond,
+		Bandwidth: 125e6, Jitter: 200 * time.Microsecond, LossRate: 0} // 1 Gbit/s
+	// Loopback approximates in-node communication.
+	Loopback = Link{Name: "loopback", Latency: 50 * time.Microsecond,
+		Bandwidth: 1.25e9, Jitter: 0, LossRate: 0}
+)
+
+// WithLatency returns a copy of the link with a different propagation delay
+// (used by the placement sweep, which varies WAN latency).
+func (l Link) WithLatency(d time.Duration) Link {
+	l.Latency = d
+	return l
+}
+
+// Net simulates traffic over links with a seeded RNG for jitter and loss.
+// It is safe for concurrent use.
+type Net struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	// Totals for reporting.
+	bytesSent int64
+	transfers int
+	rpcs      int
+}
+
+// NewNet creates a network simulator with a deterministic seed.
+func NewNet(seed int64) *Net {
+	return &Net{rng: rand.New(rand.NewSource(seed))}
+}
+
+// sample returns latency with jitter noise, never negative.
+func (n *Net) sample(l Link) time.Duration {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	d := l.Latency
+	if l.Jitter > 0 {
+		d += time.Duration(n.rng.NormFloat64() * float64(l.Jitter))
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// lost draws a loss event.
+func (n *Net) lost(l Link) bool {
+	if l.LossRate <= 0 {
+		return false
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.rng.Float64() < l.LossRate
+}
+
+// TransferResult reports a completed bulk transfer.
+type TransferResult struct {
+	Bytes       int64
+	Duration    time.Duration
+	Retransmits int
+	Throughput  float64 // effective bytes/s
+}
+
+// Transfer models a bulk copy (the paper's "copy the training data using
+// rsync") of size bytes over the link: serialization time plus propagation,
+// with lost packets retransmitted.
+func (n *Net) Transfer(l Link, size int64) (TransferResult, error) {
+	if err := l.Validate(); err != nil {
+		return TransferResult{}, err
+	}
+	if size < 0 {
+		return TransferResult{}, fmt.Errorf("netem: negative transfer size")
+	}
+	mtu := int64(l.mtu())
+	packets := (size + mtu - 1) / mtu
+	if packets == 0 {
+		packets = 1
+	}
+	retrans := 0
+	if l.LossRate > 0 {
+		// Expected retransmissions with a deterministic draw per packet
+		// would be O(packets); approximate with the binomial mean plus
+		// sampled noise so big transfers stay O(1).
+		mean := float64(packets) * l.LossRate
+		n.mu.Lock()
+		noise := n.rng.NormFloat64() * math.Sqrt(mean*(1-l.LossRate))
+		n.mu.Unlock()
+		retrans = int(math.Max(0, math.Round(mean+noise)))
+	}
+	totalPackets := packets + int64(retrans)
+	serialize := time.Duration(float64(totalPackets*mtu) / l.Bandwidth * float64(time.Second))
+	// Each retransmission round adds one RTT of stall (coarse TCP model).
+	stall := time.Duration(retrans) * 2 * l.Latency / time.Duration(max64(1, packets/64+1))
+	dur := n.sample(l) + serialize + stall
+	n.mu.Lock()
+	n.bytesSent += size
+	n.transfers++
+	n.mu.Unlock()
+	tp := 0.0
+	if dur > 0 {
+		tp = float64(size) / dur.Seconds()
+	}
+	return TransferResult{Bytes: size, Duration: dur, Retransmits: retrans, Throughput: tp}, nil
+}
+
+// RTT models a small request/response exchange (an inference RPC): one
+// round trip plus serialization of both payloads, retrying on loss.
+func (n *Net) RTT(l Link, reqBytes, respBytes int) (time.Duration, error) {
+	if err := l.Validate(); err != nil {
+		return 0, err
+	}
+	if reqBytes < 0 || respBytes < 0 {
+		return 0, fmt.Errorf("netem: negative RPC size")
+	}
+	d := n.sample(l) + n.sample(l)
+	d += time.Duration(float64(reqBytes+respBytes) / l.Bandwidth * float64(time.Second))
+	// Loss forces a retry of the whole exchange.
+	for n.lost(l) {
+		d += n.sample(l)*2 + time.Duration(float64(reqBytes+respBytes)/l.Bandwidth*float64(time.Second))
+	}
+	n.mu.Lock()
+	n.rpcs++
+	n.bytesSent += int64(reqBytes + respBytes)
+	n.mu.Unlock()
+	return d, nil
+}
+
+// Stats reports cumulative traffic counters.
+func (n *Net) Stats() (bytesSent int64, transfers, rpcs int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.bytesSent, n.transfers, n.rpcs
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

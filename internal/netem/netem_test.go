@@ -1,0 +1,240 @@
+package netem
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestLinkValidate(t *testing.T) {
+	good := CampusWAN
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for name, l := range map[string]Link{
+		"neg latency":  {Latency: -1, Bandwidth: 1},
+		"no bandwidth": {Bandwidth: 0},
+		"loss 1":       {Bandwidth: 1, LossRate: 1},
+		"neg jitter":   {Bandwidth: 1, Jitter: -1},
+		"neg mtu":      {Bandwidth: 1, MTU: -5},
+	} {
+		if err := l.Validate(); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestStockProfilesValid(t *testing.T) {
+	for _, l := range []Link{CampusWAN, HomeBroadband, WiFiLocal, FabricManaged, Loopback} {
+		if err := l.Validate(); err != nil {
+			t.Errorf("%s: %v", l.Name, err)
+		}
+	}
+}
+
+func TestTransferScalesWithSize(t *testing.T) {
+	n := NewNet(1)
+	small, err := n.Transfer(CampusWAN, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := n.Transfer(CampusWAN, 100<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Duration <= small.Duration {
+		t.Errorf("100MB (%v) not slower than 1MB (%v)", big.Duration, small.Duration)
+	}
+	// 100 MB over 100 Mbit/s should take roughly 8s (allow wide margin for
+	// loss/jitter modeling).
+	if big.Duration < 6*time.Second || big.Duration > 14*time.Second {
+		t.Errorf("100MB over 100Mbit took %v, want ~8s", big.Duration)
+	}
+}
+
+func TestTransferFasterOnFasterLink(t *testing.T) {
+	n := NewNet(2)
+	slow, err := n.Transfer(HomeBroadband, 10<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := n.Transfer(FabricManaged, 10<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.Duration >= slow.Duration {
+		t.Errorf("fabric (%v) not faster than broadband (%v)", fast.Duration, slow.Duration)
+	}
+}
+
+func TestTransferRejectsNegative(t *testing.T) {
+	n := NewNet(3)
+	if _, err := n.Transfer(CampusWAN, -1); err == nil {
+		t.Error("negative size accepted")
+	}
+}
+
+func TestTransferZeroBytesStillHasLatency(t *testing.T) {
+	n := NewNet(4)
+	r, err := n.Transfer(Loopback, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Duration <= 0 {
+		t.Error("zero-byte transfer took no time")
+	}
+}
+
+func TestRTTDominatedByLatency(t *testing.T) {
+	n := NewNet(5)
+	d, err := n.RTT(CampusWAN.WithLatency(100*time.Millisecond), 1000, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d < 180*time.Millisecond {
+		t.Errorf("RTT %v, want >= ~2x latency", d)
+	}
+}
+
+func TestRTTRejectsNegativeSizes(t *testing.T) {
+	n := NewNet(6)
+	if _, err := n.RTT(CampusWAN, -1, 0); err == nil {
+		t.Error("negative request accepted")
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	run := func() time.Duration {
+		n := NewNet(42)
+		var total time.Duration
+		for i := 0; i < 50; i++ {
+			r, err := n.Transfer(HomeBroadband, 1<<18)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += r.Duration
+		}
+		return total
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("not deterministic: %v vs %v", a, b)
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	n := NewNet(7)
+	if _, err := n.Transfer(WiFiLocal, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.RTT(WiFiLocal, 10, 10); err != nil {
+		t.Fatal(err)
+	}
+	bytes, transfers, rpcs := n.Stats()
+	if bytes != 1020 || transfers != 1 || rpcs != 1 {
+		t.Errorf("stats = %d/%d/%d", bytes, transfers, rpcs)
+	}
+}
+
+// Property: transfer duration is monotone in size for a loss-free link.
+func TestTransferMonotoneProperty(t *testing.T) {
+	n := NewNet(8)
+	f := func(a, b uint32) bool {
+		sa, sb := int64(a%(1<<24)), int64(b%(1<<24))
+		if sa > sb {
+			sa, sb = sb, sa
+		}
+		ra, err := n.Transfer(FabricManaged, sa)
+		if err != nil {
+			return false
+		}
+		rb, err := n.Transfer(FabricManaged, sb)
+		if err != nil {
+			return false
+		}
+		// FabricManaged has no loss and tiny jitter; allow jitter slack.
+		return rb.Duration >= ra.Duration-2*time.Millisecond
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: higher latency never speeds up an RPC on a deterministic link.
+func TestRTTLatencyMonotoneProperty(t *testing.T) {
+	base := Link{Name: "det", Bandwidth: 1e9}
+	n := NewNet(9)
+	f := func(ms uint16) bool {
+		l1 := base.WithLatency(time.Duration(ms) * time.Millisecond)
+		l2 := base.WithLatency(time.Duration(ms)*time.Millisecond + time.Millisecond)
+		d1, err := n.RTT(l1, 100, 100)
+		if err != nil {
+			return false
+		}
+		d2, err := n.RTT(l2, 100, 100)
+		if err != nil {
+			return false
+		}
+		return d2 >= d1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPathFlatten(t *testing.T) {
+	p, err := NewPath("test", WiFiLocal, CampusWAN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := p.Flatten()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Latency != WiFiLocal.Latency+CampusWAN.Latency {
+		t.Errorf("latency %v", l.Latency)
+	}
+	// Bottleneck bandwidth is the Wi-Fi hop.
+	if l.Bandwidth != WiFiLocal.Bandwidth {
+		t.Errorf("bandwidth %g", l.Bandwidth)
+	}
+	// Compounded loss exceeds either hop's.
+	if l.LossRate <= WiFiLocal.LossRate || l.LossRate <= CampusWAN.LossRate {
+		t.Errorf("loss %g not compounded", l.LossRate)
+	}
+	if l.LossRate >= WiFiLocal.LossRate+CampusWAN.LossRate {
+		t.Errorf("loss %g exceeds union bound", l.LossRate)
+	}
+}
+
+func TestPathValidation(t *testing.T) {
+	if _, err := NewPath("empty"); err == nil {
+		t.Error("empty path accepted")
+	}
+	if _, err := NewPath("bad", Link{Bandwidth: 0}); err == nil {
+		t.Error("invalid hop accepted")
+	}
+}
+
+func TestCarToCloudSlowerThanAnyHop(t *testing.T) {
+	n := NewNet(11)
+	viaPath, err := n.TransferPath(CarToCloud(), 10<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := n.Transfer(FabricManaged, 10<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaPath.Duration <= direct.Duration {
+		t.Errorf("multi-hop (%v) not slower than the fastest hop (%v)", viaPath.Duration, direct.Duration)
+	}
+	d, err := n.RTTPath(CarToCloud(), 1000, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Allow for jitter draws below nominal: floor minus several sigmas.
+	floor := 2*(WiFiLocal.Latency+CampusWAN.Latency+FabricManaged.Latency) - 8*CampusWAN.Jitter
+	if d < floor {
+		t.Errorf("path RTT %v below propagation floor %v", d, floor)
+	}
+}

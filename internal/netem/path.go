@@ -1,0 +1,84 @@
+package netem
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Path is a multi-hop route: the car's Wi-Fi to the campus edge, the
+// campus WAN to the Chameleon site, a FABRIC interconnect between sites.
+// End-to-end latency is the sum of hop latencies; throughput is limited by
+// the narrowest hop; loss compounds across hops.
+type Path struct {
+	Name string
+	Hops []Link
+}
+
+// NewPath validates and assembles a route.
+func NewPath(name string, hops ...Link) (Path, error) {
+	if len(hops) == 0 {
+		return Path{}, fmt.Errorf("netem: path needs at least one hop")
+	}
+	for i, h := range hops {
+		if err := h.Validate(); err != nil {
+			return Path{}, fmt.Errorf("netem: hop %d (%s): %w", i, h.Name, err)
+		}
+	}
+	return Path{Name: name, Hops: hops}, nil
+}
+
+// Flatten collapses the path into an equivalent single link: summed
+// latency and jitter (in quadrature), bottleneck bandwidth, compounded
+// loss, and the smallest MTU.
+func (p Path) Flatten() (Link, error) {
+	if len(p.Hops) == 0 {
+		return Link{}, fmt.Errorf("netem: empty path")
+	}
+	out := Link{Name: p.Name, Bandwidth: p.Hops[0].Bandwidth, MTU: p.Hops[0].mtu()}
+	survive := 1.0
+	var jitterVar float64
+	for _, h := range p.Hops {
+		out.Latency += h.Latency
+		jitterVar += float64(h.Jitter) * float64(h.Jitter)
+		if h.Bandwidth < out.Bandwidth {
+			out.Bandwidth = h.Bandwidth
+		}
+		if h.mtu() < out.MTU {
+			out.MTU = h.mtu()
+		}
+		survive *= 1 - h.LossRate
+	}
+	out.LossRate = 1 - survive
+	out.Jitter = time.Duration(math.Sqrt(jitterVar))
+	return out, nil
+}
+
+// Transfer over a path flattens it first.
+func (n *Net) TransferPath(p Path, size int64) (TransferResult, error) {
+	l, err := p.Flatten()
+	if err != nil {
+		return TransferResult{}, err
+	}
+	return n.Transfer(l, size)
+}
+
+// RTTPath models a round trip over the whole route.
+func (n *Net) RTTPath(p Path, reqBytes, respBytes int) (time.Duration, error) {
+	l, err := p.Flatten()
+	if err != nil {
+		return 0, err
+	}
+	return n.RTT(l, reqBytes, respBytes)
+}
+
+// CarToCloud is the canonical AutoLearn route: the car's Wi-Fi, the campus
+// WAN, and the FABRIC hop into the Chameleon site.
+func CarToCloud() Path {
+	p, err := NewPath("car-to-cloud", WiFiLocal, CampusWAN, FabricManaged)
+	if err != nil {
+		// The stock links are valid by construction; this cannot happen.
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,126 @@
+package nn
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBatchNormValidation(t *testing.T) {
+	if _, err := NewBatchNorm(0); err == nil {
+		t.Error("zero features accepted")
+	}
+	bn, err := NewBatchNorm(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := NewTensor(2, 4) // wrong feature count
+	if _, err := bn.Forward(x, true); err == nil {
+		t.Error("feature mismatch accepted")
+	}
+	x3 := NewTensor(2, 3, 4)
+	if _, err := bn.Forward(x3, true); err == nil {
+		t.Error("3-D input accepted")
+	}
+}
+
+func TestBatchNormNormalizesTraining(t *testing.T) {
+	bn, err := NewBatchNorm(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := NewTensor(64, 2)
+	r := rng(5)
+	for i := 0; i < 64; i++ {
+		x.Data[i*2] = r.NormFloat64()*3 + 10 // feature 0: mean 10 std 3
+		x.Data[i*2+1] = r.NormFloat64()*0.1 - 4
+	}
+	y, err := bn.Forward(x, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := 0; f < 2; f++ {
+		var sum, sq float64
+		for i := 0; i < 64; i++ {
+			v := y.Data[i*2+f]
+			sum += v
+			sq += v * v
+		}
+		mean := sum / 64
+		variance := sq/64 - mean*mean
+		if math.Abs(mean) > 1e-9 {
+			t.Errorf("feature %d mean %g after BN", f, mean)
+		}
+		if math.Abs(variance-1) > 0.01 {
+			t.Errorf("feature %d variance %g after BN", f, variance)
+		}
+	}
+}
+
+func TestBatchNormEvalUsesRunningStats(t *testing.T) {
+	bn, err := NewBatchNorm(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Feed several training batches with mean 5 so the running mean moves.
+	x := NewTensor(32, 1)
+	x.Fill(5)
+	for i := 0; i < 100; i++ {
+		if _, err := bn.Forward(x, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Eval on the same constant input: output should be near
+	// (x - runMean)/runStd ≈ 0 because running mean ≈ 5.
+	y, err := bn.Forward(x, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(y.Data[0]) > 0.1 {
+		t.Errorf("eval output %g, want ~0 via running stats", y.Data[0])
+	}
+}
+
+func TestBatchNormGradCheck2D(t *testing.T) {
+	bn, err := NewBatchNorm(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := NewTensor(6, 3)
+	x.RandNormal(rng(6), 1)
+	gradCheck(t, bn, x, 1e-4)
+}
+
+func TestBatchNormGradCheck4D(t *testing.T) {
+	bn, err := NewBatchNorm(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := NewTensor(3, 2, 4, 4)
+	x.RandNormal(rng(7), 1)
+	gradCheck(t, bn, x, 1e-4)
+}
+
+func TestBatchNormInSequentialTrains(t *testing.T) {
+	r := rng(8)
+	n := 64
+	x := NewTensor(n, 3)
+	y := NewTensor(n, 1)
+	x.RandNormal(r, 5) // large-scale inputs that BN should tame
+	for i := 0; i < n; i++ {
+		y.Data[i] = x.Data[i*3]*0.2 - x.Data[i*3+2]*0.1
+	}
+	bn, err := NewBatchNorm(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := NewSequential(bn, NewDense(3, 8, r), &ReLU{}, NewDense(8, 1, r))
+	opt, _ := NewAdam(0.02)
+	h, err := Train(model, Dataset{X: x, Y: y}, MSE{}, opt,
+		TrainConfig{Epochs: 60, BatchSize: 16, ValFrac: 0, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.FinalTrainLoss() > 0.05 {
+		t.Errorf("BN model failed to fit: loss %g", h.FinalTrainLoss())
+	}
+}

@@ -1,0 +1,37 @@
+package nn_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/nn"
+)
+
+// Training a two-layer network on a toy regression with Adam.
+func ExampleTrain() {
+	rng := rand.New(rand.NewSource(1))
+	n := 64
+	x := nn.NewTensor(n, 1)
+	y := nn.NewTensor(n, 1)
+	for i := 0; i < n; i++ {
+		v := rng.Float64()*2 - 1
+		x.Data[i] = v
+		y.Data[i] = 2*v + 0.5
+	}
+	model := nn.NewSequential(
+		nn.NewDense(1, 8, rng), &nn.ReLU{},
+		nn.NewDense(8, 1, rng),
+	)
+	opt, err := nn.NewAdam(0.02)
+	if err != nil {
+		panic(err)
+	}
+	h, err := nn.Train(model, nn.Dataset{X: x, Y: y}, nn.MSE{}, opt,
+		nn.TrainConfig{Epochs: 60, BatchSize: 16, ValFrac: 0, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("loss under 0.01: %v\n", h.FinalTrainLoss() < 0.01)
+	// Output:
+	// loss under 0.01: true
+}

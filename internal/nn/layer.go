@@ -1,0 +1,279 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Param is a trainable tensor with its accumulated gradient. Frozen
+// params (e.g. batch-norm running statistics) are serialized with the
+// model but skipped by optimizers.
+type Param struct {
+	Name   string
+	W      *Tensor
+	Grad   *Tensor
+	Frozen bool
+}
+
+func newParam(name string, shape ...int) *Param {
+	return &Param{Name: name, W: NewTensor(shape...), Grad: NewTensor(shape...)}
+}
+
+// Layer is one differentiable stage. Forward caches whatever Backward
+// needs; Backward consumes the upstream gradient and returns the gradient
+// with respect to the layer input, accumulating parameter gradients.
+// Layers are not safe for concurrent use; the trainer drives them from one
+// goroutine (kernels parallelize internally).
+type Layer interface {
+	Forward(x *Tensor, train bool) (*Tensor, error)
+	Backward(grad *Tensor) (*Tensor, error)
+	Params() []*Param
+}
+
+// Dense is a fully connected layer: y = xW + b for x [N, in].
+type Dense struct {
+	In, Out int
+	w, b    *Param
+	lastX   *Tensor
+}
+
+// NewDense builds a dense layer with He-initialized weights.
+func NewDense(in, out int, rng *rand.Rand) *Dense {
+	d := &Dense{In: in, Out: out, w: newParam("w", in, out), b: newParam("b", 1, out)}
+	d.w.W.RandNormal(rng, math.Sqrt(2.0/float64(in)))
+	return d
+}
+
+// Forward implements Layer.
+func (d *Dense) Forward(x *Tensor, train bool) (*Tensor, error) {
+	if len(x.Shape) != 2 || x.Shape[1] != d.In {
+		return nil, fmt.Errorf("nn: dense expects [N,%d], got %v", d.In, x.Shape)
+	}
+	d.lastX = x
+	y, err := MatMul(x, d.w.W)
+	if err != nil {
+		return nil, err
+	}
+	n := x.Shape[0]
+	for i := 0; i < n; i++ {
+		row := y.Data[i*d.Out : (i+1)*d.Out]
+		for j := 0; j < d.Out; j++ {
+			row[j] += d.b.W.Data[j]
+		}
+	}
+	return y, nil
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(grad *Tensor) (*Tensor, error) {
+	if d.lastX == nil {
+		return nil, fmt.Errorf("nn: dense backward before forward")
+	}
+	// dW += xᵀ grad ; db += column sums ; dx = grad Wᵀ
+	dw, err := MatMulTransA(d.lastX, grad)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.w.Grad.AddScaled(dw, 1); err != nil {
+		return nil, err
+	}
+	n := grad.Shape[0]
+	for i := 0; i < n; i++ {
+		row := grad.Data[i*d.Out : (i+1)*d.Out]
+		for j := 0; j < d.Out; j++ {
+			d.b.Grad.Data[j] += row[j]
+		}
+	}
+	return MatMulTransB(grad, d.w.W)
+}
+
+// Params implements Layer.
+func (d *Dense) Params() []*Param { return []*Param{d.w, d.b} }
+
+// ReLU is the rectified-linear activation.
+type ReLU struct{ mask []bool }
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x *Tensor, train bool) (*Tensor, error) {
+	y := x.Clone()
+	if cap(r.mask) < len(y.Data) {
+		r.mask = make([]bool, len(y.Data))
+	}
+	r.mask = r.mask[:len(y.Data)]
+	for i, v := range y.Data {
+		if v < 0 {
+			y.Data[i] = 0
+			r.mask[i] = false
+		} else {
+			r.mask[i] = true
+		}
+	}
+	return y, nil
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(grad *Tensor) (*Tensor, error) {
+	if len(r.mask) != len(grad.Data) {
+		return nil, fmt.Errorf("nn: relu backward size mismatch")
+	}
+	g := grad.Clone()
+	for i := range g.Data {
+		if !r.mask[i] {
+			g.Data[i] = 0
+		}
+	}
+	return g, nil
+}
+
+// Params implements Layer.
+func (r *ReLU) Params() []*Param { return nil }
+
+// Tanh activation, used on steering heads to bound outputs to [-1, 1].
+type Tanh struct{ lastY *Tensor }
+
+// Forward implements Layer.
+func (t *Tanh) Forward(x *Tensor, train bool) (*Tensor, error) {
+	y := x.Clone()
+	for i, v := range y.Data {
+		y.Data[i] = math.Tanh(v)
+	}
+	t.lastY = y
+	return y, nil
+}
+
+// Backward implements Layer.
+func (t *Tanh) Backward(grad *Tensor) (*Tensor, error) {
+	if t.lastY == nil || len(t.lastY.Data) != len(grad.Data) {
+		return nil, fmt.Errorf("nn: tanh backward size mismatch")
+	}
+	g := grad.Clone()
+	for i := range g.Data {
+		y := t.lastY.Data[i]
+		g.Data[i] *= 1 - y*y
+	}
+	return g, nil
+}
+
+// Params implements Layer.
+func (t *Tanh) Params() []*Param { return nil }
+
+// Dropout zeroes a fraction of activations during training, scaling the
+// survivors (inverted dropout). It is the identity at inference time.
+type Dropout struct {
+	Rate float64
+	rng  *rand.Rand
+	mask []float64
+}
+
+// NewDropout builds a dropout layer with its own seeded RNG stream.
+func NewDropout(rate float64, rng *rand.Rand) (*Dropout, error) {
+	if rate < 0 || rate >= 1 {
+		return nil, fmt.Errorf("nn: dropout rate must be in [0,1), got %g", rate)
+	}
+	return &Dropout{Rate: rate, rng: rand.New(rand.NewSource(rng.Int63()))}, nil
+}
+
+// Forward implements Layer.
+func (d *Dropout) Forward(x *Tensor, train bool) (*Tensor, error) {
+	if !train || d.Rate == 0 {
+		d.mask = nil
+		return x, nil
+	}
+	y := x.Clone()
+	if cap(d.mask) < len(y.Data) {
+		d.mask = make([]float64, len(y.Data))
+	}
+	d.mask = d.mask[:len(y.Data)]
+	scale := 1 / (1 - d.Rate)
+	for i := range y.Data {
+		if d.rng.Float64() < d.Rate {
+			d.mask[i] = 0
+			y.Data[i] = 0
+		} else {
+			d.mask[i] = scale
+			y.Data[i] *= scale
+		}
+	}
+	return y, nil
+}
+
+// Backward implements Layer.
+func (d *Dropout) Backward(grad *Tensor) (*Tensor, error) {
+	if d.mask == nil {
+		return grad, nil
+	}
+	if len(d.mask) != len(grad.Data) {
+		return nil, fmt.Errorf("nn: dropout backward size mismatch")
+	}
+	g := grad.Clone()
+	for i := range g.Data {
+		g.Data[i] *= d.mask[i]
+	}
+	return g, nil
+}
+
+// Params implements Layer.
+func (d *Dropout) Params() []*Param { return nil }
+
+// Flatten reshapes [N, ...] to [N, prod(...)], remembering the input shape
+// for the backward pass.
+type Flatten struct{ lastShape []int }
+
+// Forward implements Layer.
+func (f *Flatten) Forward(x *Tensor, train bool) (*Tensor, error) {
+	if len(x.Shape) < 2 {
+		return nil, fmt.Errorf("nn: flatten needs at least 2 dims, got %v", x.Shape)
+	}
+	f.lastShape = append(f.lastShape[:0], x.Shape...)
+	n := x.Shape[0]
+	return x.Reshape(n, len(x.Data)/n)
+}
+
+// Backward implements Layer.
+func (f *Flatten) Backward(grad *Tensor) (*Tensor, error) {
+	return grad.Reshape(f.lastShape...)
+}
+
+// Params implements Layer.
+func (f *Flatten) Params() []*Param { return nil }
+
+// Sequential chains layers and implements the Model interface the trainer
+// consumes.
+type Sequential struct{ Layers []Layer }
+
+// NewSequential builds a model from layers in order.
+func NewSequential(layers ...Layer) *Sequential { return &Sequential{Layers: layers} }
+
+// Forward implements Model.
+func (s *Sequential) Forward(x *Tensor, train bool) (*Tensor, error) {
+	var err error
+	for i, l := range s.Layers {
+		x, err = l.Forward(x, train)
+		if err != nil {
+			return nil, fmt.Errorf("layer %d: %w", i, err)
+		}
+	}
+	return x, nil
+}
+
+// Backward implements Model.
+func (s *Sequential) Backward(grad *Tensor) error {
+	var err error
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		grad, err = s.Layers[i].Backward(grad)
+		if err != nil {
+			return fmt.Errorf("layer %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Params implements Model.
+func (s *Sequential) Params() []*Param {
+	var out []*Param
+	for _, l := range s.Layers {
+		out = append(out, l.Params()...)
+	}
+	return out
+}

@@ -1,0 +1,153 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// Optimizer updates parameters from their accumulated gradients and zeroes
+// the gradients afterwards.
+type Optimizer interface {
+	Step(params []*Param) error
+	Name() string
+}
+
+// LRScaler is implemented by optimizers whose learning rate can be decayed
+// between epochs (both SGD and Adam qualify).
+type LRScaler interface {
+	ScaleLR(factor float64)
+}
+
+// ScaleLR implements LRScaler.
+func (s *SGD) ScaleLR(factor float64) {
+	if factor > 0 {
+		s.LR *= factor
+	}
+}
+
+// ScaleLR implements LRScaler.
+func (a *Adam) ScaleLR(factor float64) {
+	if factor > 0 {
+		a.LR *= factor
+	}
+}
+
+// SGD is plain stochastic gradient descent with optional momentum.
+type SGD struct {
+	LR       float64
+	Momentum float64
+	vel      map[*Param]*Tensor
+}
+
+// NewSGD builds an SGD optimizer.
+func NewSGD(lr, momentum float64) (*SGD, error) {
+	if lr <= 0 {
+		return nil, fmt.Errorf("nn: learning rate must be positive")
+	}
+	if momentum < 0 || momentum >= 1 {
+		return nil, fmt.Errorf("nn: momentum must be in [0,1)")
+	}
+	return &SGD{LR: lr, Momentum: momentum, vel: map[*Param]*Tensor{}}, nil
+}
+
+// Name implements Optimizer.
+func (s *SGD) Name() string { return "sgd" }
+
+// Step implements Optimizer.
+func (s *SGD) Step(params []*Param) error {
+	for _, p := range params {
+		if p.Frozen {
+			p.Grad.Zero()
+			continue
+		}
+		if s.Momentum > 0 {
+			v, ok := s.vel[p]
+			if !ok {
+				v = NewTensor(p.W.Shape...)
+				s.vel[p] = v
+			}
+			for i := range v.Data {
+				v.Data[i] = s.Momentum*v.Data[i] - s.LR*p.Grad.Data[i]
+				p.W.Data[i] += v.Data[i]
+			}
+		} else {
+			for i := range p.W.Data {
+				p.W.Data[i] -= s.LR * p.Grad.Data[i]
+			}
+		}
+		p.Grad.Zero()
+	}
+	return nil
+}
+
+// Adam is the Adam optimizer (Kingma & Ba), the default DonkeyCar training
+// optimizer.
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+
+	t int
+	m map[*Param]*Tensor
+	v map[*Param]*Tensor
+}
+
+// NewAdam builds an Adam optimizer with the usual defaults for unset betas.
+func NewAdam(lr float64) (*Adam, error) {
+	if lr <= 0 {
+		return nil, fmt.Errorf("nn: learning rate must be positive")
+	}
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
+		m: map[*Param]*Tensor{}, v: map[*Param]*Tensor{}}, nil
+}
+
+// Name implements Optimizer.
+func (a *Adam) Name() string { return "adam" }
+
+// Step implements Optimizer.
+func (a *Adam) Step(params []*Param) error {
+	a.t++
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for _, p := range params {
+		if p.Frozen {
+			p.Grad.Zero()
+			continue
+		}
+		m, ok := a.m[p]
+		if !ok {
+			m = NewTensor(p.W.Shape...)
+			a.m[p] = m
+			a.v[p] = NewTensor(p.W.Shape...)
+		}
+		v := a.v[p]
+		for i := range p.W.Data {
+			g := p.Grad.Data[i]
+			m.Data[i] = a.Beta1*m.Data[i] + (1-a.Beta1)*g
+			v.Data[i] = a.Beta2*v.Data[i] + (1-a.Beta2)*g*g
+			mh := m.Data[i] / bc1
+			vh := v.Data[i] / bc2
+			p.W.Data[i] -= a.LR * mh / (math.Sqrt(vh) + a.Eps)
+		}
+		p.Grad.Zero()
+	}
+	return nil
+}
+
+// ClipGradients scales all gradients down so the global max-abs does not
+// exceed limit. Returns the pre-clip max.
+func ClipGradients(params []*Param, limit float64) float64 {
+	maxAbs := 0.0
+	for _, p := range params {
+		if m := p.Grad.MaxAbs(); m > maxAbs {
+			maxAbs = m
+		}
+	}
+	if limit > 0 && maxAbs > limit {
+		scale := limit / maxAbs
+		for _, p := range params {
+			for i := range p.Grad.Data {
+				p.Grad.Data[i] *= scale
+			}
+		}
+	}
+	return maxAbs
+}

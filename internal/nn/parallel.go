@@ -1,0 +1,57 @@
+package nn
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parallelThreshold is the approximate number of scalar operations below
+// which a kernel runs single-threaded; goroutine fan-out costs more than it
+// saves on tiny problems.
+const parallelThreshold = 1 << 16
+
+// maxWorkers caps kernel parallelism. Tests may lower it; 0 means
+// runtime.NumCPU().
+var maxWorkers = 0
+
+// SetMaxWorkers overrides the kernel worker count (0 restores the default
+// of NumCPU). It returns the previous setting so callers can restore it.
+func SetMaxWorkers(n int) int {
+	prev := maxWorkers
+	maxWorkers = n
+	return prev
+}
+
+// parallelFor splits the index range [0, n) into contiguous chunks and runs
+// work on each concurrently when the total op estimate justifies it.
+func parallelFor(n, opEstimate int, work func(i0, i1 int)) {
+	workers := maxWorkers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || opEstimate < parallelThreshold {
+		work(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		i0 := w * chunk
+		if i0 >= n {
+			break
+		}
+		i1 := i0 + chunk
+		if i1 > n {
+			i1 = n
+		}
+		wg.Add(1)
+		go func(a, b int) {
+			defer wg.Done()
+			work(a, b)
+		}(i0, i1)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,221 @@
+// Package nn is a from-scratch neural-network library standing in for the
+// Keras/TensorFlow stack DonkeyCar uses: dense tensors, convolutional and
+// recurrent layers, losses, SGD/Adam optimizers, a mini-batch trainer and
+// parameter serialization. It is deliberately CPU-only and deterministic
+// given a seed; multi-core parallelism is used inside the heavy kernels.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Tensor is a dense row-major float64 array with a shape.
+type Tensor struct {
+	Shape []int
+	Data  []float64
+}
+
+// NewTensor allocates a zeroed tensor of the given shape.
+func NewTensor(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d <= 0 {
+			panic(fmt.Sprintf("nn: invalid tensor dim %d in %v", d, shape))
+		}
+		n *= d
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: make([]float64, n)}
+}
+
+// FromSlice wraps data in a tensor of the given shape; the data is not
+// copied. The length must match the shape volume.
+func FromSlice(data []float64, shape ...int) (*Tensor, error) {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(data) {
+		return nil, fmt.Errorf("nn: data length %d does not match shape %v", len(data), shape)
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: data}, nil
+}
+
+// Size returns the number of elements.
+func (t *Tensor) Size() int { return len(t.Data) }
+
+// Dim returns the i-th shape dimension.
+func (t *Tensor) Dim(i int) int { return t.Shape[i] }
+
+// Clone deep-copies the tensor.
+func (t *Tensor) Clone() *Tensor {
+	out := &Tensor{Shape: append([]int(nil), t.Shape...), Data: make([]float64, len(t.Data))}
+	copy(out.Data, t.Data)
+	return out
+}
+
+// Reshape returns a view with a new shape of equal volume.
+func (t *Tensor) Reshape(shape ...int) (*Tensor, error) {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(t.Data) {
+		return nil, fmt.Errorf("nn: cannot reshape %v (%d elems) to %v", t.Shape, len(t.Data), shape)
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: t.Data}, nil
+}
+
+// Zero resets all elements to 0 in place.
+func (t *Tensor) Zero() {
+	for i := range t.Data {
+		t.Data[i] = 0
+	}
+}
+
+// Fill sets all elements to v.
+func (t *Tensor) Fill(v float64) {
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+}
+
+// RandNormal fills the tensor with N(0, std) noise from rng.
+func (t *Tensor) RandNormal(rng *rand.Rand, std float64) {
+	for i := range t.Data {
+		t.Data[i] = rng.NormFloat64() * std
+	}
+}
+
+// SameShape reports whether two tensors have identical shapes.
+func (t *Tensor) SameShape(o *Tensor) bool {
+	if len(t.Shape) != len(o.Shape) {
+		return false
+	}
+	for i := range t.Shape {
+		if t.Shape[i] != o.Shape[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// AddScaled adds alpha*o element-wise into t.
+func (t *Tensor) AddScaled(o *Tensor, alpha float64) error {
+	if len(t.Data) != len(o.Data) {
+		return fmt.Errorf("nn: AddScaled size mismatch %d vs %d", len(t.Data), len(o.Data))
+	}
+	for i := range t.Data {
+		t.Data[i] += alpha * o.Data[i]
+	}
+	return nil
+}
+
+// MaxAbs returns the largest absolute element, 0 for empty tensors.
+func (t *Tensor) MaxAbs() float64 {
+	m := 0.0
+	for _, v := range t.Data {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// MatMul computes C = A×B for 2-D tensors A [m,k] and B [k,n], writing into
+// a new tensor. The inner loops are cache-friendly (ikj order) and the rows
+// of A are processed in parallel for large products.
+func MatMul(a, b *Tensor) (*Tensor, error) {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 {
+		return nil, fmt.Errorf("nn: MatMul needs 2-D tensors, got %v × %v", a.Shape, b.Shape)
+	}
+	m, k := a.Shape[0], a.Shape[1]
+	k2, n := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		return nil, fmt.Errorf("nn: MatMul inner dims %d vs %d", k, k2)
+	}
+	c := NewTensor(m, n)
+	matMulInto(a.Data, b.Data, c.Data, m, k, n)
+	return c, nil
+}
+
+// matMulInto computes c += a×b on raw row-major buffers (c must be zeroed
+// by the caller if accumulation is not desired; NewTensor zeroes).
+func matMulInto(a, b, c []float64, m, k, n int) {
+	work := func(i0, i1 int) {
+		for i := i0; i < i1; i++ {
+			ai := a[i*k : (i+1)*k]
+			ci := c[i*n : (i+1)*n]
+			for p := 0; p < k; p++ {
+				av := ai[p]
+				if av == 0 {
+					continue
+				}
+				bp := b[p*n : (p+1)*n]
+				for j := 0; j < n; j++ {
+					ci[j] += av * bp[j]
+				}
+			}
+		}
+	}
+	parallelFor(m, m*k*n, work)
+}
+
+// MatMulTransA computes C = Aᵀ×B for A [k,m], B [k,n] → C [m,n].
+func MatMulTransA(a, b *Tensor) (*Tensor, error) {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 {
+		return nil, fmt.Errorf("nn: MatMulTransA needs 2-D tensors")
+	}
+	k, m := a.Shape[0], a.Shape[1]
+	k2, n := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		return nil, fmt.Errorf("nn: MatMulTransA inner dims %d vs %d", k, k2)
+	}
+	c := NewTensor(m, n)
+	// c[i,j] = sum_p a[p,i] * b[p,j]
+	for p := 0; p < k; p++ {
+		ap := a.Data[p*m : (p+1)*m]
+		bp := b.Data[p*n : (p+1)*n]
+		for i := 0; i < m; i++ {
+			av := ap[i]
+			if av == 0 {
+				continue
+			}
+			ci := c.Data[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				ci[j] += av * bp[j]
+			}
+		}
+	}
+	return c, nil
+}
+
+// MatMulTransB computes C = A×Bᵀ for A [m,k], B [n,k] → C [m,n].
+func MatMulTransB(a, b *Tensor) (*Tensor, error) {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 {
+		return nil, fmt.Errorf("nn: MatMulTransB needs 2-D tensors")
+	}
+	m, k := a.Shape[0], a.Shape[1]
+	n, k2 := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		return nil, fmt.Errorf("nn: MatMulTransB inner dims %d vs %d", k, k2)
+	}
+	c := NewTensor(m, n)
+	work := func(i0, i1 int) {
+		for i := i0; i < i1; i++ {
+			ai := a.Data[i*k : (i+1)*k]
+			ci := c.Data[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				bj := b.Data[j*k : (j+1)*k]
+				var s float64
+				for p := 0; p < k; p++ {
+					s += ai[p] * bj[p]
+				}
+				ci[j] = s
+			}
+		}
+	}
+	parallelFor(m, m*k*n, work)
+	return c, nil
+}

@@ -1,0 +1,257 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Model is anything trainable by the Trainer: sequential stacks and the
+// recurrent composites both satisfy it.
+type Model interface {
+	Forward(x *Tensor, train bool) (*Tensor, error)
+	Backward(grad *Tensor) error
+	Params() []*Param
+}
+
+// Dataset is a supervised set of examples: X is [N, ...], Y is [N, D].
+type Dataset struct {
+	X, Y *Tensor
+}
+
+// Len returns the number of examples.
+func (d Dataset) Len() int {
+	if d.X == nil {
+		return 0
+	}
+	return d.X.Shape[0]
+}
+
+// Validate checks the two tensors agree on N.
+func (d Dataset) Validate() error {
+	if d.X == nil || d.Y == nil {
+		return fmt.Errorf("nn: dataset missing X or Y")
+	}
+	if d.X.Shape[0] != d.Y.Shape[0] {
+		return fmt.Errorf("nn: dataset X has %d rows, Y has %d", d.X.Shape[0], d.Y.Shape[0])
+	}
+	return nil
+}
+
+// rowVol returns the volume of one example of t (all dims but the first).
+func rowVol(t *Tensor) int {
+	v := 1
+	for _, d := range t.Shape[1:] {
+		v *= d
+	}
+	return v
+}
+
+// Subset copies the selected example indexes into a new dataset. An empty
+// index list yields an empty dataset (Len() == 0).
+func (d Dataset) Subset(idx []int) Dataset {
+	if len(idx) == 0 {
+		return Dataset{}
+	}
+	xv, yv := rowVol(d.X), rowVol(d.Y)
+	xs := append([]int{len(idx)}, d.X.Shape[1:]...)
+	ys := append([]int{len(idx)}, d.Y.Shape[1:]...)
+	out := Dataset{X: NewTensor(xs...), Y: NewTensor(ys...)}
+	for i, j := range idx {
+		copy(out.X.Data[i*xv:(i+1)*xv], d.X.Data[j*xv:(j+1)*xv])
+		copy(out.Y.Data[i*yv:(i+1)*yv], d.Y.Data[j*yv:(j+1)*yv])
+	}
+	return out
+}
+
+// Split divides the dataset into train and validation parts after a seeded
+// shuffle, with valFrac of examples going to validation.
+func (d Dataset) Split(valFrac float64, seed int64) (train, val Dataset, err error) {
+	if err := d.Validate(); err != nil {
+		return Dataset{}, Dataset{}, err
+	}
+	if valFrac < 0 || valFrac >= 1 {
+		return Dataset{}, Dataset{}, fmt.Errorf("nn: valFrac must be in [0,1), got %g", valFrac)
+	}
+	n := d.Len()
+	idx := rand.New(rand.NewSource(seed)).Perm(n)
+	nv := int(float64(n) * valFrac)
+	return d.Subset(idx[nv:]), d.Subset(idx[:nv]), nil
+}
+
+// TrainConfig controls a training run.
+type TrainConfig struct {
+	Epochs    int
+	BatchSize int
+	ValFrac   float64 // fraction of data held out for validation
+	Seed      int64
+	ClipGrad  float64 // 0 disables clipping
+	// Patience stops training after this many epochs without val-loss
+	// improvement (0 disables early stopping, matching DonkeyCar's
+	// EarlyStopping(patience=5) default when set to 5).
+	Patience int
+	// LRDecay multiplies the optimizer's learning rate after each epoch
+	// (0 or 1 disables; 0.9 is a gentle step decay). Requires an optimizer
+	// implementing LRScaler; others ignore it silently.
+	LRDecay float64
+	// Verbose emits one line per epoch via the Logf callback.
+	Logf func(format string, args ...any)
+}
+
+// DefaultTrainConfig mirrors DonkeyCar's training defaults at small scale.
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{Epochs: 10, BatchSize: 32, ValFrac: 0.2, Seed: 1, ClipGrad: 5, Patience: 5}
+}
+
+// EpochStats records one epoch of training.
+type EpochStats struct {
+	Epoch     int
+	TrainLoss float64
+	ValLoss   float64
+}
+
+// History is the result of a training run.
+type History struct {
+	Epochs      []EpochStats
+	BestValLoss float64
+	BestEpoch   int
+	Stopped     bool // true if early stopping fired
+	WallTime    time.Duration
+	SamplesSeen int
+	ParamCount  int
+}
+
+// FinalTrainLoss returns the last epoch's training loss (NaN if empty).
+func (h History) FinalTrainLoss() float64 {
+	if len(h.Epochs) == 0 {
+		return math.NaN()
+	}
+	return h.Epochs[len(h.Epochs)-1].TrainLoss
+}
+
+// ParamCount sums the number of scalar parameters of a model.
+func ParamCount(m Model) int {
+	n := 0
+	for _, p := range m.Params() {
+		n += p.W.Size()
+	}
+	return n
+}
+
+// Train runs mini-batch training of model on data with the given loss and
+// optimizer. It is deterministic for a fixed config seed.
+func Train(model Model, data Dataset, loss Loss, opt Optimizer, cfg TrainConfig) (History, error) {
+	start := time.Now()
+	h := History{BestValLoss: math.Inf(1), ParamCount: ParamCount(model)}
+	if cfg.Epochs <= 0 || cfg.BatchSize <= 0 {
+		return h, fmt.Errorf("nn: epochs and batch size must be positive")
+	}
+	train, val, err := data.Split(cfg.ValFrac, cfg.Seed)
+	if err != nil {
+		return h, err
+	}
+	if train.Len() == 0 {
+		return h, fmt.Errorf("nn: empty training set")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	sinceBest := 0
+
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		idx := rng.Perm(train.Len())
+		var epochLoss float64
+		var batches int
+		for b := 0; b < len(idx); b += cfg.BatchSize {
+			hi := b + cfg.BatchSize
+			if hi > len(idx) {
+				hi = len(idx)
+			}
+			batch := train.Subset(idx[b:hi])
+			pred, err := model.Forward(batch.X, true)
+			if err != nil {
+				return h, fmt.Errorf("nn: epoch %d forward: %w", epoch, err)
+			}
+			l, grad, err := loss.Loss(pred, batch.Y)
+			if err != nil {
+				return h, fmt.Errorf("nn: epoch %d loss: %w", epoch, err)
+			}
+			if err := model.Backward(grad); err != nil {
+				return h, fmt.Errorf("nn: epoch %d backward: %w", epoch, err)
+			}
+			if cfg.ClipGrad > 0 {
+				ClipGradients(model.Params(), cfg.ClipGrad)
+			}
+			if err := opt.Step(model.Params()); err != nil {
+				return h, err
+			}
+			epochLoss += l
+			batches++
+			h.SamplesSeen += hi - b
+		}
+		stats := EpochStats{Epoch: epoch, TrainLoss: epochLoss / float64(batches), ValLoss: math.NaN()}
+		if val.Len() > 0 {
+			vl, err := Evaluate(model, val, loss, cfg.BatchSize)
+			if err != nil {
+				return h, err
+			}
+			stats.ValLoss = vl
+			if vl < h.BestValLoss {
+				h.BestValLoss = vl
+				h.BestEpoch = epoch
+				sinceBest = 0
+			} else {
+				sinceBest++
+			}
+		}
+		h.Epochs = append(h.Epochs, stats)
+		if cfg.Logf != nil {
+			cfg.Logf("epoch %d: train %.5f val %.5f", epoch, stats.TrainLoss, stats.ValLoss)
+		}
+		if cfg.Patience > 0 && sinceBest >= cfg.Patience {
+			h.Stopped = true
+			break
+		}
+		if cfg.LRDecay > 0 && cfg.LRDecay != 1 {
+			if sc, ok := opt.(LRScaler); ok {
+				sc.ScaleLR(cfg.LRDecay)
+			}
+		}
+	}
+	h.WallTime = time.Since(start)
+	return h, nil
+}
+
+// Evaluate computes the mean loss of model over data without training.
+func Evaluate(model Model, data Dataset, loss Loss, batchSize int) (float64, error) {
+	if err := data.Validate(); err != nil {
+		return 0, err
+	}
+	if batchSize <= 0 {
+		batchSize = 32
+	}
+	n := data.Len()
+	var total float64
+	var batches int
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	for b := 0; b < n; b += batchSize {
+		hi := b + batchSize
+		if hi > n {
+			hi = n
+		}
+		batch := data.Subset(idx[b:hi])
+		pred, err := model.Forward(batch.X, false)
+		if err != nil {
+			return 0, err
+		}
+		l, _, err := loss.Loss(pred, batch.Y)
+		if err != nil {
+			return 0, err
+		}
+		total += l
+		batches++
+	}
+	return total / float64(batches), nil
+}

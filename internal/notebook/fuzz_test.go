@@ -1,0 +1,17 @@
+package notebook
+
+import "testing"
+
+// FuzzImport hardens the notebook JSON import: arbitrary bytes must only
+// error, never panic.
+func FuzzImport(f *testing.F) {
+	f.Add([]byte(`{"name":"x","cells":[{"kind":"markdown","source":"hi"}]}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		nb, err := Import(data)
+		if err == nil && nb.Name == "" {
+			t.Error("import accepted a notebook with no name")
+		}
+	})
+}

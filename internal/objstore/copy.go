@@ -1,0 +1,56 @@
+package objstore
+
+import (
+	"fmt"
+)
+
+// Copy duplicates an object, preserving content and metadata — the
+// server-side copy Swift exposes, used when course staff promote a
+// student's model into the shared pre-trained collection.
+func (s *Store) Copy(srcContainer, srcName, dstContainer, dstName string) (ObjectInfo, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	src, err := s.lookup(srcContainer, srcName)
+	if err != nil {
+		return ObjectInfo{}, err
+	}
+	dst, ok := s.containers[dstContainer]
+	if !ok {
+		return ObjectInfo{}, fmt.Errorf("%w: %q", ErrNoContainer, dstContainer)
+	}
+	if !validName(dstName) {
+		return ObjectInfo{}, fmt.Errorf("%w: %q", ErrBadName, dstName)
+	}
+	data := make([]byte, len(src.data))
+	copy(data, src.data)
+	meta := map[string]string{}
+	for k, v := range src.info.Metadata {
+		meta[k] = v
+	}
+	info := src.info
+	info.Name = dstName
+	info.Metadata = meta
+	info.LastModified = s.clock()
+	dst[dstName] = &object{data: data, info: info}
+	return info, nil
+}
+
+// UpdateMetadata merges keys into an object's metadata without touching
+// its content (empty values delete keys).
+func (s *Store) UpdateMetadata(container, name string, meta map[string]string) (ObjectInfo, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	o, err := s.lookup(container, name)
+	if err != nil {
+		return ObjectInfo{}, err
+	}
+	for k, v := range meta {
+		if v == "" {
+			delete(o.info.Metadata, k)
+		} else {
+			o.info.Metadata[k] = v
+		}
+	}
+	o.info.LastModified = s.clock()
+	return o.info, nil
+}

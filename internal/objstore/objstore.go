@@ -1,0 +1,234 @@
+// Package objstore emulates Chameleon's Swift-compatible object store
+// (§3.5 "Chameleon's Object Store"), where AutoLearn keeps its sample
+// datasets and pre-trained models for the "mix and match" pathway:
+// containers of named objects with ETags, metadata, listing, and range
+// reads. The store is in-memory and safe for concurrent use.
+package objstore
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Errors returned by store operations.
+var (
+	ErrNoContainer = errors.New("objstore: container not found")
+	ErrNoObject    = errors.New("objstore: object not found")
+	ErrExists      = errors.New("objstore: container already exists")
+	ErrBadName     = errors.New("objstore: invalid name")
+)
+
+// ObjectInfo describes a stored object.
+type ObjectInfo struct {
+	Name         string
+	Size         int64
+	ETag         string
+	LastModified time.Time
+	Metadata     map[string]string
+}
+
+type object struct {
+	data []byte
+	info ObjectInfo
+}
+
+// Store is a multi-container object store.
+type Store struct {
+	mu         sync.RWMutex
+	containers map[string]map[string]*object
+	clock      func() time.Time
+}
+
+// New creates an empty store. The clock may be overridden for
+// deterministic tests via SetClock.
+func New() *Store {
+	return &Store{containers: map[string]map[string]*object{}, clock: time.Now}
+}
+
+// SetClock replaces the timestamp source (tests use a fixed clock).
+func (s *Store) SetClock(fn func() time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.clock = fn
+}
+
+func validName(n string) bool {
+	return n != "" && !strings.ContainsAny(n, "\x00\n") && len(n) <= 256
+}
+
+// CreateContainer makes a new, empty container.
+func (s *Store) CreateContainer(name string) error {
+	if !validName(name) {
+		return fmt.Errorf("%w: %q", ErrBadName, name)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.containers[name]; ok {
+		return fmt.Errorf("%w: %q", ErrExists, name)
+	}
+	s.containers[name] = map[string]*object{}
+	return nil
+}
+
+// DeleteContainer removes a container and everything in it.
+func (s *Store) DeleteContainer(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.containers[name]; !ok {
+		return fmt.Errorf("%w: %q", ErrNoContainer, name)
+	}
+	delete(s.containers, name)
+	return nil
+}
+
+// Containers lists container names in sorted order.
+func (s *Store) Containers() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.containers))
+	for n := range s.containers {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Put stores an object (overwriting any previous version) and returns its
+// info. Data is copied.
+func (s *Store) Put(container, name string, data []byte, meta map[string]string) (ObjectInfo, error) {
+	if !validName(name) {
+		return ObjectInfo{}, fmt.Errorf("%w: %q", ErrBadName, name)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.containers[container]
+	if !ok {
+		return ObjectInfo{}, fmt.Errorf("%w: %q", ErrNoContainer, container)
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	sum := sha256.Sum256(cp)
+	m := map[string]string{}
+	for k, v := range meta {
+		m[k] = v
+	}
+	info := ObjectInfo{
+		Name:         name,
+		Size:         int64(len(cp)),
+		ETag:         hex.EncodeToString(sum[:16]),
+		LastModified: s.clock(),
+		Metadata:     m,
+	}
+	c[name] = &object{data: cp, info: info}
+	return info, nil
+}
+
+// Get returns a copy of the object's bytes and its info.
+func (s *Store) Get(container, name string) ([]byte, ObjectInfo, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	o, err := s.lookup(container, name)
+	if err != nil {
+		return nil, ObjectInfo{}, err
+	}
+	cp := make([]byte, len(o.data))
+	copy(cp, o.data)
+	return cp, o.info, nil
+}
+
+// GetRange returns bytes [off, off+n) of the object, truncated at the end.
+func (s *Store) GetRange(container, name string, off, n int64) ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	o, err := s.lookup(container, name)
+	if err != nil {
+		return nil, err
+	}
+	if off < 0 || n < 0 {
+		return nil, fmt.Errorf("objstore: negative range")
+	}
+	if off >= int64(len(o.data)) {
+		return []byte{}, nil
+	}
+	end := off + n
+	if end > int64(len(o.data)) {
+		end = int64(len(o.data))
+	}
+	cp := make([]byte, end-off)
+	copy(cp, o.data[off:end])
+	return cp, nil
+}
+
+// Head returns object info without the body.
+func (s *Store) Head(container, name string) (ObjectInfo, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	o, err := s.lookup(container, name)
+	if err != nil {
+		return ObjectInfo{}, err
+	}
+	return o.info, nil
+}
+
+// Delete removes an object.
+func (s *Store) Delete(container, name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.containers[container]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoContainer, container)
+	}
+	if _, ok := c[name]; !ok {
+		return fmt.Errorf("%w: %s/%s", ErrNoObject, container, name)
+	}
+	delete(c, name)
+	return nil
+}
+
+// List returns infos for objects in a container whose names start with
+// prefix, sorted by name.
+func (s *Store) List(container, prefix string) ([]ObjectInfo, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c, ok := s.containers[container]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoContainer, container)
+	}
+	var out []ObjectInfo
+	for n, o := range c {
+		if strings.HasPrefix(n, prefix) {
+			out = append(out, o.info)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// TotalBytes sums object sizes in a container (0 for missing containers).
+func (s *Store) TotalBytes(container string) int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var total int64
+	for _, o := range s.containers[container] {
+		total += o.info.Size
+	}
+	return total
+}
+
+func (s *Store) lookup(container, name string) (*object, error) {
+	c, ok := s.containers[container]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoContainer, container)
+	}
+	o, ok := c[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s/%s", ErrNoObject, container, name)
+	}
+	return o, nil
+}

@@ -1,0 +1,88 @@
+package pilot
+
+import (
+	"fmt"
+
+	"repro/internal/nn"
+)
+
+// DistillConfig shrinks a teacher pilot's architecture for the on-car half
+// of a hybrid deployment (§3.3 "constructing hybrid edge cloud inference
+// models"): the student keeps the teacher's input geometry but divides the
+// encoder widths.
+type DistillConfig struct {
+	// Shrink divides ConvFilters1/2 and DenseUnits (minimum 1 each).
+	Shrink int
+	// Epochs and BatchSize for the distillation fit.
+	Train nn.TrainConfig
+}
+
+// DefaultDistillConfig matches the placement model's 8x shrink.
+func DefaultDistillConfig() DistillConfig {
+	return DistillConfig{
+		Shrink: 8,
+		Train:  nn.TrainConfig{Epochs: 6, BatchSize: 32, ValFrac: 0.1, Seed: 5, ClipGrad: 5},
+	}
+}
+
+// StudentConfig derives the shrunk architecture from a teacher's config.
+func (d DistillConfig) StudentConfig(teacher Config) (Config, error) {
+	if d.Shrink < 2 {
+		return Config{}, fmt.Errorf("pilot: distill shrink must be >= 2")
+	}
+	s := teacher
+	div := func(v int) int {
+		out := v / d.Shrink
+		if out < 1 {
+			return 1
+		}
+		return out
+	}
+	s.ConvFilters1 = div(teacher.ConvFilters1)
+	s.ConvFilters2 = div(teacher.ConvFilters2)
+	s.DenseUnits = div(teacher.DenseUnits)
+	s.Seed = teacher.Seed + 1000
+	return s, nil
+}
+
+// Distill trains a shrunk student to imitate the teacher: the student fits
+// the teacher's *outputs* on the given frames (soft targets), which is how
+// the hybrid deployment gets its fast on-car model. Only continuous-output
+// kinds (linear, inferred, memory, rnn, 3d) are supported; categorical
+// teachers should distill through their decoded outputs via a Linear
+// student instead.
+func Distill(teacher *Pilot, samples []Sample, cfg DistillConfig) (*Pilot, nn.History, error) {
+	if teacher == nil {
+		return nil, nn.History{}, fmt.Errorf("pilot: nil teacher")
+	}
+	if teacher.Cfg.Kind == Categorical {
+		return nil, nn.History{}, fmt.Errorf("pilot: distill a categorical teacher through a linear student")
+	}
+	if len(samples) == 0 {
+		return nil, nn.History{}, fmt.Errorf("pilot: no samples to distill on")
+	}
+	studentCfg, err := cfg.StudentConfig(teacher.Cfg)
+	if err != nil {
+		return nil, nn.History{}, err
+	}
+	student, err := New(studentCfg)
+	if err != nil {
+		return nil, nn.History{}, err
+	}
+	// Relabel the samples with the teacher's outputs.
+	soft := make([]Sample, len(samples))
+	for i, s := range samples {
+		angle, throttle, err := teacher.Infer(s)
+		if err != nil {
+			return nil, nn.History{}, fmt.Errorf("pilot: teacher inference on sample %d: %w", i, err)
+		}
+		soft[i] = s
+		soft[i].Angle = angle
+		soft[i].Throttle = throttle
+	}
+	hist, err := student.Train(soft, cfg.Train)
+	if err != nil {
+		return nil, nn.History{}, err
+	}
+	return student, hist, nil
+}

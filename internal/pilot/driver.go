@@ -1,0 +1,101 @@
+package pilot
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// AutoDriver adapts a trained Pilot to the simulator's FrameDriver
+// interface, maintaining the rolling frame window and command history that
+// the sequence and memory pilots need. This is the "download the trained
+// model onto the car for inference" step of the paper's model-evaluation
+// phase.
+type AutoDriver struct {
+	Pilot *Pilot
+
+	// ThrottleScale lets evaluations derate throttle (students often run
+	// trained models slower than the training data). 0 means 1.0.
+	ThrottleScale float64
+
+	mu       sync.Mutex
+	frames   []*sim.Frame
+	prevCmds [][2]float64
+	lastErr  error
+}
+
+// NewAutoDriver wraps a pilot for driving.
+func NewAutoDriver(p *Pilot) (*AutoDriver, error) {
+	if p == nil {
+		return nil, fmt.Errorf("pilot: nil pilot")
+	}
+	return &AutoDriver{Pilot: p}, nil
+}
+
+// Reset clears the rolling history (e.g. after the car is repositioned).
+func (a *AutoDriver) Reset() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.frames = nil
+	a.prevCmds = nil
+	a.lastErr = nil
+}
+
+// Err returns the first inference error encountered, if any.
+func (a *AutoDriver) Err() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.lastErr
+}
+
+// DriveFrame implements sim.FrameDriver.
+func (a *AutoDriver) DriveFrame(frame *sim.Frame, _ sim.CarState) (float64, float64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	cfg := a.Pilot.Cfg
+	need := cfg.framesNeeded()
+	a.frames = append(a.frames, frame)
+	if len(a.frames) > need {
+		a.frames = a.frames[len(a.frames)-need:]
+	}
+	// Until the window fills, repeat the earliest frame (a car standing
+	// still sees the same image anyway).
+	window := make([]*sim.Frame, need)
+	for i := 0; i < need; i++ {
+		j := len(a.frames) - need + i
+		if j < 0 {
+			j = 0
+		}
+		window[i] = a.frames[j]
+	}
+	s := Sample{Frames: window}
+	if cfg.Kind == Memory {
+		s.PrevCmds = make([][2]float64, cfg.MemoryLen)
+		for i := 0; i < cfg.MemoryLen; i++ {
+			j := len(a.prevCmds) - cfg.MemoryLen + i
+			if j >= 0 {
+				s.PrevCmds[i] = a.prevCmds[j]
+			}
+		}
+	}
+	angle, throttle, err := a.Pilot.Infer(s)
+	if err != nil {
+		if a.lastErr == nil {
+			a.lastErr = err
+		}
+		return 0, 0
+	}
+	if a.ThrottleScale > 0 {
+		throttle *= a.ThrottleScale
+	}
+	a.prevCmds = append(a.prevCmds, [2]float64{angle, throttle})
+	if len(a.prevCmds) > cfg.MemoryLen+1 {
+		a.prevCmds = a.prevCmds[len(a.prevCmds)-cfg.MemoryLen-1:]
+	}
+	return angle, throttle
+}
+
+// Drive implements sim.Driver; it is only reached if the session does not
+// supply frames, in which case the autopilot cannot act.
+func (a *AutoDriver) Drive(sim.CarState) (float64, float64) { return 0, 0 }

@@ -1,0 +1,147 @@
+package pilot
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/nn"
+)
+
+// Pilot is a trained (or trainable) autopilot of one of the six kinds.
+type Pilot struct {
+	Cfg   Config
+	model nn.Model
+	loss  nn.Loss
+}
+
+// New builds an untrained pilot from a validated config.
+func New(cfg Config) (*Pilot, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	model, loss, err := cfg.buildModel()
+	if err != nil {
+		return nil, err
+	}
+	return &Pilot{Cfg: cfg, model: model, loss: loss}, nil
+}
+
+// Model exposes the underlying network (for parameter counting etc.).
+func (p *Pilot) Model() nn.Model { return p.model }
+
+// Loss exposes the training loss matching the architecture.
+func (p *Pilot) Loss() nn.Loss { return p.loss }
+
+// ParamCount returns the number of trainable scalars.
+func (p *Pilot) ParamCount() int { return nn.ParamCount(p.model) }
+
+// Train fits the pilot to samples with Adam, the DonkeyCar default.
+func (p *Pilot) Train(samples []Sample, cfg nn.TrainConfig) (nn.History, error) {
+	data, err := p.Cfg.BuildDataset(samples)
+	if err != nil {
+		return nn.History{}, err
+	}
+	opt, err := nn.NewAdam(1e-3)
+	if err != nil {
+		return nn.History{}, err
+	}
+	return nn.Train(p.model, data, p.loss, opt, cfg)
+}
+
+// Validate computes the pilot's loss over samples without training.
+func (p *Pilot) Validate(samples []Sample, batchSize int) (float64, error) {
+	data, err := p.Cfg.BuildDataset(samples)
+	if err != nil {
+		return 0, err
+	}
+	return nn.Evaluate(p.model, data, p.loss, batchSize)
+}
+
+// clampOut limits a network output to [-1, 1].
+func clampOut(v float64) float64 {
+	if v > 1 {
+		return 1
+	}
+	if v < -1 {
+		return -1
+	}
+	return v
+}
+
+// Infer runs one sample through the network and decodes (angle, throttle)
+// according to the architecture. The sample's label fields are ignored.
+func (p *Pilot) Infer(s Sample) (angle, throttle float64, err error) {
+	if err := p.Cfg.checkSample(s); err != nil {
+		return 0, 0, err
+	}
+	x, err := p.Cfg.buildX([]Sample{s})
+	if err != nil {
+		return 0, 0, err
+	}
+	y, err := p.model.Forward(x, false)
+	if err != nil {
+		return 0, 0, err
+	}
+	switch p.Cfg.Kind {
+	case Linear, Memory, RNN, Conv3D:
+		return clampOut(y.Data[0]), clampOut(y.Data[1]), nil
+	case Inferred:
+		angle = clampOut(y.Data[0])
+		// DonkeyCar's inferred rule: full speed when pointing straight,
+		// backing off with steering magnitude. The square-root shaping
+		// brakes early on moderate steering, which is what lets the pilot
+		// carry speed on straights yet stay accurate in corners — the
+		// behaviour the paper singles out.
+		throttle = p.Cfg.MaxThrottle - (p.Cfg.MaxThrottle-p.Cfg.MinThrottle)*math.Sqrt(math.Abs(angle))
+		return angle, throttle, nil
+	case Categorical:
+		ab, tb := p.Cfg.AngleBins, p.Cfg.ThrottleBins
+		ai := nn.ArgMax(y.Data[:ab])
+		ti := nn.ArgMax(y.Data[ab : ab+tb])
+		return nn.Unbin(ai, -1, 1, ab), nn.Unbin(ti, 0, 1, tb), nil
+	}
+	return 0, 0, fmt.Errorf("pilot: unknown kind %q", p.Cfg.Kind)
+}
+
+// Save writes a checkpoint (config + weights).
+func (p *Pilot) Save(w io.Writer) error {
+	cfgStr, err := p.Cfg.marshal()
+	if err != nil {
+		return err
+	}
+	return nn.SaveParams(w, paramsOf(p.model), map[string]string{"config": cfgStr})
+}
+
+// Load reads a checkpoint, rebuilding the architecture from the stored
+// config and restoring weights.
+func Load(r io.Reader) (*Pilot, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("pilot: load: %w", err)
+	}
+	meta, err := nn.LoadMeta(bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	cfgStr, ok := meta["config"]
+	if !ok {
+		return nil, fmt.Errorf("pilot: checkpoint has no config")
+	}
+	cfg, err := unmarshalConfig(cfgStr)
+	if err != nil {
+		return nil, err
+	}
+	p, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := nn.LoadParams(bytes.NewReader(data), paramsOf(p.model)); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// paramsOf is a tiny alias making intent explicit at call sites.
+func paramsOf(m nn.Model) []*nn.Param { return m.Params() }

@@ -1,0 +1,181 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+
+	"repro/internal/track"
+)
+
+// Driver produces steering and throttle commands each tick. Human-like
+// drivers look at the world state (they can see the whole track); autopilot
+// drivers look only at camera frames — that adapter lives in the pilot
+// package.
+type Driver interface {
+	// Drive returns normalized steering and throttle in [-1, 1] for the
+	// current car state.
+	Drive(st CarState) (steering, throttle float64)
+}
+
+// PurePursuit is a geometric path tracker: it steers toward a lookahead
+// point on the centerline and runs a curvature-aware speed controller. It is
+// the reference "expert" used to generate manual-driving demonstrations.
+type PurePursuit struct {
+	Track         *track.Track
+	Car           CarConfig
+	BaseLookahead float64 // meters at standstill
+	SpeedGain     float64 // extra lookahead per m/s
+	TargetSpeed   float64 // cruise speed, m/s
+	LatAccelMax   float64 // m/s^2 cornering limit used to slow for turns
+	ThrottleP     float64 // proportional throttle gain
+	FixedThrottle float64 // if > 0, bypass speed control (paper: race pilot with constant throttle)
+}
+
+// NewPurePursuit builds a tracker with sensible defaults for the track/car.
+func NewPurePursuit(trk *track.Track, car CarConfig) *PurePursuit {
+	return &PurePursuit{
+		Track:         trk,
+		Car:           car,
+		BaseLookahead: 0.35,
+		SpeedGain:     0.35,
+		TargetSpeed:   1.6,
+		LatAccelMax:   2.2,
+		ThrottleP:     1.2,
+	}
+}
+
+// Drive implements Driver.
+func (p *PurePursuit) Drive(st CarState) (float64, float64) {
+	cl := p.Track.Centerline
+	proj := cl.Project(track.Point{X: st.X, Y: st.Y})
+	lookahead := p.BaseLookahead + p.SpeedGain*st.Speed
+	target := cl.PointAt(proj.S + lookahead)
+
+	// Transform target into the car frame.
+	dx := target.X - st.X
+	dy := target.Y - st.Y
+	ch, sh := math.Cos(st.Heading), math.Sin(st.Heading)
+	lx := dx*ch + dy*sh  // forward
+	ly := -dx*sh + dy*ch // left
+	dist := math.Hypot(lx, ly)
+	steering := 0.0
+	if dist > 1e-6 {
+		// Pure pursuit curvature, mapped to normalized steering.
+		k := 2 * ly / (dist * dist)
+		delta := math.Atan(k * p.Car.Wheelbase)
+		steering = clamp1(delta / p.Car.MaxSteer)
+	}
+
+	throttle := p.FixedThrottle
+	if throttle <= 0 {
+		// Slow down for curvature ahead.
+		kAhead := math.Abs(cl.CurvatureAt(proj.S + lookahead))
+		vTarget := p.TargetSpeed
+		if kAhead > 1e-4 {
+			vCorner := math.Sqrt(p.LatAccelMax / kAhead)
+			if vCorner < vTarget {
+				vTarget = vCorner
+			}
+		}
+		throttle = clamp1(p.ThrottleP * (vTarget - st.Speed))
+	}
+	return steering, throttle
+}
+
+// HumanDriver wraps an expert tracker with realism noise: steering jitter,
+// sluggish corrections, and occasional multi-tick "mistakes" that push the
+// car off line — exactly the bad data the paper says students must remove
+// with tubclean.
+type HumanDriver struct {
+	Expert       Driver
+	Noise        float64 // steering noise stddev per tick
+	MistakeRate  float64 // probability per second of starting a mistake
+	MistakeTicks int     // duration of a mistake in ticks
+	Hz           float64 // control rate, used to scale MistakeRate
+
+	rng          *rand.Rand
+	mistakeLeft  int
+	mistakeSteer float64
+}
+
+// NewHumanDriver builds a noisy human around the expert with a seeded RNG
+// so sessions are reproducible.
+func NewHumanDriver(expert Driver, seed int64, hz float64) *HumanDriver {
+	return &HumanDriver{
+		Expert:       expert,
+		Noise:        0.04,
+		MistakeRate:  0.06,
+		MistakeTicks: 14,
+		Hz:           hz,
+		rng:          rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Drive implements Driver.
+func (h *HumanDriver) Drive(st CarState) (float64, float64) {
+	steering, throttle := h.Expert.Drive(st)
+	if h.mistakeLeft > 0 {
+		h.mistakeLeft--
+		return clamp1(steering + h.mistakeSteer), throttle
+	}
+	if h.Hz > 0 && h.rng.Float64() < h.MistakeRate/h.Hz {
+		h.mistakeLeft = h.MistakeTicks
+		h.mistakeSteer = 0.7
+		if h.rng.Float64() < 0.5 {
+			h.mistakeSteer = -0.7
+		}
+	}
+	return clamp1(steering + h.rng.NormFloat64()*h.Noise), throttle
+}
+
+// InMistake reports whether the driver is currently making a mistake; the
+// session uses this to label ground-truth bad records for test oracles.
+func (h *HumanDriver) InMistake() bool { return h.mistakeLeft > 0 }
+
+// WebController emulates the DonkeyCar web interface the paper describes:
+// commands arrive asynchronously (from a browser) and the controller holds
+// the last command between updates, with an optional constant-throttle race
+// mode. It is safe for concurrent use: HTTP handlers update it while the
+// drive loop reads it.
+type WebController struct {
+	mu                 sync.Mutex
+	steering, throttle float64
+	constThrottle      float64 // if > 0, throttle is pinned to this value
+}
+
+// NewWebController returns an idle controller.
+func NewWebController() *WebController { return &WebController{} }
+
+// SetConstantThrottle pins throttle to v (the paper's race-pilot mode);
+// v <= 0 disables the mode.
+func (w *WebController) SetConstantThrottle(v float64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.constThrottle = v
+}
+
+// Update records the latest command from the web UI.
+func (w *WebController) Update(steering, throttle float64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.steering = clamp1(steering)
+	w.throttle = clamp1(throttle)
+}
+
+// Drive implements Driver by replaying the last received command.
+func (w *WebController) Drive(CarState) (float64, float64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	t := w.throttle
+	if w.constThrottle > 0 {
+		t = w.constThrottle
+	}
+	return w.steering, t
+}
+
+// FuncDriver adapts a plain function to the Driver interface.
+type FuncDriver func(CarState) (float64, float64)
+
+// Drive implements Driver.
+func (f FuncDriver) Drive(st CarState) (float64, float64) { return f(st) }

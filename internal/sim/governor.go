@@ -1,0 +1,116 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// This file reproduces the companion poster "Road To Reliability:
+// Optimizing Self-Driving Consistency With Real-Time Speed Data" (Fowler
+// et al., SC'23): a wheel odometer supplies real-time speed measurements
+// and a governor closes the throttle loop around them, so the car holds a
+// commanded speed instead of a commanded motor power — which is what
+// drives the speed-consistency metric down.
+
+// Odometer measures the car's speed like a wheel encoder: quantized to
+// CountsPerMeter ticks and disturbed by Gaussian noise. Deterministic for
+// a fixed seed.
+type Odometer struct {
+	CountsPerMeter float64 // encoder resolution (ticks per meter)
+	NoiseStd       float64 // m/s of measurement noise
+	rng            *rand.Rand
+}
+
+// NewOdometer builds an encoder-class speed sensor.
+func NewOdometer(countsPerMeter, noiseStd float64, seed int64) (*Odometer, error) {
+	if countsPerMeter <= 0 {
+		return nil, fmt.Errorf("sim: odometer resolution must be positive")
+	}
+	if noiseStd < 0 {
+		return nil, fmt.Errorf("sim: negative odometer noise")
+	}
+	return &Odometer{CountsPerMeter: countsPerMeter, NoiseStd: noiseStd,
+		rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+// Measure returns the sensed speed for a true speed (m/s over one tick of
+// dt seconds): quantized to whole encoder counts, plus noise.
+func (o *Odometer) Measure(trueSpeed, dt float64) float64 {
+	if dt <= 0 {
+		return 0
+	}
+	counts := float64(int(trueSpeed * dt * o.CountsPerMeter)) // whole ticks
+	v := counts / (dt * o.CountsPerMeter)
+	if o.NoiseStd > 0 {
+		v += o.rng.NormFloat64() * o.NoiseStd
+	}
+	if v < 0 {
+		v = 0
+	}
+	return v
+}
+
+// SpeedGovernor wraps a driver and replaces its open-loop throttle with a
+// PI controller holding the speed the inner driver *intends*: the inner
+// throttle command is read as a speed setpoint (fraction of TopSpeed).
+// Steering passes through unchanged.
+type SpeedGovernor struct {
+	Inner    FrameDriver
+	Odometer *Odometer
+	// TopSpeed maps the inner throttle in [0,1] to a target speed.
+	TopSpeed float64
+	// Kp and Ki are the PI gains on the speed error.
+	Kp, Ki float64
+	// Hz is the control rate (integrator time base).
+	Hz float64
+
+	integral float64
+}
+
+// NewSpeedGovernor builds the governor with gains tuned for the default
+// car.
+func NewSpeedGovernor(inner FrameDriver, odo *Odometer, topSpeed, hz float64) (*SpeedGovernor, error) {
+	if inner == nil || odo == nil {
+		return nil, fmt.Errorf("sim: governor needs a driver and an odometer")
+	}
+	if topSpeed <= 0 || hz <= 0 {
+		return nil, fmt.Errorf("sim: positive top speed and rate required")
+	}
+	return &SpeedGovernor{Inner: inner, Odometer: odo, TopSpeed: topSpeed, Kp: 1.6, Ki: 1.2, Hz: hz}, nil
+}
+
+// DriveFrame implements FrameDriver.
+func (g *SpeedGovernor) DriveFrame(f *Frame, st CarState) (float64, float64) {
+	steering, rawThrottle := g.Inner.DriveFrame(f, st)
+	if rawThrottle <= 0 {
+		// Braking/neutral passes through and bleeds the integrator.
+		g.integral *= 0.9
+		return steering, rawThrottle
+	}
+	target := rawThrottle * g.TopSpeed
+	measured := g.Odometer.Measure(st.Speed, 1/g.Hz)
+	err := target - measured
+	g.integral += err / g.Hz
+	// Anti-windup.
+	const iCap = 1.5
+	if g.integral > iCap {
+		g.integral = iCap
+	} else if g.integral < -iCap {
+		g.integral = -iCap
+	}
+	throttle := g.Kp*err + g.Ki*g.integral
+	if throttle > 1 {
+		throttle = 1
+	} else if throttle < 0 {
+		throttle = 0
+	}
+	return steering, throttle
+}
+
+// Drive implements Driver.
+func (g *SpeedGovernor) Drive(st CarState) (float64, float64) {
+	if d, ok := g.Inner.(Driver); ok {
+		return d.Drive(st)
+	}
+	return 0, 0
+}

@@ -1,0 +1,192 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestOdometerValidation(t *testing.T) {
+	if _, err := NewOdometer(0, 0, 1); err == nil {
+		t.Error("zero resolution accepted")
+	}
+	if _, err := NewOdometer(100, -1, 1); err == nil {
+		t.Error("negative noise accepted")
+	}
+}
+
+func TestOdometerQuantizesAndIsNonNegative(t *testing.T) {
+	odo, err := NewOdometer(50, 0, 1) // coarse: 2 cm per count
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exactly representable: 1.0 m/s over 0.05s = 0.05 m = 2.5 counts → 2
+	// counts → 0.8 m/s.
+	got := odo.Measure(1.0, 0.05)
+	if math.Abs(got-0.8) > 1e-9 {
+		t.Errorf("quantized speed %g, want 0.8", got)
+	}
+	if odo.Measure(0, 0.05) != 0 {
+		t.Error("zero speed should measure zero")
+	}
+	noisy, err := NewOdometer(1000, 0.5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if noisy.Measure(0.01, 0.05) < 0 {
+			t.Fatal("negative measurement")
+		}
+	}
+}
+
+func TestGovernorValidation(t *testing.T) {
+	odo, _ := NewOdometer(1000, 0, 1)
+	inner := FuncFrameDriver(func(*Frame, CarState) (float64, float64) { return 0, 0.5 })
+	if _, err := NewSpeedGovernor(nil, odo, 2, 20); err == nil {
+		t.Error("nil inner accepted")
+	}
+	if _, err := NewSpeedGovernor(inner, nil, 2, 20); err == nil {
+		t.Error("nil odometer accepted")
+	}
+	if _, err := NewSpeedGovernor(inner, odo, 0, 20); err == nil {
+		t.Error("zero top speed accepted")
+	}
+}
+
+// FuncFrameDriver adapts a function to FrameDriver for tests.
+type FuncFrameDriver func(*Frame, CarState) (float64, float64)
+
+// DriveFrame implements FrameDriver.
+func (f FuncFrameDriver) DriveFrame(fr *Frame, st CarState) (float64, float64) { return f(fr, st) }
+
+// Drive implements Driver.
+func (f FuncFrameDriver) Drive(st CarState) (float64, float64) { return f(nil, st) }
+
+func TestGovernorHoldsTargetSpeed(t *testing.T) {
+	car, err := NewCar(DefaultCarConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	odo, err := NewOdometer(2000, 0.01, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inner driver asks for half throttle; with TopSpeed 2 the setpoint is
+	// 1.0 m/s regardless of drag or slope.
+	inner := FuncFrameDriver(func(*Frame, CarState) (float64, float64) { return 0, 0.5 })
+	gov, err := NewSpeedGovernor(inner, odo, 2.0, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		_, th := gov.DriveFrame(nil, car.State)
+		car.Step(0, th, 0.05)
+	}
+	if math.Abs(car.State.Speed-1.0) > 0.1 {
+		t.Errorf("governed speed %g, want ~1.0", car.State.Speed)
+	}
+}
+
+func TestGovernorPassesThroughBraking(t *testing.T) {
+	odo, _ := NewOdometer(1000, 0, 1)
+	inner := FuncFrameDriver(func(*Frame, CarState) (float64, float64) { return 0.3, -1 })
+	gov, err := NewSpeedGovernor(inner, odo, 2, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, th := gov.DriveFrame(nil, CarState{Speed: 1})
+	if s != 0.3 || th != -1 {
+		t.Errorf("braking not passed through: (%g, %g)", s, th)
+	}
+}
+
+// TestGovernorImprovesSpeedConsistency reproduces the poster's headline:
+// with real-time speed data in the loop, the speed-consistency metric
+// (coefficient of variation) drops versus open-loop throttle. The plant
+// has extra drag perturbation so open-loop throttle misses its speed.
+func TestGovernorImprovesSpeedConsistency(t *testing.T) {
+	trk := testTrack(t)
+	camCfg := SmallCameraConfig()
+	camCfg.Width, camCfg.Height = 16, 12
+
+	// A draggy plant (worn drivetrain) the open-loop throttle doesn't know
+	// about.
+	carCfg := DefaultCarConfig()
+	carCfg.Drag *= 1.6
+
+	run := func(governed bool) SessionResult {
+		cam, err := NewCamera(camCfg, trk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		car, err := NewCar(carCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The "pilot": expert steering with a deliberately varying throttle
+		// command (as a trained pilot would emit).
+		pp := NewPurePursuit(trk, carCfg)
+		tick := 0
+		var base FrameDriver = FuncFrameDriver(func(_ *Frame, st CarState) (float64, float64) {
+			s, _ := pp.Drive(st)
+			tick++
+			// Open-loop throttle wobbles like a noisy model output.
+			th := 0.45 + 0.15*math.Sin(float64(tick)/9)
+			return s, th
+		})
+		drv := base
+		if governed {
+			odo, err := NewOdometer(2000, 0.01, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gov, err := NewSpeedGovernor(base, odo, 2.0, 20)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Hold a constant setpoint: the governor reads the wobbling
+			// inner throttle as intent; clamp it to a fixed cruise command.
+			gov.Inner = FuncFrameDriver(func(f *Frame, st CarState) (float64, float64) {
+				s, _ := base.DriveFrame(f, st)
+				return s, 0.5
+			})
+			drv = gov
+		}
+		ses, err := NewSession(SessionConfig{Hz: 20, MaxTicks: 700, OffTrackMargin: 0.15, ResetOnCrash: true},
+			car, cam, drv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ses.Run(time.Unix(1_700_000_000, 0))
+	}
+
+	consistency := func(res SessionResult) float64 {
+		var sum, sq float64
+		n := 0
+		for _, r := range res.Records {
+			v := r.State.Speed
+			if v > 0.05 {
+				sum += v
+				sq += v * v
+				n++
+			}
+		}
+		if n == 0 {
+			return math.Inf(1)
+		}
+		mean := sum / float64(n)
+		variance := sq/float64(n) - mean*mean
+		if variance < 0 {
+			variance = 0
+		}
+		return math.Sqrt(variance) / mean
+	}
+
+	open := consistency(run(false))
+	governed := consistency(run(true))
+	if governed >= open {
+		t.Errorf("governor did not improve consistency: %.4f (governed) vs %.4f (open loop)", governed, open)
+	}
+	t.Logf("speed consistency: open loop %.4f, governed %.4f", open, governed)
+}

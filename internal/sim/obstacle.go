@@ -1,0 +1,75 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Obstacle is a colored object placed on the floor — the prop for the
+// §3.3 "obstacle detection" and "camera identifies color of object" (red
+// means stop, green means go) exercises. Obstacles render as colored
+// discs in the camera's ground projection and can be tested for
+// collision with the car.
+type Obstacle struct {
+	X, Y   float64
+	Radius float64
+	Color  [3]uint8
+}
+
+// Validate checks the obstacle's geometry.
+func (o Obstacle) Validate() error {
+	if o.Radius <= 0 {
+		return fmt.Errorf("sim: obstacle radius must be positive")
+	}
+	return nil
+}
+
+// Standard prop colors for the stop/go exercise.
+var (
+	ObstacleRed   = [3]uint8{220, 30, 30}
+	ObstacleGreen = [3]uint8{30, 210, 40}
+	ObstacleBox   = [3]uint8{150, 110, 60} // cardboard box
+)
+
+// AddObstacle places a prop in the camera's world. Obstacles are drawn
+// over the floor and tape (they sit on top).
+func (c *Camera) AddObstacle(o Obstacle) error {
+	if err := o.Validate(); err != nil {
+		return err
+	}
+	c.obstacles = append(c.obstacles, o)
+	return nil
+}
+
+// ClearObstacles removes all props.
+func (c *Camera) ClearObstacles() { c.obstacles = nil }
+
+// Obstacles returns a copy of the current props.
+func (c *Camera) Obstacles() []Obstacle {
+	return append([]Obstacle(nil), c.obstacles...)
+}
+
+// obstacleColorAt reports whether the ground point is covered by a prop
+// and, if so, its color.
+func (c *Camera) obstacleColorAt(x, y float64) ([3]uint8, bool) {
+	for i := len(c.obstacles) - 1; i >= 0; i-- {
+		o := c.obstacles[i]
+		dx, dy := x-o.X, y-o.Y
+		if dx*dx+dy*dy <= o.Radius*o.Radius {
+			return o.Color, true
+		}
+	}
+	return [3]uint8{}, false
+}
+
+// HitsObstacle reports whether the car at state st touches any prop,
+// treating the car as a disc of the given radius around its position.
+func (c *Camera) HitsObstacle(st CarState, carRadius float64) bool {
+	for _, o := range c.obstacles {
+		dx, dy := st.X-o.X, st.Y-o.Y
+		if math.Hypot(dx, dy) <= o.Radius+carRadius {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,80 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestObstacleValidation(t *testing.T) {
+	if err := (Obstacle{Radius: 0}).Validate(); err == nil {
+		t.Error("zero radius accepted")
+	}
+	trk := testTrack(t)
+	cam := testCamera(t, trk)
+	if err := cam.AddObstacle(Obstacle{Radius: -1}); err == nil {
+		t.Error("negative radius accepted")
+	}
+}
+
+func TestObstacleAppearsInFrame(t *testing.T) {
+	trk := testTrack(t)
+	camCfg := SmallCameraConfig()
+	camCfg.Channels = 3
+	cam, err := NewCamera(camCfg, trk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, y, h := trk.StartPose(0)
+	st := CarState{X: x, Y: y, Heading: h}
+	before := cam.Render(st)
+
+	// Drop a red prop 0.6 m in front of the car.
+	const ahead = 0.6
+	ox := x + ahead*math.Cos(h)
+	oy := y + ahead*math.Sin(h)
+	if err := cam.AddObstacle(Obstacle{X: ox, Y: oy, Radius: 0.1, Color: ObstacleRed}); err != nil {
+		t.Fatal(err)
+	}
+	after := cam.Render(st)
+	d, err := before.MeanAbsDiff(after)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d == 0 {
+		t.Fatal("obstacle invisible to the camera")
+	}
+	// Red pixels should appear: scan for strongly red pixels.
+	foundRed := false
+	for i := 0; i < after.W*after.H; i++ {
+		r, g, b := after.Pix[i*3], after.Pix[i*3+1], after.Pix[i*3+2]
+		if r > 150 && int(r) > int(g)+80 && int(r) > int(b)+80 {
+			foundRed = true
+			break
+		}
+	}
+	if !foundRed {
+		t.Error("no red pixels from the red obstacle")
+	}
+	cam.ClearObstacles()
+	cleared := cam.Render(st)
+	if d, _ := before.MeanAbsDiff(cleared); d != 0 {
+		t.Error("ClearObstacles did not restore the scene")
+	}
+}
+
+func TestHitsObstacle(t *testing.T) {
+	trk := testTrack(t)
+	cam := testCamera(t, trk)
+	if err := cam.AddObstacle(Obstacle{X: 1, Y: 0, Radius: 0.1, Color: ObstacleBox}); err != nil {
+		t.Fatal(err)
+	}
+	if !cam.HitsObstacle(CarState{X: 1.05, Y: 0}, 0.1) {
+		t.Error("overlapping car not detected")
+	}
+	if cam.HitsObstacle(CarState{X: 2, Y: 2}, 0.1) {
+		t.Error("distant car detected")
+	}
+	if got := len(cam.Obstacles()); got != 1 {
+		t.Errorf("obstacle count %d", got)
+	}
+}

@@ -1,0 +1,181 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/track"
+)
+
+// Record is one labeled sample from a drive: the camera frame the car saw
+// and the command the driver gave, plus ground-truth state used by
+// evaluation and the digital twin (the tub format persists only the
+// DonkeyCar-visible fields).
+type Record struct {
+	Index     int
+	Frame     *Frame
+	Steering  float64
+	Throttle  float64
+	Timestamp time.Time
+
+	// Ground truth (not part of the tub schema).
+	State   CarState
+	Lateral float64 // signed offset from centerline at capture time
+	Bad     bool    // captured during a driver mistake or off-track excursion
+}
+
+// SessionConfig controls a data-collection or evaluation drive.
+type SessionConfig struct {
+	Hz             float64 // control/capture rate; DonkeyCar default is 20
+	MaxTicks       int     // hard tick budget
+	MaxLaps        int     // stop after this many laps (0 = no lap limit)
+	StartS         float64 // starting arclength on the centerline
+	OffTrackMargin float64 // extra lateral slack before declaring a crash
+	ResetOnCrash   bool    // put the car back on the centerline after a crash
+}
+
+// DefaultSessionConfig returns a 20 Hz session with crash resets, matching
+// how students collect data (pick the car up and keep going).
+func DefaultSessionConfig() SessionConfig {
+	return SessionConfig{Hz: 20, MaxTicks: 4000, OffTrackMargin: 0.1, ResetOnCrash: true}
+}
+
+// SessionResult summarizes a completed drive.
+type SessionResult struct {
+	Records   []Record
+	Laps      int
+	Crashes   int
+	Ticks     int
+	Duration  time.Duration // simulated wall time (ticks / Hz)
+	MeanSpeed float64       // m/s over moving ticks
+	BadCount  int           // records flagged Bad
+}
+
+// FrameDriver is an optional Driver extension for autopilots that act on
+// camera frames rather than world state. When the session's driver
+// implements it, DriveFrame receives the frame rendered for the current
+// tick (avoiding a second render) and takes precedence over Drive.
+type FrameDriver interface {
+	Driver
+	DriveFrame(frame *Frame, st CarState) (steering, throttle float64)
+}
+
+// Session runs a driver around a track, capturing a record per tick. It
+// stands in for both "drive the physical car around an actual track" and
+// the Unity simulator pathway from Fig. 2.
+type Session struct {
+	Cfg    SessionConfig
+	Car    *Car
+	Camera *Camera
+	Driver Driver
+
+	trk *track.Track
+}
+
+// NewSession wires a car, camera, and driver together on the camera's track.
+func NewSession(cfg SessionConfig, car *Car, cam *Camera, drv Driver) (*Session, error) {
+	if cfg.Hz <= 0 {
+		return nil, fmt.Errorf("sim: session Hz must be positive")
+	}
+	if cfg.MaxTicks <= 0 && cfg.MaxLaps <= 0 {
+		return nil, fmt.Errorf("sim: session needs MaxTicks or MaxLaps")
+	}
+	if car == nil || cam == nil || drv == nil {
+		return nil, fmt.Errorf("sim: session needs car, camera and driver")
+	}
+	return &Session{Cfg: cfg, Car: car, Camera: cam, Driver: drv, trk: cam.Track()}, nil
+}
+
+// Run executes the session to completion. The epoch fixes record timestamps
+// so runs are reproducible.
+func (s *Session) Run(epoch time.Time) SessionResult {
+	res := SessionResult{}
+	dt := 1.0 / s.Cfg.Hz
+	x, y, h := s.trk.StartPose(s.Cfg.StartS)
+	s.Car.Reset(x, y, h)
+
+	cl := s.trk.Centerline
+	prevS := s.Cfg.StartS
+	progress := 0.0 // cumulative forward arclength traveled
+	lapLen := cl.Length()
+	var speedSum float64
+	var movingTicks int
+
+	human, _ := s.Driver.(*HumanDriver)
+
+	for tick := 0; ; tick++ {
+		if s.Cfg.MaxTicks > 0 && tick >= s.Cfg.MaxTicks {
+			break
+		}
+		if s.Cfg.MaxLaps > 0 && res.Laps >= s.Cfg.MaxLaps {
+			break
+		}
+		st := s.Car.State
+		frame := s.Camera.Render(st)
+		var steering, throttle float64
+		if fd, ok := s.Driver.(FrameDriver); ok {
+			steering, throttle = fd.DriveFrame(frame, st)
+		} else {
+			steering, throttle = s.Driver.Drive(st)
+		}
+
+		proj := cl.Project(track.Point{X: st.X, Y: st.Y})
+		bad := math.Abs(proj.Lateral) > s.trk.Width/2
+		if human != nil && human.InMistake() {
+			bad = true
+		}
+		res.Records = append(res.Records, Record{
+			Index:     tick,
+			Frame:     frame,
+			Steering:  steering,
+			Throttle:  throttle,
+			Timestamp: epoch.Add(time.Duration(float64(tick) * dt * float64(time.Second))),
+			State:     st,
+			Lateral:   proj.Lateral,
+			Bad:       bad,
+		})
+		if bad {
+			res.BadCount++
+		}
+
+		s.Car.Step(steering, throttle, dt)
+		if s.Car.State.Speed > 0.05 {
+			speedSum += s.Car.State.Speed
+			movingTicks++
+		}
+
+		// Lap accounting: accumulate signed forward progress.
+		newProj := cl.Project(track.Point{X: s.Car.State.X, Y: s.Car.State.Y})
+		ds := newProj.S - prevS
+		if ds > lapLen/2 {
+			ds -= lapLen
+		} else if ds < -lapLen/2 {
+			ds += lapLen
+		}
+		progress += ds
+		prevS = newProj.S
+		for progress >= lapLen {
+			progress -= lapLen
+			res.Laps++
+		}
+
+		// Crash detection.
+		if math.Abs(newProj.Lateral) > s.trk.Width/2+s.Cfg.OffTrackMargin {
+			res.Crashes++
+			if s.Cfg.ResetOnCrash {
+				rx, ry, rh := s.trk.StartPose(newProj.S)
+				s.Car.Reset(rx, ry, rh)
+			} else {
+				res.Ticks = tick + 1
+				break
+			}
+		}
+		res.Ticks = tick + 1
+	}
+	res.Duration = time.Duration(float64(res.Ticks) * dt * float64(time.Second))
+	if movingTicks > 0 {
+		res.MeanSpeed = speedSum / float64(movingTicks)
+	}
+	return res
+}

@@ -1,0 +1,102 @@
+package testbed
+
+import (
+	"fmt"
+	"time"
+)
+
+// TrainingJob describes a model-training workload in hardware-neutral
+// units, so the same job can be "run" on any GPU SKU to get a simulated
+// wall time (the paper's GPU sweep across A100/V100/RTX6000/P100).
+type TrainingJob struct {
+	Samples    int // training examples per epoch
+	ParamCount int // model parameters
+	Epochs     int
+	BatchSize  int
+}
+
+// Validate checks the job description.
+func (j TrainingJob) Validate() error {
+	if j.Samples <= 0 || j.ParamCount <= 0 || j.Epochs <= 0 || j.BatchSize <= 0 {
+		return fmt.Errorf("testbed: training job fields must be positive: %+v", j)
+	}
+	return nil
+}
+
+// workUnits estimates the total scalar work of the job: forward plus
+// backward is ~3x params per sample (multiply-accumulate pairs folded in).
+func (j TrainingJob) workUnits() float64 {
+	return 3 * float64(j.Samples) * float64(j.ParamCount) * float64(j.Epochs)
+}
+
+// v100BaseRate is the effective work units per second of a single V100 on
+// this workload class (small-batch conv nets run far below peak FLOPs;
+// this rate puts a 50k-record, 5M-parameter, 30-epoch run at ~12 minutes
+// on a V100 — the "reasonable amount of time" the paper reports).
+const v100BaseRate = 3.0e10
+
+// perEpochOverhead models data loading and checkpointing per epoch, which
+// narrows the gap between fast and slow GPUs exactly as students observe.
+const perEpochOverhead = 500 * time.Millisecond
+
+// TrainingTime returns the simulated wall time of the job on the
+// instance's GPU configuration. Multi-GPU nodes scale at 85% efficiency
+// per extra GPU (data-parallel scaling losses).
+func (inst *Instance) TrainingTime(j TrainingJob) (time.Duration, error) {
+	if err := j.Validate(); err != nil {
+		return 0, err
+	}
+	f, err := ThroughputFactor(inst.GPU)
+	if err != nil {
+		return 0, err
+	}
+	gpus := inst.GPUCount
+	if gpus < 1 {
+		gpus = 1
+	}
+	scale := 1.0
+	for g := 1; g < gpus; g++ {
+		scale += 0.85
+	}
+	rate := v100BaseRate * f * scale
+	compute := time.Duration(j.workUnits() / rate * float64(time.Second))
+	return compute + time.Duration(j.Epochs)*perEpochOverhead, nil
+}
+
+// InferenceTime returns the simulated per-frame inference latency of a
+// model with paramCount parameters on this instance (forward pass only).
+func (inst *Instance) InferenceTime(paramCount int) (time.Duration, error) {
+	if paramCount <= 0 {
+		return 0, fmt.Errorf("testbed: param count must be positive")
+	}
+	f, err := ThroughputFactor(inst.GPU)
+	if err != nil {
+		return 0, err
+	}
+	// Single-sample inference: ~1x params of work, plus a fixed kernel
+	// launch / host-device copy overhead that dominates tiny models.
+	const launchOverhead = 350 * time.Microsecond
+	compute := time.Duration(float64(paramCount) / (v100BaseRate * f) * float64(time.Second))
+	return launchOverhead + compute, nil
+}
+
+// EdgeDevice models the Raspberry Pi 4 on the car for in-situ inference.
+type EdgeDevice struct {
+	// Rate is effective work units per second (a Pi 4 CPU is ~4 orders of
+	// magnitude below a V100 on this workload).
+	Rate float64
+}
+
+// DefaultEdgeDevice returns a Raspberry Pi 4-class device.
+func DefaultEdgeDevice() EdgeDevice { return EdgeDevice{Rate: 2.0e8} }
+
+// InferenceTime returns per-frame inference latency on the edge device.
+func (d EdgeDevice) InferenceTime(paramCount int) (time.Duration, error) {
+	if paramCount <= 0 {
+		return 0, fmt.Errorf("testbed: param count must be positive")
+	}
+	if d.Rate <= 0 {
+		return 0, fmt.Errorf("testbed: edge device rate must be positive")
+	}
+	return time.Duration(float64(paramCount) / d.Rate * float64(time.Second)), nil
+}

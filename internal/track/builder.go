@@ -1,0 +1,107 @@
+package track
+
+import (
+	"fmt"
+	"math"
+)
+
+// Builder constructs a centerline by chaining straights and arcs from a
+// starting pose, then closing the loop. Sampling resolution controls the
+// polyline density of the resulting Path.
+type Builder struct {
+	x, y, heading float64
+	spacing       float64
+	pts           []Point
+	err           error
+}
+
+// NewBuilder starts a builder at the given pose. spacing is the sample
+// spacing in meters (<= 0 selects the 5 cm default).
+func NewBuilder(x, y, heading, spacing float64) *Builder {
+	if spacing <= 0 {
+		spacing = 0.05
+	}
+	return &Builder{x: x, y: y, heading: heading, spacing: spacing, pts: []Point{{x, y}}}
+}
+
+// Straight extends the centerline by d meters along the current heading.
+func (b *Builder) Straight(d float64) *Builder {
+	if b.err != nil {
+		return b
+	}
+	if d <= 0 {
+		b.err = fmt.Errorf("track: straight length must be positive, got %g", d)
+		return b
+	}
+	n := int(math.Ceil(d / b.spacing))
+	for i := 1; i <= n; i++ {
+		step := d * float64(i) / float64(n)
+		b.append(b.x+step*math.Cos(b.heading), b.y+step*math.Sin(b.heading))
+	}
+	b.x += d * math.Cos(b.heading)
+	b.y += d * math.Sin(b.heading)
+	return b
+}
+
+// Arc turns through angle radians (positive = left) along a circular arc of
+// the given radius.
+func (b *Builder) Arc(radius, angle float64) *Builder {
+	if b.err != nil {
+		return b
+	}
+	if radius <= 0 {
+		b.err = fmt.Errorf("track: arc radius must be positive, got %g", radius)
+		return b
+	}
+	if angle == 0 {
+		b.err = fmt.Errorf("track: arc angle must be nonzero")
+		return b
+	}
+	// Arc center sits one radius along the left normal (-sin h, cos h) for a
+	// left turn, or the right normal for a right turn.
+	side := 1.0
+	if angle < 0 {
+		side = -1.0
+	}
+	cx := b.x + side*radius*(-math.Sin(b.heading))
+	cy := b.y + side*radius*(math.Cos(b.heading))
+	arcLen := math.Abs(angle) * radius
+	n := int(math.Ceil(arcLen / b.spacing))
+	start := math.Atan2(b.y-cy, b.x-cx)
+	for i := 1; i <= n; i++ {
+		a := start + angle*float64(i)/float64(n)
+		b.append(cx+radius*math.Cos(a), cy+radius*math.Sin(a))
+	}
+	end := start + angle
+	b.x = cx + radius*math.Cos(end)
+	b.y = cy + radius*math.Sin(end)
+	b.heading += angle
+	return b
+}
+
+func (b *Builder) append(x, y float64) {
+	last := b.pts[len(b.pts)-1]
+	if last.Dist(Point{x, y}) < b.spacing/10 {
+		return
+	}
+	b.pts = append(b.pts, Point{x, y})
+}
+
+// Close finishes the loop and returns the path. The endpoint must land near
+// the start point (within one sample spacing) or Close reports an error, to
+// catch malformed track definitions early.
+func (b *Builder) Close() (*Path, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	start := b.pts[0]
+	gap := start.Dist(Point{b.x, b.y})
+	if gap > 4*b.spacing {
+		return nil, fmt.Errorf("track: loop does not close: endpoint %.3g m from start", gap)
+	}
+	// Drop a duplicated closing vertex if present.
+	if b.pts[len(b.pts)-1].Dist(start) < b.spacing/2 {
+		b.pts = b.pts[:len(b.pts)-1]
+	}
+	return NewClosedPath(b.pts)
+}

@@ -1,0 +1,37 @@
+package track_test
+
+import (
+	"fmt"
+
+	"repro/internal/track"
+)
+
+// Building the paper's default oval and reading its geometry.
+func ExampleDefaultOval() {
+	trk, err := track.DefaultOval()
+	if err != nil {
+		panic(err)
+	}
+	s := trk.Summarize()
+	fmt.Printf("width %.2f in\n", s.AvgWidth/track.MetersPerInch)
+	fmt.Printf("on track at start: %v\n", trk.OnTrack(trk.Centerline.PointAt(0)))
+	// Output:
+	// width 27.59 in
+	// on track at start: true
+}
+
+// Composing a custom course from straights and arcs.
+func ExampleBuilder() {
+	c, err := track.NewBuilder(0, 0, 0, 0.05).
+		Straight(2).
+		Arc(1, 3.14159265358979).
+		Straight(2).
+		Arc(1, 3.14159265358979).
+		Close()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("closed loop of %.1f m\n", c.Length())
+	// Output:
+	// closed loop of 10.3 m
+}

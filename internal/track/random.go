@@ -1,0 +1,107 @@
+package track
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// RandomConfig controls generated track shapes (the paper suggests
+// "modifying the shape of the track" and competitions on "tracks of
+// different shapes" as assignments).
+type RandomConfig struct {
+	// BaseRadius is the mean distance of the centerline from the origin.
+	BaseRadius float64
+	// Wobble is the relative amplitude of shape variation in (0, 0.5).
+	Wobble float64
+	// Harmonics is how many Fourier modes shape the loop (2-5 typical).
+	Harmonics int
+	// Width is the lane width.
+	Width float64
+	// MinTurnRadius rejects shapes tighter than the car can drive.
+	MinTurnRadius float64
+	Seed          int64
+}
+
+// DefaultRandomConfig produces room-scale tracks drivable by the default
+// car (min turn radius ~0.34 m at full lock).
+func DefaultRandomConfig(seed int64) RandomConfig {
+	return RandomConfig{
+		BaseRadius:    1.7,
+		Wobble:        0.22,
+		Harmonics:     3,
+		Width:         0.65,
+		MinTurnRadius: 0.55,
+		Seed:          seed,
+	}
+}
+
+// Validate checks the generator parameters.
+func (c RandomConfig) Validate() error {
+	switch {
+	case c.BaseRadius <= 0:
+		return fmt.Errorf("track: base radius must be positive")
+	case c.Wobble < 0 || c.Wobble >= 0.5:
+		return fmt.Errorf("track: wobble must be in [0, 0.5)")
+	case c.Harmonics < 1 || c.Harmonics > 8:
+		return fmt.Errorf("track: harmonics must be in [1, 8]")
+	case c.Width <= 0:
+		return fmt.Errorf("track: width must be positive")
+	case c.MinTurnRadius <= c.Width/2:
+		return fmt.Errorf("track: min turn radius must exceed half the width")
+	}
+	return nil
+}
+
+// Random generates a smooth closed star-convex track r(θ) = R·(1 + Σ aₖ
+// cos(kθ+φₖ)), rejecting shapes whose curvature is too tight for the car,
+// and retrying with damped wobble until one passes (at most 32 attempts).
+func Random(cfg RandomConfig) (*Track, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	wobble := cfg.Wobble
+	for attempt := 0; attempt < 32; attempt++ {
+		amps := make([]float64, cfg.Harmonics)
+		phases := make([]float64, cfg.Harmonics)
+		for k := range amps {
+			// Higher harmonics get smaller amplitude to stay smooth.
+			amps[k] = wobble * (rng.Float64()*2 - 1) / float64(k+1)
+			phases[k] = rng.Float64() * 2 * math.Pi
+		}
+		const n = 720
+		pts := make([]Point, n)
+		for i := 0; i < n; i++ {
+			theta := 2 * math.Pi * float64(i) / n
+			r := 1.0
+			for k := range amps {
+				r += amps[k] * math.Cos(float64(k+2)*theta+phases[k])
+			}
+			r *= cfg.BaseRadius
+			pts[i] = Point{r * math.Cos(theta), r * math.Sin(theta)}
+		}
+		path, err := NewClosedPath(pts)
+		if err != nil {
+			return nil, err
+		}
+		if maxCurvature(path) <= 1/cfg.MinTurnRadius {
+			name := fmt.Sprintf("random-%d", cfg.Seed)
+			return New(name, path, cfg.Width)
+		}
+		wobble *= 0.8 // too sharp; calm the shape and retry
+	}
+	return nil, fmt.Errorf("track: could not generate a drivable shape for seed %d", cfg.Seed)
+}
+
+// maxCurvature scans the path's curvature magnitude.
+func maxCurvature(p *Path) float64 {
+	maxK := 0.0
+	step := p.Length() / 360
+	for s := 0.0; s < p.Length(); s += step {
+		if k := math.Abs(p.CurvatureAt(s)); k > maxK {
+			maxK = k
+		}
+	}
+	return maxK
+}

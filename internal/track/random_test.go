@@ -1,0 +1,68 @@
+package track
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRandomValidation(t *testing.T) {
+	cases := map[string]func(*RandomConfig){
+		"zero radius":   func(c *RandomConfig) { c.BaseRadius = 0 },
+		"big wobble":    func(c *RandomConfig) { c.Wobble = 0.6 },
+		"no harmonics":  func(c *RandomConfig) { c.Harmonics = 0 },
+		"zero width":    func(c *RandomConfig) { c.Width = 0 },
+		"tight vs lane": func(c *RandomConfig) { c.MinTurnRadius = 0.1 },
+	}
+	for name, mutate := range cases {
+		c := DefaultRandomConfig(1)
+		mutate(&c)
+		if _, err := Random(c); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestRandomGeneratesDrivableShapes(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		cfg := DefaultRandomConfig(seed)
+		trk, err := Random(cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		// Closed, sensible length.
+		if trk.Centerline.Length() < 4 {
+			t.Errorf("seed %d: suspiciously short (%g m)", seed, trk.Centerline.Length())
+		}
+		// Curvature bound respected.
+		if k := maxCurvature(trk.Centerline); k > 1/cfg.MinTurnRadius+0.05 {
+			t.Errorf("seed %d: max curvature %g exceeds 1/%g", seed, k, cfg.MinTurnRadius)
+		}
+		// Centerline points on track.
+		for s := 0.0; s < trk.Centerline.Length(); s += 1.0 {
+			if !trk.OnTrack(trk.Centerline.PointAt(s)) {
+				t.Errorf("seed %d: centerline off its own track at s=%g", seed, s)
+			}
+		}
+	}
+}
+
+func TestRandomDeterministicPerSeed(t *testing.T) {
+	a, err := Random(DefaultRandomConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Random(DefaultRandomConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.Centerline.Length()-b.Centerline.Length()) > 1e-12 {
+		t.Error("same seed gave different tracks")
+	}
+	c, err := Random(DefaultRandomConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.Centerline.Length()-c.Centerline.Length()) < 1e-9 {
+		t.Error("different seeds gave identical tracks")
+	}
+}

@@ -1,0 +1,155 @@
+package track
+
+import (
+	"fmt"
+	"math"
+)
+
+// Meters per inch; the paper reports track dimensions in inches.
+const MetersPerInch = 0.0254
+
+// Track is a drivable closed course: a centerline plus a lane width. The
+// drivable surface is the band within Width/2 of the centerline; the tape
+// lines sit on the two boundary offset curves.
+type Track struct {
+	Name       string
+	Centerline *Path
+	Width      float64 // lane width in meters
+	inner      *Path   // right-hand boundary (offset -Width/2)
+	outer      *Path   // left-hand boundary (offset +Width/2)
+}
+
+// New assembles a track from a centerline and lane width, precomputing the
+// boundary curves.
+func New(name string, center *Path, width float64) (*Track, error) {
+	if width <= 0 {
+		return nil, fmt.Errorf("track: width must be positive, got %g", width)
+	}
+	left, err := center.Offset(width / 2)
+	if err != nil {
+		return nil, fmt.Errorf("track %q: left boundary: %w", name, err)
+	}
+	right, err := center.Offset(-width / 2)
+	if err != nil {
+		return nil, fmt.Errorf("track %q: right boundary: %w", name, err)
+	}
+	// Which lateral side is "inner" depends on travel orientation; the inner
+	// line is always the shorter one.
+	inner, outer := left, right
+	if right.Length() < left.Length() {
+		inner, outer = right, left
+	}
+	return &Track{Name: name, Centerline: center, Width: width, inner: inner, outer: outer}, nil
+}
+
+// InnerBoundary returns the right-hand (inner for a counter-clockwise
+// course) tape line.
+func (t *Track) InnerBoundary() *Path { return t.inner }
+
+// OuterBoundary returns the left-hand tape line.
+func (t *Track) OuterBoundary() *Path { return t.outer }
+
+// OnTrack reports whether p lies on the drivable surface.
+func (t *Track) OnTrack(p Point) bool {
+	proj := t.Centerline.Project(p)
+	return math.Abs(proj.Lateral) <= t.Width/2
+}
+
+// StartPose returns a pose on the centerline at arclength s, facing along
+// the direction of travel.
+func (t *Track) StartPose(s float64) (x, y, heading float64) {
+	pt := t.Centerline.PointAt(s)
+	return pt.X, pt.Y, t.Centerline.HeadingAt(s)
+}
+
+// Summary holds the geometric quantities the paper reports for a track
+// (Fig. 3): inner line length, outer line length, and average width.
+type Summary struct {
+	Name        string
+	InnerLength float64 // meters
+	OuterLength float64 // meters
+	CenterLen   float64 // meters
+	AvgWidth    float64 // meters
+}
+
+// Summarize measures the track the way the paper describes its tracks.
+func (t *Track) Summarize() Summary {
+	return Summary{
+		Name:        t.Name,
+		InnerLength: t.inner.Length(),
+		OuterLength: t.outer.Length(),
+		CenterLen:   t.Centerline.Length(),
+		AvgWidth:    t.Width,
+	}
+}
+
+// DefaultOval reproduces the paper's hand-taped oval: "inner line length:
+// 330 in, outer line length: 509 in and average width: 27.59 in". We build
+// a stadium (two straights joined by semicircular ends) whose width matches
+// exactly and whose centerline length matches the mean of the two measured
+// lines; hand-taped lines are not perfect offsets, so inner/outer come out
+// within a few percent of the reported figures.
+func DefaultOval() (*Track, error) {
+	width := 27.59 * MetersPerInch                   // 0.7008 m
+	centerLen := (330.0 + 509.0) / 2 * MetersPerInch // 10.655 m
+	// Choose end radius slightly above width so the inner line stays a valid
+	// simple curve, then set the straight length to hit centerLen.
+	radius := 0.85
+	straight := (centerLen - 2*math.Pi*radius) / 2
+	if straight <= 0 {
+		return nil, fmt.Errorf("track: oval parameters inconsistent")
+	}
+	c, err := NewBuilder(0, 0, 0, 0.05).
+		Straight(straight).
+		Arc(radius, math.Pi).
+		Straight(straight).
+		Arc(radius, math.Pi).
+		Close()
+	if err != nil {
+		return nil, err
+	}
+	return New("default-oval", c, width)
+}
+
+// Waveshare approximates the commercial Waveshare track shown in Fig. 3(b):
+// a rounded rectangle with an S-curve chicane on one long side, giving both
+// left and right turns (the plain oval only turns one way).
+func Waveshare() (*Track, error) {
+	width := 0.60
+	r := 0.75
+	// The chicane (left pi/3, right 2pi/3, left pi/3) nets zero heading and
+	// zero lateral displacement but advances 4*r*sin(pi/3) along the side, so
+	// the opposite straight must be longer by that amount for the loop to
+	// close.
+	chicaneAdvance := 4 * r * math.Sin(math.Pi/3)
+	c, err := NewBuilder(0, 0, 0, 0.05).
+		Straight(0.4+chicaneAdvance+0.4).
+		Arc(r, math.Pi/2).
+		Straight(1.2).
+		Arc(r, math.Pi/2).
+		Straight(0.4).
+		Arc(r, math.Pi/3).
+		Arc(r, -2*math.Pi/3).
+		Arc(r, math.Pi/3).
+		Straight(0.4).
+		Arc(r, math.Pi/2).
+		Straight(1.2).
+		Arc(r, math.Pi/2).
+		Close()
+	if err != nil {
+		return nil, err
+	}
+	return New("waveshare", c, width)
+}
+
+// ByName returns one of the stock tracks ("default-oval" or "waveshare").
+func ByName(name string) (*Track, error) {
+	switch name {
+	case "default-oval", "oval", "":
+		return DefaultOval()
+	case "waveshare":
+		return Waveshare()
+	default:
+		return nil, fmt.Errorf("track: unknown track %q", name)
+	}
+}

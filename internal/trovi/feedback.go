@@ -1,0 +1,172 @@
+package trovi
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// This file models §4's community-feedback loop: "we facilitate a Google
+// Group and a set of instructions for providing feedback or sharing case
+// study information about how the educational materials benefited or what
+// improvements can be made", plus the merge-request pathway through which
+// "students can make a merge request to the original repository".
+
+// FeedbackKind classifies a community contribution.
+type FeedbackKind string
+
+// Feedback kinds.
+const (
+	FeedbackComment   FeedbackKind = "comment"    // free-form discussion
+	FeedbackCaseStudy FeedbackKind = "case-study" // how the module was used
+	FeedbackIssue     FeedbackKind = "issue"      // something broken/confusing
+)
+
+// Feedback is one community entry on an artifact.
+type Feedback struct {
+	ID     int
+	User   string
+	Kind   FeedbackKind
+	Text   string
+	Rating int // 1-5 stars; 0 = unrated
+	At     time.Time
+}
+
+// MergeRequest is a proposed change to the artifact ("extensions or
+// improvements" flowing back from learners).
+type MergeRequest struct {
+	ID     int
+	User   string
+	Title  string
+	Status string // open, merged, closed
+	At     time.Time
+}
+
+// AddFeedback records a community entry.
+func (h *Hub) AddFeedback(artifactID, user string, kind FeedbackKind, text string, rating int, at time.Time) (int, error) {
+	if user == "" || text == "" {
+		return 0, fmt.Errorf("%w: user and text required", ErrBadInput)
+	}
+	switch kind {
+	case FeedbackComment, FeedbackCaseStudy, FeedbackIssue:
+	default:
+		return 0, fmt.Errorf("%w: unknown feedback kind %q", ErrBadInput, kind)
+	}
+	if rating < 0 || rating > 5 {
+		return 0, fmt.Errorf("%w: rating must be 0-5", ErrBadInput)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	a, ok := h.artifacts[artifactID]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrNoArtifact, artifactID)
+	}
+	id := len(a.feedback) + 1
+	a.feedback = append(a.feedback, Feedback{
+		ID: id, User: user, Kind: kind, Text: text, Rating: rating, At: at,
+	})
+	return id, nil
+}
+
+// FeedbackFor returns the artifact's feedback in submission order,
+// optionally filtered by kind ("" = all).
+func (h *Hub) FeedbackFor(artifactID string, kind FeedbackKind) ([]Feedback, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	a, ok := h.artifacts[artifactID]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoArtifact, artifactID)
+	}
+	var out []Feedback
+	for _, f := range a.feedback {
+		if kind == "" || f.Kind == kind {
+			out = append(out, f)
+		}
+	}
+	return out, nil
+}
+
+// MeanRating averages nonzero ratings (0 when unrated).
+func (h *Hub) MeanRating(artifactID string) (float64, error) {
+	fb, err := h.FeedbackFor(artifactID, "")
+	if err != nil {
+		return 0, err
+	}
+	var sum, n float64
+	for _, f := range fb {
+		if f.Rating > 0 {
+			sum += float64(f.Rating)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, nil
+	}
+	return sum / n, nil
+}
+
+// OpenMergeRequest files a proposed improvement.
+func (h *Hub) OpenMergeRequest(artifactID, user, title string, at time.Time) (int, error) {
+	if user == "" || title == "" {
+		return 0, fmt.Errorf("%w: user and title required", ErrBadInput)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	a, ok := h.artifacts[artifactID]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrNoArtifact, artifactID)
+	}
+	id := len(a.merges) + 1
+	a.merges = append(a.merges, MergeRequest{ID: id, User: user, Title: title, Status: "open", At: at})
+	return id, nil
+}
+
+// ResolveMergeRequest merges or closes a request; merging publishes a new
+// artifact version with the supplied payload.
+func (h *Hub) ResolveMergeRequest(artifactID string, mrID int, merge bool, payload []byte, at time.Time) error {
+	h.mu.Lock()
+	a, ok := h.artifacts[artifactID]
+	if !ok {
+		h.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrNoArtifact, artifactID)
+	}
+	if mrID < 1 || mrID > len(a.merges) {
+		h.mu.Unlock()
+		return fmt.Errorf("%w: merge request %d", ErrBadInput, mrID)
+	}
+	mr := &a.merges[mrID-1]
+	if mr.Status != "open" {
+		h.mu.Unlock()
+		return fmt.Errorf("%w: merge request %d is %s", ErrBadInput, mrID, mr.Status)
+	}
+	if merge {
+		mr.Status = "merged"
+	} else {
+		mr.Status = "closed"
+	}
+	h.mu.Unlock()
+	if merge {
+		if _, err := h.PublishVersion(artifactID, payload, "community: "+mr.Title, at); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MergeRequests lists an artifact's merge requests, open first then by ID.
+func (h *Hub) MergeRequests(artifactID string) ([]MergeRequest, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	a, ok := h.artifacts[artifactID]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoArtifact, artifactID)
+	}
+	out := append([]MergeRequest(nil), a.merges...)
+	sort.SliceStable(out, func(i, j int) bool {
+		if (out[i].Status == "open") != (out[j].Status == "open") {
+			return out[i].Status == "open"
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out, nil
+}

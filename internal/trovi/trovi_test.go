@@ -1,0 +1,318 @@
+package trovi
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2023, 9, 1, 0, 0, 0, 0, time.UTC)
+
+func published(t *testing.T) (*Hub, *Artifact) {
+	t.Helper()
+	h := NewHub()
+	a, err := h.Publish("AutoLearn", []string{"Esquivel Morel", "Fowler", "Keahey"}, []byte("v1"), t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h, a
+}
+
+func TestPublishValidation(t *testing.T) {
+	h := NewHub()
+	if _, err := h.Publish("", []string{"a"}, nil, t0); !errors.Is(err, ErrBadInput) {
+		t.Errorf("got %v", err)
+	}
+	if _, err := h.Publish("t", nil, nil, t0); !errors.Is(err, ErrBadInput) {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestVersioning(t *testing.T) {
+	h, a := published(t)
+	n, err := h.PublishVersion(a.ID, []byte("v2"), "fix typos", t0.Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Errorf("version %d", n)
+	}
+	latest, err := h.GetVersion(a.ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(latest.Payload) != "v2" || latest.Number != 2 {
+		t.Errorf("latest = %+v", latest)
+	}
+	v1, err := h.GetVersion(a.ID, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(v1.Payload) != "v1" {
+		t.Errorf("v1 payload %q", v1.Payload)
+	}
+	if _, err := h.GetVersion(a.ID, 5); !errors.Is(err, ErrNoVersion) {
+		t.Errorf("got %v", err)
+	}
+	if _, err := h.GetVersion("nope", 1); !errors.Is(err, ErrNoArtifact) {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestVersionPayloadIsolated(t *testing.T) {
+	h, a := published(t)
+	v, _ := h.GetVersion(a.ID, 1)
+	v.Payload[0] = 'X'
+	again, _ := h.GetVersion(a.ID, 1)
+	if again.Payload[0] == 'X' {
+		t.Error("payload aliased")
+	}
+}
+
+func TestMetricsCountUniqueUsers(t *testing.T) {
+	h, a := published(t)
+	// One user clicks launch 5 times, another once; only one executes.
+	for i := 0; i < 5; i++ {
+		if err := h.RecordLaunch(a.ID, "alice"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h.RecordLaunch(a.ID, "bob")
+	h.RecordExecution(a.ID, "alice")
+	h.RecordView(a.ID)
+	h.RecordView(a.ID)
+	m, err := h.MetricsFor(a.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.LaunchClicks != 6 || m.LaunchUsers != 2 || m.ExecUsers != 1 || m.Views != 2 || m.Versions != 1 {
+		t.Errorf("metrics = %+v", m)
+	}
+}
+
+func TestMetricsValidation(t *testing.T) {
+	h, a := published(t)
+	if err := h.RecordLaunch(a.ID, ""); !errors.Is(err, ErrBadInput) {
+		t.Errorf("got %v", err)
+	}
+	if err := h.RecordLaunch("nope", "u"); !errors.Is(err, ErrNoArtifact) {
+		t.Errorf("got %v", err)
+	}
+	if err := h.RecordExecution("nope", "u"); !errors.Is(err, ErrNoArtifact) {
+		t.Errorf("got %v", err)
+	}
+	if err := h.RecordView("nope"); !errors.Is(err, ErrNoArtifact) {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestTagsAndSearch(t *testing.T) {
+	h, a := published(t)
+	if err := h.SetMetadata(a.ID, "edge-to-cloud educational module",
+		[]string{"education", "edge", "chameleon"}); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := h.Publish("Other", []string{"x"}, nil, t0)
+	h.SetMetadata(b.ID, "", []string{"networking"})
+	got := h.FindByTag("education")
+	if len(got) != 1 || got[0] != a.ID {
+		t.Errorf("FindByTag = %v", got)
+	}
+	if got := h.FindByTag("nothing"); len(got) != 0 {
+		t.Errorf("phantom tag results %v", got)
+	}
+	if len(h.List()) != 2 {
+		t.Errorf("List = %v", h.List())
+	}
+}
+
+func TestPopulationModelShapeMatchesPaper(t *testing.T) {
+	h, a := published(t)
+	m, err := DefaultPopulation().Run(h, a.ID, t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's §5 funnel: 35 clicks > 9 launching users > 2 executing
+	// users; 8 published versions (+1 initial here). Check the shape, with
+	// generous bands around the reported values.
+	if m.Versions != 9 {
+		t.Errorf("versions = %d, want 9 (1 initial + 8 published)", m.Versions)
+	}
+	if !(m.LaunchClicks > m.LaunchUsers && m.LaunchUsers > m.ExecUsers) {
+		t.Errorf("funnel inverted: %+v", m)
+	}
+	if m.LaunchClicks < 15 || m.LaunchClicks > 70 {
+		t.Errorf("launch clicks %d far from paper's 35", m.LaunchClicks)
+	}
+	if m.LaunchUsers < 4 || m.LaunchUsers > 20 {
+		t.Errorf("launch users %d far from paper's 9", m.LaunchUsers)
+	}
+	if m.ExecUsers < 1 || m.ExecUsers > 8 {
+		t.Errorf("exec users %d far from paper's 2", m.ExecUsers)
+	}
+}
+
+func TestPopulationDeterministic(t *testing.T) {
+	run := func() Metrics {
+		h, a := published(t)
+		m, err := DefaultPopulation().Run(h, a.ID, t0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestPopulationValidation(t *testing.T) {
+	bad := DefaultPopulation()
+	bad.Users = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero users accepted")
+	}
+	bad = DefaultPopulation()
+	bad.LaunchProb = 1.5
+	if err := bad.Validate(); err == nil {
+		t.Error("probability > 1 accepted")
+	}
+	bad = DefaultPopulation()
+	bad.ExtraClicksMean = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative clicks accepted")
+	}
+}
+
+func TestConcurrentMetrics(t *testing.T) {
+	h, a := published(t)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			user := string(rune('a' + i))
+			for j := 0; j < 100; j++ {
+				h.RecordLaunch(a.ID, user)
+				h.RecordView(a.ID)
+			}
+		}(i)
+	}
+	wg.Wait()
+	m, _ := h.MetricsFor(a.ID)
+	if m.LaunchClicks != 800 || m.LaunchUsers != 8 || m.Views != 800 {
+		t.Errorf("metrics = %+v", m)
+	}
+}
+
+func TestFeedbackFlow(t *testing.T) {
+	h, a := published(t)
+	id, err := h.AddFeedback(a.ID, "alice", FeedbackCaseStudy,
+		"used AutoLearn for a 2-week REU project", 5, t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 1 {
+		t.Errorf("id %d", id)
+	}
+	if _, err := h.AddFeedback(a.ID, "bob", FeedbackIssue, "console has no text editing", 3, t0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.AddFeedback(a.ID, "carol", FeedbackComment, "thanks!", 0, t0); err != nil {
+		t.Fatal(err)
+	}
+	all, err := h.FeedbackFor(a.ID, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 3 {
+		t.Fatalf("got %d entries", len(all))
+	}
+	issues, _ := h.FeedbackFor(a.ID, FeedbackIssue)
+	if len(issues) != 1 || issues[0].User != "bob" {
+		t.Errorf("issues = %v", issues)
+	}
+	mean, err := h.MeanRating(a.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mean != 4 { // (5+3)/2; unrated excluded
+		t.Errorf("mean rating %g", mean)
+	}
+}
+
+func TestFeedbackValidation(t *testing.T) {
+	h, a := published(t)
+	if _, err := h.AddFeedback(a.ID, "", FeedbackComment, "x", 0, t0); !errors.Is(err, ErrBadInput) {
+		t.Errorf("got %v", err)
+	}
+	if _, err := h.AddFeedback(a.ID, "u", "weird", "x", 0, t0); !errors.Is(err, ErrBadInput) {
+		t.Errorf("got %v", err)
+	}
+	if _, err := h.AddFeedback(a.ID, "u", FeedbackComment, "x", 9, t0); !errors.Is(err, ErrBadInput) {
+		t.Errorf("got %v", err)
+	}
+	if _, err := h.AddFeedback("nope", "u", FeedbackComment, "x", 0, t0); !errors.Is(err, ErrNoArtifact) {
+		t.Errorf("got %v", err)
+	}
+	if _, err := h.MeanRating(a.ID); err != nil {
+		t.Fatal(err)
+	}
+	if mean, _ := h.MeanRating(a.ID); mean != 0 {
+		t.Errorf("unrated artifact mean %g", mean)
+	}
+}
+
+func TestMergeRequestLifecycle(t *testing.T) {
+	h, a := published(t)
+	mr1, err := h.OpenMergeRequest(a.ID, "student", "add RNN tutorial", t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mr2, err := h.OpenMergeRequest(a.ID, "student2", "fix typo", t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Merging publishes a new version.
+	before, _ := h.MetricsFor(a.ID)
+	if err := h.ResolveMergeRequest(a.ID, mr1, true, []byte("v2 with RNN tutorial"), t0.Add(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := h.MetricsFor(a.ID)
+	if after.Versions != before.Versions+1 {
+		t.Errorf("merge did not publish a version: %d -> %d", before.Versions, after.Versions)
+	}
+	// Closing does not.
+	if err := h.ResolveMergeRequest(a.ID, mr2, false, nil, t0); err != nil {
+		t.Fatal(err)
+	}
+	final, _ := h.MetricsFor(a.ID)
+	if final.Versions != after.Versions {
+		t.Error("close published a version")
+	}
+	// Double-resolve rejected.
+	if err := h.ResolveMergeRequest(a.ID, mr1, true, nil, t0); !errors.Is(err, ErrBadInput) {
+		t.Errorf("got %v", err)
+	}
+	mrs, err := h.MergeRequests(a.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mrs) != 2 || mrs[0].Status == "open" == (mrs[1].Status == "open") && mrs[0].ID > mrs[1].ID {
+		t.Errorf("merge requests %v", mrs)
+	}
+}
+
+func TestMergeRequestValidation(t *testing.T) {
+	h, a := published(t)
+	if _, err := h.OpenMergeRequest(a.ID, "", "t", t0); !errors.Is(err, ErrBadInput) {
+		t.Errorf("got %v", err)
+	}
+	if _, err := h.OpenMergeRequest("nope", "u", "t", t0); !errors.Is(err, ErrNoArtifact) {
+		t.Errorf("got %v", err)
+	}
+	if err := h.ResolveMergeRequest(a.ID, 99, true, nil, t0); !errors.Is(err, ErrBadInput) {
+		t.Errorf("got %v", err)
+	}
+}

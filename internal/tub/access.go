@@ -1,0 +1,96 @@
+package tub
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// At returns the record with the given index, using the catalog sidecar
+// manifests to open only the chunk that contains it — the random-access
+// pattern DonkeyCar's training loader uses on big tubs.
+func (t *Tub) At(index int) (StoredRecord, error) {
+	m, err := t.readManifest()
+	if err != nil {
+		return StoredRecord{}, err
+	}
+	if index < 0 || index >= m.CurrentIndex {
+		return StoredRecord{}, fmt.Errorf("tub: index %d out of range [0,%d)", index, m.CurrentIndex)
+	}
+	cats, err := t.Catalogs()
+	if err != nil {
+		return StoredRecord{}, err
+	}
+	for _, cat := range cats {
+		if index < cat.StartIndex || index >= cat.StartIndex+cat.Count {
+			continue
+		}
+		f, err := os.Open(filepath.Join(t.Dir, cat.Path))
+		if err != nil {
+			return StoredRecord{}, fmt.Errorf("tub: open catalog: %w", err)
+		}
+		defer f.Close()
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+		line := 0
+		for sc.Scan() {
+			if cat.StartIndex+line == index {
+				var rec StoredRecord
+				if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+					return StoredRecord{}, fmt.Errorf("tub: %s line %d: %w", cat.Path, line, err)
+				}
+				return rec, nil
+			}
+			line++
+		}
+		if err := sc.Err(); err != nil {
+			return StoredRecord{}, err
+		}
+		break
+	}
+	return StoredRecord{}, fmt.Errorf("tub: record %d not found in any catalog", index)
+}
+
+// Iter streams live records one at a time to fn in index order, stopping
+// early if fn returns false. It never loads the whole dataset into memory,
+// which matters for the paper's 50k-record tubs.
+func (t *Tub) Iter(fn func(StoredRecord) bool) error {
+	m, err := t.readManifest()
+	if err != nil {
+		return err
+	}
+	deleted := make(map[int]bool, len(m.DeletedIndexes))
+	for _, i := range m.DeletedIndexes {
+		deleted[i] = true
+	}
+	for _, cat := range m.CatalogPaths {
+		f, err := os.Open(filepath.Join(t.Dir, cat))
+		if err != nil {
+			return fmt.Errorf("tub: open catalog %s: %w", cat, err)
+		}
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+		for sc.Scan() {
+			var rec StoredRecord
+			if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+				f.Close()
+				return fmt.Errorf("tub: %s: %w", cat, err)
+			}
+			if deleted[rec.Index] {
+				continue
+			}
+			if !fn(rec) {
+				f.Close()
+				return nil
+			}
+		}
+		err = sc.Err()
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("tub: scan %s: %w", cat, err)
+		}
+	}
+	return nil
+}

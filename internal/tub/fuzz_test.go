@@ -1,0 +1,27 @@
+package tub
+
+import (
+	"archive/tar"
+	"bytes"
+	"testing"
+)
+
+// FuzzUnpack hardens the tar extraction path: arbitrary bytes must never
+// escape the target directory or panic — only return errors.
+func FuzzUnpack(f *testing.F) {
+	// Seed: a valid one-file archive.
+	var buf bytes.Buffer
+	tw := tar.NewWriter(&buf)
+	tw.WriteHeader(&tar.Header{Name: "manifest.json", Mode: 0o644, Size: 2, Typeflag: tar.TypeReg})
+	tw.Write([]byte("{}"))
+	tw.Close()
+	f.Add(buf.Bytes())
+	f.Add([]byte("not a tar at all"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		// Must not panic; errors are fine.
+		_, _ = Unpack(bytes.NewReader(data), dir)
+	})
+}

@@ -1,0 +1,57 @@
+package tub
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Merge copies the live records of several source tubs into dst in order —
+// the "mix and match" pathway (§3.5): students combine sample datasets,
+// their own drives, and teammates' drives into one training set. Frames
+// are re-encoded under dst's indexing; deletion marks in the sources are
+// honored (marked records are not copied).
+func Merge(dst *Tub, sources ...*Tub) (copied int, err error) {
+	if dst == nil {
+		return 0, fmt.Errorf("tub: nil destination")
+	}
+	if len(sources) == 0 {
+		return 0, fmt.Errorf("tub: no source tubs")
+	}
+	w, err := NewWriter(dst)
+	if err != nil {
+		return 0, err
+	}
+	defer func() {
+		if cerr := w.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	for si, src := range sources {
+		if src == nil {
+			return copied, fmt.Errorf("tub: source %d is nil", si)
+		}
+		recs, err := src.ReadAll()
+		if err != nil {
+			return copied, fmt.Errorf("tub: source %d: %w", si, err)
+		}
+		for _, r := range recs {
+			// Loading as RGB is lossless for both gray and RGB sources.
+			frame, err := src.LoadFrame(r.Image, 3)
+			if err != nil {
+				return copied, fmt.Errorf("tub: source %d record %d: %w", si, r.Index, err)
+			}
+			if _, err := w.Write(sim.Record{
+				Frame:     frame,
+				Steering:  r.Angle,
+				Throttle:  r.Throttle,
+				Timestamp: time.UnixMilli(r.TimeMS),
+			}); err != nil {
+				return copied, err
+			}
+			copied++
+		}
+	}
+	return copied, nil
+}

@@ -1,0 +1,98 @@
+package tub
+
+import (
+	"archive/tar"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Pack streams the tub directory as a tar archive, the wire format used to
+// publish sample datasets to the object store and to model the rsync
+// transfer to the training node.
+func (t *Tub) Pack(w io.Writer) error {
+	tw := tar.NewWriter(w)
+	err := filepath.Walk(t.Dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(t.Dir, path)
+		if err != nil {
+			return err
+		}
+		if rel == "." {
+			return nil
+		}
+		hdr, err := tar.FileInfoHeader(info, "")
+		if err != nil {
+			return err
+		}
+		hdr.Name = filepath.ToSlash(rel)
+		if err := tw.WriteHeader(hdr); err != nil {
+			return err
+		}
+		if info.IsDir() {
+			return nil
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		_, err = io.Copy(tw, f)
+		return err
+	})
+	if err != nil {
+		return fmt.Errorf("tub: pack: %w", err)
+	}
+	if err := tw.Close(); err != nil {
+		return fmt.Errorf("tub: pack: %w", err)
+	}
+	return nil
+}
+
+// Unpack extracts a tar archive produced by Pack into dir and opens the
+// resulting tub. Paths escaping dir are rejected.
+func Unpack(r io.Reader, dir string) (*Tub, error) {
+	tr := tar.NewReader(r)
+	for {
+		hdr, err := tr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("tub: unpack: %w", err)
+		}
+		name := filepath.FromSlash(hdr.Name)
+		if strings.Contains(name, "..") || filepath.IsAbs(name) {
+			return nil, fmt.Errorf("tub: unpack: unsafe path %q", hdr.Name)
+		}
+		dst := filepath.Join(dir, name)
+		switch hdr.Typeflag {
+		case tar.TypeDir:
+			if err := os.MkdirAll(dst, 0o755); err != nil {
+				return nil, fmt.Errorf("tub: unpack: %w", err)
+			}
+		case tar.TypeReg:
+			if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+				return nil, fmt.Errorf("tub: unpack: %w", err)
+			}
+			f, err := os.Create(dst)
+			if err != nil {
+				return nil, fmt.Errorf("tub: unpack: %w", err)
+			}
+			if _, err := io.Copy(f, tr); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("tub: unpack: %w", err)
+			}
+			if err := f.Close(); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("tub: unpack: unsupported entry type %d for %q", hdr.Typeflag, hdr.Name)
+		}
+	}
+	return Open(dir)
+}

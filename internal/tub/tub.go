@@ -1,0 +1,259 @@
+// Package tub implements the DonkeyCar "tub" dataset format the paper
+// describes in §3.3: datasets are directories holding .catalog files
+// (JSON-lines of steering/throttle records), .catalog_manifest files with
+// per-catalog bookkeeping, a manifest.json where records are marked for
+// deletion, and an images directory with one image per record.
+package tub
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"image"
+	"image/color"
+	"image/png"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Standard DonkeyCar record keys.
+const (
+	KeyImage    = "cam/image_array"
+	KeyAngle    = "user/angle"
+	KeyThrottle = "user/throttle"
+	KeyMode     = "user/mode"
+	KeyIndex    = "_index"
+	KeyTimeMS   = "_timestamp_ms"
+)
+
+// DefaultCatalogSize is how many records each .catalog chunk holds.
+const DefaultCatalogSize = 1000
+
+// StoredRecord is one tub record as persisted on disk.
+type StoredRecord struct {
+	Index    int     `json:"_index"`
+	TimeMS   int64   `json:"_timestamp_ms"`
+	Image    string  `json:"cam/image_array"`
+	Angle    float64 `json:"user/angle"`
+	Throttle float64 `json:"user/throttle"`
+	Mode     string  `json:"user/mode"`
+}
+
+// catalogManifest mirrors DonkeyCar's .catalog_manifest sidecar.
+type catalogManifest struct {
+	Path       string `json:"path"`
+	StartIndex int    `json:"start_index"`
+	Count      int    `json:"line_count"`
+}
+
+// manifest is the tub-level manifest.json: schema info plus the deletion
+// set tubclean mutates.
+type manifest struct {
+	Inputs         []string `json:"inputs"`
+	Types          []string `json:"types"`
+	CatalogPaths   []string `json:"paths"`
+	CurrentIndex   int      `json:"current_index"`
+	DeletedIndexes []int    `json:"deleted_indexes"`
+	SessionID      string   `json:"session_id,omitempty"`
+}
+
+// Tub is an on-disk dataset directory.
+type Tub struct {
+	Dir string
+}
+
+// ErrNotTub is returned when opening a directory without a manifest.json.
+var ErrNotTub = errors.New("tub: directory has no manifest.json")
+
+const (
+	manifestName = "manifest.json"
+	imagesDir    = "images"
+)
+
+// Create initializes a new, empty tub directory (created if absent).
+func Create(dir string) (*Tub, error) {
+	if err := os.MkdirAll(filepath.Join(dir, imagesDir), 0o755); err != nil {
+		return nil, fmt.Errorf("tub: create: %w", err)
+	}
+	t := &Tub{Dir: dir}
+	m := manifest{
+		Inputs:         []string{KeyImage, KeyAngle, KeyThrottle, KeyMode},
+		Types:          []string{"image_array", "float", "float", "str"},
+		DeletedIndexes: []int{},
+		CatalogPaths:   []string{},
+	}
+	if err := t.writeManifest(&m); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Open opens an existing tub directory.
+func Open(dir string) (*Tub, error) {
+	if _, err := os.Stat(filepath.Join(dir, manifestName)); err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("%w: %s", ErrNotTub, dir)
+		}
+		return nil, fmt.Errorf("tub: open: %w", err)
+	}
+	return &Tub{Dir: dir}, nil
+}
+
+func (t *Tub) readManifest() (*manifest, error) {
+	data, err := os.ReadFile(filepath.Join(t.Dir, manifestName))
+	if err != nil {
+		return nil, fmt.Errorf("tub: read manifest: %w", err)
+	}
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("tub: parse manifest: %w", err)
+	}
+	return &m, nil
+}
+
+func (t *Tub) writeManifest(m *manifest) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("tub: encode manifest: %w", err)
+	}
+	return os.WriteFile(filepath.Join(t.Dir, manifestName), data, 0o644)
+}
+
+// Count returns the number of live (non-deleted) records.
+func (t *Tub) Count() (int, error) {
+	m, err := t.readManifest()
+	if err != nil {
+		return 0, err
+	}
+	return m.CurrentIndex - len(m.DeletedIndexes), nil
+}
+
+// TotalCount returns the number of records ever written, deleted or not.
+func (t *Tub) TotalCount() (int, error) {
+	m, err := t.readManifest()
+	if err != nil {
+		return 0, err
+	}
+	return m.CurrentIndex, nil
+}
+
+// DeletedIndexes returns a sorted copy of the deletion set.
+func (t *Tub) DeletedIndexes() ([]int, error) {
+	m, err := t.readManifest()
+	if err != nil {
+		return nil, err
+	}
+	out := append([]int(nil), m.DeletedIndexes...)
+	sort.Ints(out)
+	return out, nil
+}
+
+// MarkDeleted adds record indexes to the deletion set (idempotent). This is
+// what the tubclean UI does when the student selects bad video segments.
+func (t *Tub) MarkDeleted(indexes ...int) error {
+	m, err := t.readManifest()
+	if err != nil {
+		return err
+	}
+	have := make(map[int]bool, len(m.DeletedIndexes))
+	for _, i := range m.DeletedIndexes {
+		have[i] = true
+	}
+	for _, i := range indexes {
+		if i < 0 || i >= m.CurrentIndex {
+			return fmt.Errorf("tub: index %d out of range [0,%d)", i, m.CurrentIndex)
+		}
+		if !have[i] {
+			m.DeletedIndexes = append(m.DeletedIndexes, i)
+			have[i] = true
+		}
+	}
+	sort.Ints(m.DeletedIndexes)
+	return t.writeManifest(m)
+}
+
+// Restore removes indexes from the deletion set.
+func (t *Tub) Restore(indexes ...int) error {
+	m, err := t.readManifest()
+	if err != nil {
+		return err
+	}
+	drop := make(map[int]bool, len(indexes))
+	for _, i := range indexes {
+		drop[i] = true
+	}
+	kept := m.DeletedIndexes[:0]
+	for _, i := range m.DeletedIndexes {
+		if !drop[i] {
+			kept = append(kept, i)
+		}
+	}
+	m.DeletedIndexes = kept
+	return t.writeManifest(m)
+}
+
+// imageFileName mirrors DonkeyCar's naming convention.
+func imageFileName(index int) string {
+	return fmt.Sprintf("%d_cam_image_array_.png", index)
+}
+
+// saveFrame encodes a sim.Frame as PNG under images/.
+func (t *Tub) saveFrame(index int, f *sim.Frame) (string, error) {
+	name := imageFileName(index)
+	img := image.NewRGBA(image.Rect(0, 0, f.W, f.H))
+	for y := 0; y < f.H; y++ {
+		for x := 0; x < f.W; x++ {
+			px := f.At(x, y)
+			var c color.RGBA
+			if f.C == 3 {
+				c = color.RGBA{px[0], px[1], px[2], 255}
+			} else {
+				c = color.RGBA{px[0], px[0], px[0], 255}
+			}
+			img.Set(x, y, c)
+		}
+	}
+	fp, err := os.Create(filepath.Join(t.Dir, imagesDir, name))
+	if err != nil {
+		return "", fmt.Errorf("tub: save image: %w", err)
+	}
+	defer fp.Close()
+	if err := png.Encode(fp, img); err != nil {
+		return "", fmt.Errorf("tub: encode image: %w", err)
+	}
+	return name, nil
+}
+
+// LoadFrame reads a record's image back as a sim.Frame with the requested
+// channel count (1 or 3).
+func (t *Tub) LoadFrame(name string, channels int) (*sim.Frame, error) {
+	fp, err := os.Open(filepath.Join(t.Dir, imagesDir, name))
+	if err != nil {
+		return nil, fmt.Errorf("tub: load image: %w", err)
+	}
+	defer fp.Close()
+	img, err := png.Decode(fp)
+	if err != nil {
+		return nil, fmt.Errorf("tub: decode image: %w", err)
+	}
+	b := img.Bounds()
+	f, err := sim.NewFrame(b.Dx(), b.Dy(), channels)
+	if err != nil {
+		return nil, err
+	}
+	for y := 0; y < b.Dy(); y++ {
+		for x := 0; x < b.Dx(); x++ {
+			r, g, bb, _ := img.At(b.Min.X+x, b.Min.Y+y).RGBA()
+			if channels == 3 {
+				f.Set(x, y, uint8(r>>8), uint8(g>>8), uint8(bb>>8))
+			} else {
+				lum := 0.299*float64(r>>8) + 0.587*float64(g>>8) + 0.114*float64(bb>>8)
+				f.Set(x, y, uint8(lum))
+			}
+		}
+	}
+	return f, nil
+}

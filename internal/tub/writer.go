@@ -1,0 +1,143 @@
+package tub
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/sim"
+)
+
+// Writer appends records to a tub, chunking them into .catalog files of
+// CatalogSize records each, exactly like DonkeyCar's TubWriter.
+type Writer struct {
+	tub         *Tub
+	CatalogSize int
+
+	m       *manifest
+	cur     *os.File
+	buf     *bufio.Writer
+	curMeta catalogManifest
+	closed  bool
+}
+
+// NewWriter opens a writer that appends to the tub. Records written resume
+// from the tub's current index.
+func NewWriter(t *Tub) (*Writer, error) {
+	m, err := t.readManifest()
+	if err != nil {
+		return nil, err
+	}
+	return &Writer{tub: t, CatalogSize: DefaultCatalogSize, m: m}, nil
+}
+
+func catalogName(n int) string { return fmt.Sprintf("catalog_%d.catalog", n) }
+
+func (w *Writer) openCatalog() error {
+	n := len(w.m.CatalogPaths)
+	name := catalogName(n)
+	f, err := os.Create(filepath.Join(w.tub.Dir, name))
+	if err != nil {
+		return fmt.Errorf("tub: create catalog: %w", err)
+	}
+	w.cur = f
+	w.buf = bufio.NewWriter(f)
+	w.curMeta = catalogManifest{Path: name, StartIndex: w.m.CurrentIndex}
+	w.m.CatalogPaths = append(w.m.CatalogPaths, name)
+	return nil
+}
+
+func (w *Writer) closeCatalog() error {
+	if w.cur == nil {
+		return nil
+	}
+	if err := w.buf.Flush(); err != nil {
+		return err
+	}
+	if err := w.cur.Close(); err != nil {
+		return err
+	}
+	meta, err := json.Marshal(w.curMeta)
+	if err != nil {
+		return err
+	}
+	side := w.curMeta.Path + "_manifest"
+	if err := os.WriteFile(filepath.Join(w.tub.Dir, side), meta, 0o644); err != nil {
+		return fmt.Errorf("tub: write catalog manifest: %w", err)
+	}
+	w.cur = nil
+	w.buf = nil
+	return nil
+}
+
+// Write persists one driving record (image + labels) and returns its index.
+func (w *Writer) Write(rec sim.Record) (int, error) {
+	if w.closed {
+		return 0, fmt.Errorf("tub: writer is closed")
+	}
+	if rec.Frame == nil {
+		return 0, fmt.Errorf("tub: record has no frame")
+	}
+	if w.cur == nil || w.curMeta.Count >= w.CatalogSize {
+		if err := w.closeCatalog(); err != nil {
+			return 0, err
+		}
+		if err := w.openCatalog(); err != nil {
+			return 0, err
+		}
+	}
+	idx := w.m.CurrentIndex
+	imgName, err := w.tub.saveFrame(idx, rec.Frame)
+	if err != nil {
+		return 0, err
+	}
+	stored := StoredRecord{
+		Index:    idx,
+		TimeMS:   rec.Timestamp.UnixMilli(),
+		Image:    imgName,
+		Angle:    rec.Steering,
+		Throttle: rec.Throttle,
+		Mode:     "user",
+	}
+	line, err := json.Marshal(stored)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := w.buf.Write(append(line, '\n')); err != nil {
+		return 0, fmt.Errorf("tub: write record: %w", err)
+	}
+	w.curMeta.Count++
+	w.m.CurrentIndex++
+	return idx, nil
+}
+
+// WriteSession persists an entire drive session. It returns the indexes of
+// records whose ground truth marked them bad, which tests use as a tubclean
+// oracle.
+func (w *Writer) WriteSession(res sim.SessionResult) (badIndexes []int, err error) {
+	for _, rec := range res.Records {
+		idx, err := w.Write(rec)
+		if err != nil {
+			return nil, err
+		}
+		if rec.Bad {
+			badIndexes = append(badIndexes, idx)
+		}
+	}
+	return badIndexes, nil
+}
+
+// Close flushes the open catalog and persists the manifest. The writer
+// cannot be used afterwards.
+func (w *Writer) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if err := w.closeCatalog(); err != nil {
+		return err
+	}
+	return w.tub.writeManifest(w.m)
+}

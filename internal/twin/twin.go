@@ -1,0 +1,189 @@
+// Package twin implements the digital-twin exploration the paper proposes
+// ("combining the simulator and real-life validation can lead to
+// interesting exploration of digital twin modeling"): the same driver runs
+// in a nominal simulation and in a perturbed "physical" plant, and the twin
+// quantifies how the two executions diverge over time — in trajectory, in
+// commands, and in the camera stream.
+package twin
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/track"
+)
+
+// Perturbation describes how the "real" car differs from its simulated
+// twin: scale factors on the physical parameters plus sensor noise.
+type Perturbation struct {
+	MassLag        float64 // multiplies throttle/steering lag constants
+	DragScale      float64 // multiplies drag
+	SteerBias      float64 // constant steering offset (trim error)
+	SteerGainScale float64 // multiplies effective steering gain
+	CameraNoise    float64 // stddev of per-pixel noise (0-255 scale)
+}
+
+// Identity returns a no-op perturbation (the twin matches reality).
+func Identity() Perturbation {
+	return Perturbation{MassLag: 1, DragScale: 1, SteerGainScale: 1}
+}
+
+// Mild returns a realistic sim-to-real gap: a slightly heavier, draggier
+// car with a small steering trim error.
+func Mild() Perturbation {
+	return Perturbation{MassLag: 1.3, DragScale: 1.15, SteerBias: 0.03, SteerGainScale: 0.92, CameraNoise: 4}
+}
+
+// Severe returns a large gap (worn tires, miscalibrated servo).
+func Severe() Perturbation {
+	return Perturbation{MassLag: 1.8, DragScale: 1.4, SteerBias: 0.08, SteerGainScale: 0.8, CameraNoise: 10}
+}
+
+// Validate checks the perturbation's scales.
+func (p Perturbation) Validate() error {
+	if p.MassLag <= 0 || p.DragScale <= 0 || p.SteerGainScale <= 0 {
+		return fmt.Errorf("twin: scale factors must be positive")
+	}
+	if p.CameraNoise < 0 {
+		return fmt.Errorf("twin: negative camera noise")
+	}
+	return nil
+}
+
+// Apply returns a car config with the perturbation folded in.
+func (p Perturbation) Apply(cfg sim.CarConfig) sim.CarConfig {
+	out := cfg
+	out.SteerLag *= p.MassLag
+	out.ThrottleLag *= p.MassLag
+	out.Drag *= p.DragScale
+	out.MaxSteer *= p.SteerGainScale
+	return out
+}
+
+// Magnitude summarizes how far the perturbation is from identity, used to
+// order experiments on the divergence-vs-gap curve.
+func (p Perturbation) Magnitude() float64 {
+	return math.Abs(p.MassLag-1) + math.Abs(p.DragScale-1) +
+		math.Abs(p.SteerGainScale-1) + math.Abs(p.SteerBias)*5 + p.CameraNoise/20
+}
+
+// Result quantifies the divergence between the twin and the plant.
+type Result struct {
+	Ticks         int
+	PosRMSE       float64   // meters, over matched ticks
+	FinalPosError float64   // meters at the last tick
+	CmdRMSE       float64   // normalized command units
+	MeanFrameDiff float64   // mean abs pixel difference, 0-255
+	LapDelta      int       // twin laps minus plant laps
+	Divergence    []float64 // per-tick position error series (sampled)
+	SampleEvery   int
+}
+
+// Config sets up a twin experiment.
+type Config struct {
+	Track       *track.Track
+	Camera      sim.CameraConfig
+	Car         sim.CarConfig
+	Perturb     Perturbation
+	Hz          float64
+	Ticks       int
+	SampleEvery int // divergence series stride (default 10)
+	// MakeDriver builds a fresh driver per plant so stateful drivers (an
+	// autopilot's frame history) do not leak between runs.
+	MakeDriver func() sim.Driver
+}
+
+// Run executes the twin and the perturbed plant in lockstep-but-separate
+// sessions and compares their records tick by tick.
+func Run(cfg Config) (Result, error) {
+	if cfg.Track == nil || cfg.MakeDriver == nil {
+		return Result{}, fmt.Errorf("twin: track and driver factory required")
+	}
+	if cfg.Ticks <= 0 || cfg.Hz <= 0 {
+		return Result{}, fmt.Errorf("twin: positive Ticks and Hz required")
+	}
+	if err := cfg.Perturb.Validate(); err != nil {
+		return Result{}, err
+	}
+	if cfg.SampleEvery <= 0 {
+		cfg.SampleEvery = 10
+	}
+
+	runPlant := func(carCfg sim.CarConfig, steerBias float64) (sim.SessionResult, error) {
+		car, err := sim.NewCar(carCfg)
+		if err != nil {
+			return sim.SessionResult{}, err
+		}
+		cam, err := sim.NewCamera(cfg.Camera, cfg.Track)
+		if err != nil {
+			return sim.SessionResult{}, err
+		}
+		drv := cfg.MakeDriver()
+		if steerBias != 0 {
+			inner := drv
+			drv = sim.FuncDriver(func(st sim.CarState) (float64, float64) {
+				s, t := inner.Drive(st)
+				return s + steerBias, t
+			})
+		}
+		ses, err := sim.NewSession(sim.SessionConfig{
+			Hz: cfg.Hz, MaxTicks: cfg.Ticks, OffTrackMargin: 0.15, ResetOnCrash: true,
+		}, car, cam, drv)
+		if err != nil {
+			return sim.SessionResult{}, err
+		}
+		return ses.Run(time.Unix(1_700_000_000, 0)), nil
+	}
+
+	simRes, err := runPlant(cfg.Car, 0)
+	if err != nil {
+		return Result{}, fmt.Errorf("twin: simulation plant: %w", err)
+	}
+	realRes, err := runPlant(cfg.Perturb.Apply(cfg.Car), cfg.Perturb.SteerBias)
+	if err != nil {
+		return Result{}, fmt.Errorf("twin: physical plant: %w", err)
+	}
+
+	n := len(simRes.Records)
+	if len(realRes.Records) < n {
+		n = len(realRes.Records)
+	}
+	if n == 0 {
+		return Result{}, fmt.Errorf("twin: empty runs")
+	}
+
+	res := Result{Ticks: n, SampleEvery: cfg.SampleEvery, LapDelta: simRes.Laps - realRes.Laps}
+	var posSq, cmdSq, frameDiffSum float64
+	frames := 0
+	for i := 0; i < n; i++ {
+		a, b := simRes.Records[i], realRes.Records[i]
+		dx := a.State.X - b.State.X
+		dy := a.State.Y - b.State.Y
+		d2 := dx*dx + dy*dy
+		posSq += d2
+		ds := a.Steering - b.Steering
+		dth := a.Throttle - b.Throttle
+		cmdSq += ds*ds + dth*dth
+		if i%cfg.SampleEvery == 0 {
+			res.Divergence = append(res.Divergence, math.Sqrt(d2))
+		}
+		if a.Frame != nil && b.Frame != nil && i%cfg.SampleEvery == 0 {
+			if d, err := a.Frame.MeanAbsDiff(b.Frame); err == nil {
+				frameDiffSum += d
+				frames++
+			}
+		}
+	}
+	res.PosRMSE = math.Sqrt(posSq / float64(n))
+	res.CmdRMSE = math.Sqrt(cmdSq / float64(2*n))
+	last := n - 1
+	dx := simRes.Records[last].State.X - realRes.Records[last].State.X
+	dy := simRes.Records[last].State.Y - realRes.Records[last].State.Y
+	res.FinalPosError = math.Hypot(dx, dy)
+	if frames > 0 {
+		res.MeanFrameDiff = frameDiffSum / float64(frames)
+	}
+	return res, nil
+}

@@ -1,0 +1,138 @@
+package twin
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/track"
+)
+
+func twinConfig(t testing.TB, p Perturbation, ticks int) Config {
+	t.Helper()
+	trk, err := track.DefaultOval()
+	if err != nil {
+		t.Fatal(err)
+	}
+	camCfg := sim.SmallCameraConfig()
+	camCfg.Width, camCfg.Height = 16, 12 // tiny frames keep the test fast
+	carCfg := sim.DefaultCarConfig()
+	return Config{
+		Track:   trk,
+		Camera:  camCfg,
+		Car:     carCfg,
+		Perturb: p,
+		Hz:      20,
+		Ticks:   ticks,
+		MakeDriver: func() sim.Driver {
+			return sim.NewPurePursuit(trk, carCfg)
+		},
+	}
+}
+
+func TestIdentityTwinHasNoDivergence(t *testing.T) {
+	res, err := Run(twinConfig(t, Identity(), 300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PosRMSE > 1e-9 {
+		t.Errorf("identity twin diverged: RMSE %g", res.PosRMSE)
+	}
+	if res.CmdRMSE > 1e-9 {
+		t.Errorf("identity twin command divergence %g", res.CmdRMSE)
+	}
+	if res.MeanFrameDiff > 1e-9 {
+		t.Errorf("identity twin frame diff %g", res.MeanFrameDiff)
+	}
+}
+
+func TestPerturbedTwinDiverges(t *testing.T) {
+	res, err := Run(twinConfig(t, Mild(), 300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PosRMSE <= 0 {
+		t.Error("perturbed twin did not diverge")
+	}
+	if res.CmdRMSE <= 0 {
+		t.Error("commands identical despite perturbation")
+	}
+}
+
+func TestDivergenceGrowsWithPerturbation(t *testing.T) {
+	mild, err := Run(twinConfig(t, Mild(), 400))
+	if err != nil {
+		t.Fatal(err)
+	}
+	severe, err := Run(twinConfig(t, Severe(), 400))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if severe.PosRMSE <= mild.PosRMSE {
+		t.Errorf("severe (%g) should diverge more than mild (%g)", severe.PosRMSE, mild.PosRMSE)
+	}
+	if Severe().Magnitude() <= Mild().Magnitude() {
+		t.Error("magnitude ordering broken")
+	}
+	if Identity().Magnitude() != 0 {
+		t.Errorf("identity magnitude %g", Identity().Magnitude())
+	}
+}
+
+func TestDivergenceSeriesSampled(t *testing.T) {
+	cfg := twinConfig(t, Mild(), 200)
+	cfg.SampleEvery = 20
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (res.Ticks + 19) / 20
+	if len(res.Divergence) != want {
+		t.Errorf("series length %d, want %d", len(res.Divergence), want)
+	}
+	for _, d := range res.Divergence {
+		if d < 0 {
+			t.Fatal("negative divergence")
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	cfg := twinConfig(t, Identity(), 100)
+	cfg.Track = nil
+	if _, err := Run(cfg); err == nil {
+		t.Error("nil track accepted")
+	}
+	cfg = twinConfig(t, Identity(), 0)
+	if _, err := Run(cfg); err == nil {
+		t.Error("zero ticks accepted")
+	}
+	bad := Identity()
+	bad.DragScale = 0
+	cfg = twinConfig(t, bad, 100)
+	if _, err := Run(cfg); err == nil {
+		t.Error("zero drag scale accepted")
+	}
+	cfg = twinConfig(t, Identity(), 100)
+	cfg.MakeDriver = nil
+	if _, err := Run(cfg); err == nil {
+		t.Error("nil driver factory accepted")
+	}
+}
+
+func TestApplyPerturbation(t *testing.T) {
+	base := sim.DefaultCarConfig()
+	p := Mild()
+	out := p.Apply(base)
+	if out.Drag <= base.Drag {
+		t.Error("drag not scaled up")
+	}
+	if out.SteerLag <= base.SteerLag {
+		t.Error("lag not scaled up")
+	}
+	if out.MaxSteer >= base.MaxSteer {
+		t.Error("steering gain not reduced")
+	}
+	if err := out.Validate(); err != nil {
+		t.Errorf("perturbed config invalid: %v", err)
+	}
+}

@@ -1,0 +1,125 @@
+package uav
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Field is the precision-agriculture ground truth: a w×h crop field with
+// circular "weed" patches the survey must find.
+type Field struct {
+	W, H    float64
+	Patches []Patch
+}
+
+// Patch is one weed cluster.
+type Patch struct {
+	X, Y, R float64
+}
+
+// RandomField scatters n weed patches deterministically.
+func RandomField(w, h float64, n int, seed int64) (*Field, error) {
+	if w <= 0 || h <= 0 {
+		return nil, fmt.Errorf("uav: field dimensions must be positive")
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("uav: negative patch count")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	f := &Field{W: w, H: h}
+	for i := 0; i < n; i++ {
+		f.Patches = append(f.Patches, Patch{
+			X: rng.Float64() * w,
+			Y: rng.Float64() * h,
+			R: 0.5 + rng.Float64()*1.5,
+		})
+	}
+	return f, nil
+}
+
+// Camera is the drone's nadir (straight down) detector: it sees a square
+// ground footprint that grows with altitude and reports patches inside it.
+type Camera struct {
+	// FOV is the full view angle; footprint halfwidth = Z * tan(FOV/2).
+	FOV float64
+}
+
+// DefaultCamera is a typical survey camera.
+func DefaultCamera() Camera { return Camera{FOV: 70 * math.Pi / 180} }
+
+// Footprint returns the half-width of the ground square seen from
+// altitude z.
+func (c Camera) Footprint(z float64) float64 {
+	if z <= 0 {
+		return 0
+	}
+	return z * math.Tan(c.FOV/2)
+}
+
+// Detect returns the indexes of field patches whose centers fall inside
+// the footprint at the drone's position.
+func (c Camera) Detect(st State, f *Field) []int {
+	half := c.Footprint(st.Z)
+	if half <= 0 {
+		return nil
+	}
+	var out []int
+	for i, p := range f.Patches {
+		if math.Abs(p.X-st.X) <= half && math.Abs(p.Y-st.Y) <= half {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// SurveyResult summarizes one survey flight.
+type SurveyResult struct {
+	Found      map[int]bool
+	Coverage   float64 // fraction of patches found
+	FlightTime float64 // seconds
+	EnergyUsed float64 // Wh
+	Waypoints  int
+	Completed  bool // mission finished before the battery died
+}
+
+// Survey flies the mission over the field at rate hz, detecting patches
+// continuously, until the mission completes, the battery dies, or
+// maxSeconds elapse.
+func Survey(d *Drone, m *Mission, cam Camera, f *Field, hz, maxSeconds float64) (SurveyResult, error) {
+	if d == nil || m == nil || f == nil {
+		return SurveyResult{}, fmt.Errorf("uav: survey needs drone, mission and field")
+	}
+	if hz <= 0 || maxSeconds <= 0 {
+		return SurveyResult{}, fmt.Errorf("uav: positive rate and time budget required")
+	}
+	res := SurveyResult{Found: map[int]bool{}}
+	_, res.Waypoints = m.Progress()
+	dt := 1 / hz
+	steps := int(maxSeconds * hz)
+	for i := 0; i < steps; i++ {
+		if m.Done() {
+			res.Completed = true
+			break
+		}
+		if d.BatteryFraction() <= 0 {
+			break
+		}
+		vx, vy, vz := m.Command(d.State, d.Cfg)
+		d.Step(vx, vy, vz, dt)
+		for _, idx := range cam.Detect(d.State, f) {
+			res.Found[idx] = true
+		}
+		res.FlightTime += dt
+	}
+	if m.Done() {
+		res.Completed = true
+	}
+	if len(f.Patches) > 0 {
+		res.Coverage = float64(len(res.Found)) / float64(len(f.Patches))
+	} else {
+		res.Coverage = 1
+	}
+	res.EnergyUsed = d.State.UsedWh
+	return res, nil
+}

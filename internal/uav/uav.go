@@ -1,0 +1,201 @@
+// Package uav implements the paper's future-work extension (§6):
+// "AutoLearn can be extended in other technologies within these areas
+// including the integration of other intelligent autonomous vehicles in
+// general such as unmanned aerial vehicles or drones, in addition to other
+// applications such as precision agriculture". It provides a point-mass
+// quadrotor plant, waypoint missions with lawnmower survey patterns over a
+// field, a battery model, and a downward camera that detects colored
+// ground patches (the "weeds" of the precision-agriculture exercise).
+package uav
+
+import (
+	"fmt"
+	"math"
+)
+
+// Config is the quadrotor's performance envelope.
+type Config struct {
+	MaxSpeed   float64 // horizontal m/s
+	MaxAccel   float64 // horizontal m/s^2
+	ClimbRate  float64 // vertical m/s
+	HoverPower float64 // watts burned hovering
+	MovePower  float64 // extra watts at full speed
+	BatteryWh  float64 // capacity in watt-hours
+}
+
+// DefaultConfig is a small survey quad.
+func DefaultConfig() Config {
+	return Config{
+		MaxSpeed:   8,
+		MaxAccel:   4,
+		ClimbRate:  2.5,
+		HoverPower: 120,
+		MovePower:  60,
+		BatteryWh:  40,
+	}
+}
+
+// Validate checks the envelope.
+func (c Config) Validate() error {
+	if c.MaxSpeed <= 0 || c.MaxAccel <= 0 || c.ClimbRate <= 0 {
+		return fmt.Errorf("uav: kinematic limits must be positive")
+	}
+	if c.HoverPower <= 0 || c.BatteryWh <= 0 || c.MovePower < 0 {
+		return fmt.Errorf("uav: power model must be positive")
+	}
+	return nil
+}
+
+// State is the drone's kinematic and energy state.
+type State struct {
+	X, Y, Z    float64 // meters; Z is altitude
+	VX, VY, VZ float64 // m/s
+	UsedWh     float64 // energy consumed so far
+}
+
+// Drone integrates a point-mass model with acceleration and speed limits.
+type Drone struct {
+	Cfg   Config
+	State State
+}
+
+// New builds a drone on the ground at the origin.
+func New(cfg Config) (*Drone, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Drone{Cfg: cfg}, nil
+}
+
+// BatteryFraction returns remaining energy in [0, 1].
+func (d *Drone) BatteryFraction() float64 {
+	f := 1 - d.State.UsedWh/d.Cfg.BatteryWh
+	if f < 0 {
+		return 0
+	}
+	return f
+}
+
+// Step advances the drone by dt toward a commanded velocity (clamped to
+// the envelope), charging the battery model. A drained battery forces
+// descent.
+func (d *Drone) Step(cmdVX, cmdVY, cmdVZ, dt float64) {
+	if dt <= 0 {
+		return
+	}
+	s := &d.State
+	// Clamp commanded horizontal speed.
+	h := math.Hypot(cmdVX, cmdVY)
+	if h > d.Cfg.MaxSpeed {
+		cmdVX *= d.Cfg.MaxSpeed / h
+		cmdVY *= d.Cfg.MaxSpeed / h
+	}
+	if cmdVZ > d.Cfg.ClimbRate {
+		cmdVZ = d.Cfg.ClimbRate
+	} else if cmdVZ < -d.Cfg.ClimbRate {
+		cmdVZ = -d.Cfg.ClimbRate
+	}
+	if d.BatteryFraction() <= 0 {
+		cmdVX, cmdVY = 0, 0
+		cmdVZ = -d.Cfg.ClimbRate // autoland
+	}
+	// First-order velocity tracking under the acceleration limit.
+	track := func(v, cmd float64) float64 {
+		dv := cmd - v
+		maxDv := d.Cfg.MaxAccel * dt
+		if dv > maxDv {
+			dv = maxDv
+		} else if dv < -maxDv {
+			dv = -maxDv
+		}
+		return v + dv
+	}
+	s.VX = track(s.VX, cmdVX)
+	s.VY = track(s.VY, cmdVY)
+	s.VZ = track(s.VZ, cmdVZ)
+	s.X += s.VX * dt
+	s.Y += s.VY * dt
+	s.Z += s.VZ * dt
+	if s.Z < 0 {
+		s.Z = 0
+		s.VZ = 0
+	}
+	// Energy: hover power plus movement surcharge, only while airborne.
+	if s.Z > 0.01 {
+		speedFrac := math.Hypot(s.VX, s.VY) / d.Cfg.MaxSpeed
+		watts := d.Cfg.HoverPower + d.Cfg.MovePower*speedFrac
+		s.UsedWh += watts * dt / 3600
+	}
+}
+
+// Waypoint is a 3-D mission point.
+type Waypoint struct {
+	X, Y, Z float64
+}
+
+// Mission flies a waypoint list with a simple velocity controller.
+type Mission struct {
+	Waypoints []Waypoint
+	// Tolerance is the capture radius for a waypoint.
+	Tolerance float64
+
+	cursor int
+}
+
+// NewMission validates and builds a mission.
+func NewMission(wps []Waypoint) (*Mission, error) {
+	if len(wps) == 0 {
+		return nil, fmt.Errorf("uav: mission needs waypoints")
+	}
+	for i, w := range wps {
+		if w.Z < 0 {
+			return nil, fmt.Errorf("uav: waypoint %d below ground", i)
+		}
+	}
+	return &Mission{Waypoints: wps, Tolerance: 0.8}, nil
+}
+
+// Done reports whether all waypoints are captured.
+func (m *Mission) Done() bool { return m.cursor >= len(m.Waypoints) }
+
+// Progress returns captured waypoints over total.
+func (m *Mission) Progress() (captured, total int) { return m.cursor, len(m.Waypoints) }
+
+// Command returns the velocity command toward the current waypoint,
+// advancing the cursor on capture.
+func (m *Mission) Command(st State, cfg Config) (vx, vy, vz float64) {
+	for !m.Done() {
+		w := m.Waypoints[m.cursor]
+		dx, dy, dz := w.X-st.X, w.Y-st.Y, w.Z-st.Z
+		dist := math.Sqrt(dx*dx + dy*dy + dz*dz)
+		if dist <= m.Tolerance {
+			m.cursor++
+			continue
+		}
+		// Proportional approach, saturated by the envelope.
+		gain := 1.2
+		return gain * dx, gain * dy, gain * dz
+	}
+	return 0, 0, 0
+}
+
+// Lawnmower builds the survey pattern precision-agriculture flights use:
+// parallel passes over a w×h field at the given altitude and row spacing,
+// starting at (0,0).
+func Lawnmower(w, h, altitude, spacing float64) ([]Waypoint, error) {
+	if w <= 0 || h <= 0 || altitude <= 0 || spacing <= 0 {
+		return nil, fmt.Errorf("uav: lawnmower dimensions must be positive")
+	}
+	var wps []Waypoint
+	wps = append(wps, Waypoint{0, 0, altitude})
+	leftToRight := true
+	for y := 0.0; y <= h+1e-9; y += spacing {
+		if leftToRight {
+			wps = append(wps, Waypoint{0, y, altitude}, Waypoint{w, y, altitude})
+		} else {
+			wps = append(wps, Waypoint{w, y, altitude}, Waypoint{0, y, altitude})
+		}
+		leftToRight = !leftToRight
+	}
+	return wps, nil
+}

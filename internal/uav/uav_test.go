@@ -1,0 +1,219 @@
+package uav
+
+import (
+	"math"
+	"testing"
+)
+
+func TestConfigValidation(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultConfig()
+	bad.MaxSpeed = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero speed accepted")
+	}
+	bad = DefaultConfig()
+	bad.BatteryWh = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero battery accepted")
+	}
+}
+
+func TestDroneRespectsEnvelope(t *testing.T) {
+	d, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Command absurd velocities; the plant must clamp.
+	for i := 0; i < 200; i++ {
+		d.Step(100, 100, 100, 0.05)
+	}
+	h := math.Hypot(d.State.VX, d.State.VY)
+	if h > d.Cfg.MaxSpeed+1e-9 {
+		t.Errorf("horizontal speed %g exceeds max %g", h, d.Cfg.MaxSpeed)
+	}
+	if d.State.VZ > d.Cfg.ClimbRate+1e-9 {
+		t.Errorf("climb %g exceeds %g", d.State.VZ, d.Cfg.ClimbRate)
+	}
+}
+
+func TestDroneStaysAboveGround(t *testing.T) {
+	d, _ := New(DefaultConfig())
+	for i := 0; i < 100; i++ {
+		d.Step(0, 0, -10, 0.05)
+	}
+	if d.State.Z < 0 {
+		t.Errorf("altitude %g below ground", d.State.Z)
+	}
+}
+
+func TestBatteryDrainsAndForcesLanding(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BatteryWh = 0.02 // tiny battery
+	d, _ := New(cfg)
+	// Climb; with a tiny battery the drone dies mid-climb and autolands.
+	maxZ := 0.0
+	for i := 0; i < 100; i++ {
+		d.Step(0, 0, 2, 0.05)
+		if d.State.Z > maxZ {
+			maxZ = d.State.Z
+		}
+	}
+	if maxZ <= 0 {
+		t.Fatal("never took off")
+	}
+	for i := 0; i < 20000 && d.State.Z > 0; i++ {
+		d.Step(5, 0, 0, 0.05)
+	}
+	if d.State.Z > 0.01 {
+		t.Errorf("drained drone still airborne at %g m", d.State.Z)
+	}
+	if d.BatteryFraction() > 0 {
+		t.Errorf("battery fraction %g after drain", d.BatteryFraction())
+	}
+}
+
+func TestMissionValidation(t *testing.T) {
+	if _, err := NewMission(nil); err == nil {
+		t.Error("empty mission accepted")
+	}
+	if _, err := NewMission([]Waypoint{{0, 0, -1}}); err == nil {
+		t.Error("underground waypoint accepted")
+	}
+}
+
+func TestMissionCapturesWaypointsInOrder(t *testing.T) {
+	d, _ := New(DefaultConfig())
+	m, err := NewMission([]Waypoint{{0, 0, 5}, {10, 0, 5}, {10, 10, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4000 && !m.Done(); i++ {
+		vx, vy, vz := m.Command(d.State, d.Cfg)
+		d.Step(vx, vy, vz, 0.05)
+	}
+	if !m.Done() {
+		captured, total := m.Progress()
+		t.Fatalf("mission incomplete: %d/%d", captured, total)
+	}
+	if math.Hypot(d.State.X-10, d.State.Y-10) > 2 {
+		t.Errorf("ended far from the last waypoint: (%g, %g)", d.State.X, d.State.Y)
+	}
+}
+
+func TestLawnmowerCoversField(t *testing.T) {
+	wps, err := Lawnmower(20, 10, 5, 2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wps) < 8 {
+		t.Fatalf("only %d waypoints", len(wps))
+	}
+	// All rows between 0 and h appear.
+	maxY := 0.0
+	for _, w := range wps {
+		if w.Y > maxY {
+			maxY = w.Y
+		}
+		if w.Z != 5 {
+			t.Fatalf("waypoint altitude %g", w.Z)
+		}
+	}
+	if maxY < 10 {
+		t.Errorf("pattern stops at y=%g, field is 10 deep", maxY)
+	}
+	if _, err := Lawnmower(0, 10, 5, 2); err == nil {
+		t.Error("zero width accepted")
+	}
+}
+
+func TestCameraFootprintGrowsWithAltitude(t *testing.T) {
+	cam := DefaultCamera()
+	if cam.Footprint(0) != 0 {
+		t.Error("ground footprint nonzero")
+	}
+	if cam.Footprint(10) <= cam.Footprint(5) {
+		t.Error("footprint not growing with altitude")
+	}
+}
+
+func TestDetectSeesPatchUnderDrone(t *testing.T) {
+	cam := DefaultCamera()
+	f := &Field{W: 20, H: 20, Patches: []Patch{{X: 5, Y: 5, R: 1}, {X: 18, Y: 18, R: 1}}}
+	hits := cam.Detect(State{X: 5, Y: 5, Z: 4}, f)
+	if len(hits) != 1 || hits[0] != 0 {
+		t.Errorf("hits = %v", hits)
+	}
+	if got := cam.Detect(State{X: 5, Y: 5, Z: 0}, f); len(got) != 0 {
+		t.Errorf("grounded drone saw %v", got)
+	}
+}
+
+func TestSurveyFindsAllPatches(t *testing.T) {
+	field, err := RandomField(30, 20, 12, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wps, err := Lawnmower(30, 20, 6, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMission(wps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Survey(d, m, DefaultCamera(), field, 20, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Errorf("survey incomplete after %gs (battery %.0f%%)", res.FlightTime, 100*d.BatteryFraction())
+	}
+	// At 6 m altitude the footprint half-width is ~4.2 m and rows are 6 m
+	// apart: every patch center is covered.
+	if res.Coverage < 1 {
+		t.Errorf("coverage %.2f, want 1.0 (found %d of %d)", res.Coverage, len(res.Found), len(field.Patches))
+	}
+	if res.EnergyUsed <= 0 || res.EnergyUsed >= d.Cfg.BatteryWh {
+		t.Errorf("energy used %g", res.EnergyUsed)
+	}
+}
+
+func TestSurveySparsePatternMissesPatches(t *testing.T) {
+	field, err := RandomField(30, 20, 30, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Low altitude (tiny footprint) and wide rows: guaranteed gaps.
+	wps, err := Lawnmower(30, 20, 1.5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := NewMission(wps)
+	d, _ := New(DefaultConfig())
+	res, err := Survey(d, m, DefaultCamera(), field, 20, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Coverage >= 1 {
+		t.Error("sparse survey should miss patches")
+	}
+}
+
+func TestSurveyValidation(t *testing.T) {
+	if _, err := Survey(nil, nil, DefaultCamera(), nil, 20, 10); err == nil {
+		t.Error("nil args accepted")
+	}
+	d, _ := New(DefaultConfig())
+	m, _ := NewMission([]Waypoint{{0, 0, 5}})
+	f := &Field{W: 1, H: 1}
+	if _, err := Survey(d, m, DefaultCamera(), f, 0, 10); err == nil {
+		t.Error("zero rate accepted")
+	}
+}

@@ -1,0 +1,57 @@
+package vehicle
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/sim"
+)
+
+// GPS channel names.
+const (
+	ChanGPSX = "gps/x"
+	ChanGPSY = "gps/y"
+)
+
+// GPSPart publishes a noisy position fix each tick — the sensor behind the
+// §3.3 "record a path with GPS and have the car follow that path"
+// exercise. Consumer parts (or a recorder) read ChanGPSX/ChanGPSY.
+type GPSPart struct {
+	Car      *sim.Car
+	NoiseStd float64 // meters of Gaussian noise per axis
+	rng      *rand.Rand
+
+	// Fixes accumulates every published position, ready to feed a path
+	// follower.
+	Fixes [][2]float64
+}
+
+// NewGPSPart builds a GPS with a seeded noise stream. RTK-class receivers
+// use ~0.02 m; hobby modules ~1-3 m (scaled down for the room-size track,
+// students use ~0.05 m here).
+func NewGPSPart(car *sim.Car, noiseStd float64, seed int64) (*GPSPart, error) {
+	if car == nil {
+		return nil, fmt.Errorf("vehicle: gps needs a car")
+	}
+	if noiseStd < 0 {
+		return nil, fmt.Errorf("vehicle: negative GPS noise")
+	}
+	return &GPSPart{Car: car, NoiseStd: noiseStd, rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+// Name implements Part.
+func (g *GPSPart) Name() string { return "gps" }
+
+// Run implements Part.
+func (g *GPSPart) Run(mem *Memory) error {
+	x := g.Car.State.X
+	y := g.Car.State.Y
+	if g.NoiseStd > 0 {
+		x += g.rng.NormFloat64() * g.NoiseStd
+		y += g.rng.NormFloat64() * g.NoiseStd
+	}
+	mem.Put(ChanGPSX, x)
+	mem.Put(ChanGPSY, y)
+	g.Fixes = append(g.Fixes, [2]float64{x, y})
+	return nil
+}

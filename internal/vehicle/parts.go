@@ -1,0 +1,107 @@
+package vehicle
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// This file provides the stock parts that assemble a complete DonkeyCar:
+// camera, plant (physics), drivers, mode switch, and recorder.
+
+// CameraPart renders the car's view into ChanImage each tick.
+type CameraPart struct {
+	Cam *sim.Camera
+	Car *sim.Car
+}
+
+// Name implements Part.
+func (c *CameraPart) Name() string { return "camera" }
+
+// Run implements Part.
+func (c *CameraPart) Run(mem *Memory) error {
+	if c.Cam == nil || c.Car == nil {
+		return fmt.Errorf("camera part not wired")
+	}
+	mem.Put(ChanImage, c.Cam.Render(c.Car.State))
+	return nil
+}
+
+// DriverPart runs a sim.Driver and publishes user commands.
+type DriverPart struct {
+	Driver sim.Driver
+	Car    *sim.Car
+}
+
+// Name implements Part.
+func (d *DriverPart) Name() string { return "driver" }
+
+// Run implements Part.
+func (d *DriverPart) Run(mem *Memory) error {
+	if d.Driver == nil || d.Car == nil {
+		return fmt.Errorf("driver part not wired")
+	}
+	var s, t float64
+	if fd, ok := d.Driver.(sim.FrameDriver); ok {
+		if img, found := mem.Get(ChanImage); found {
+			if frame, isFrame := img.(*sim.Frame); isFrame {
+				s, t = fd.DriveFrame(frame, d.Car.State)
+				mem.Put(ChanAngle, s)
+				mem.Put(ChanThrottle, t)
+				return nil
+			}
+		}
+	}
+	s, t = d.Driver.Drive(d.Car.State)
+	mem.Put(ChanAngle, s)
+	mem.Put(ChanThrottle, t)
+	return nil
+}
+
+// PlantPart advances the car physics from the command channels.
+type PlantPart struct {
+	Car *sim.Car
+	Hz  float64
+}
+
+// Name implements Part.
+func (p *PlantPart) Name() string { return "plant" }
+
+// Run implements Part.
+func (p *PlantPart) Run(mem *Memory) error {
+	if p.Car == nil || p.Hz <= 0 {
+		return fmt.Errorf("plant part not wired")
+	}
+	p.Car.Step(mem.GetFloat(ChanAngle), mem.GetFloat(ChanThrottle), 1/p.Hz)
+	return nil
+}
+
+// RecorderPart collects (frame, angle, throttle) tuples each tick, the way
+// the tub writer part does on a real car.
+type RecorderPart struct {
+	Records []sim.Record
+	tick    int
+}
+
+// Name implements Part.
+func (r *RecorderPart) Name() string { return "recorder" }
+
+// Run implements Part.
+func (r *RecorderPart) Run(mem *Memory) error {
+	img, ok := mem.Get(ChanImage)
+	if !ok {
+		return fmt.Errorf("recorder: no frame on %s", ChanImage)
+	}
+	frame, ok := img.(*sim.Frame)
+	if !ok {
+		return fmt.Errorf("recorder: %s holds %T", ChanImage, img)
+	}
+	r.Records = append(r.Records, sim.Record{
+		Index:    r.tick,
+		Frame:    frame,
+		Steering: mem.GetFloat(ChanAngle),
+		Throttle: mem.GetFloat(ChanThrottle),
+	})
+	r.tick++
+	return nil
+}

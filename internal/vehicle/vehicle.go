@@ -1,0 +1,252 @@
+// Package vehicle reimplements DonkeyCar's vehicle loop: a set of "parts"
+// (camera, controller, pilot, actuators, recorder) wired through a named
+// channel memory, driven at a fixed rate (20 Hz by default). Parts run
+// inline on the loop or threaded on their own goroutine with the loop
+// sampling their latest outputs — exactly DonkeyCar's two part modes.
+package vehicle
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Memory is the shared blackboard parts read from and write to, keyed by
+// DonkeyCar-style channel names ("cam/image_array", "user/angle", ...).
+type Memory struct {
+	mu sync.RWMutex
+	m  map[string]any
+}
+
+// NewMemory creates an empty memory.
+func NewMemory() *Memory { return &Memory{m: map[string]any{}} }
+
+// Put stores a value on a channel.
+func (m *Memory) Put(key string, v any) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.m[key] = v
+}
+
+// Get reads a channel; ok is false if nothing was ever written.
+func (m *Memory) Get(key string) (v any, ok bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	v, ok = m.m[key]
+	return v, ok
+}
+
+// GetFloat reads a channel as float64, returning 0 when absent or not a
+// float (actuator channels default to neutral).
+func (m *Memory) GetFloat(key string) float64 {
+	v, ok := m.Get(key)
+	if !ok {
+		return 0
+	}
+	f, _ := v.(float64)
+	return f
+}
+
+// Keys returns all channel names, sorted.
+func (m *Memory) Keys() []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]string, 0, len(m.m))
+	for k := range m.m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Part is one vehicle component. Run reads its inputs from memory and
+// writes its outputs; it is called once per loop tick (inline parts) or
+// continuously from its own goroutine (threaded parts).
+type Part interface {
+	Name() string
+	Run(mem *Memory) error
+}
+
+// PartFunc adapts a function to the Part interface.
+type PartFunc struct {
+	PartName string
+	Fn       func(mem *Memory) error
+}
+
+// Name implements Part.
+func (p PartFunc) Name() string { return p.PartName }
+
+// Run implements Part.
+func (p PartFunc) Run(mem *Memory) error { return p.Fn(mem) }
+
+type partEntry struct {
+	part     Part
+	threaded bool
+	hz       float64 // threaded part's own rate (0 = loop rate)
+}
+
+// Vehicle is the part loop.
+type Vehicle struct {
+	Hz float64
+
+	parts   []partEntry
+	mem     *Memory
+	started bool
+
+	// Sleeper is the wait function between ticks; tests and the jitter
+	// ablation substitute a virtual clock. nil uses time.Sleep.
+	Sleeper func(d time.Duration)
+}
+
+// New creates a vehicle looping at hz.
+func New(hz float64) (*Vehicle, error) {
+	if hz <= 0 {
+		return nil, fmt.Errorf("vehicle: rate must be positive")
+	}
+	return &Vehicle{Hz: hz, mem: NewMemory()}, nil
+}
+
+// Memory exposes the vehicle's blackboard.
+func (v *Vehicle) Memory() *Memory { return v.mem }
+
+// Add registers an inline part, executed synchronously each tick in
+// registration order.
+func (v *Vehicle) Add(p Part) error {
+	return v.add(p, false, 0)
+}
+
+// AddThreaded registers a part that runs on its own goroutine at its own
+// rate while the loop samples its latest outputs.
+func (v *Vehicle) AddThreaded(p Part, hz float64) error {
+	if hz <= 0 {
+		return fmt.Errorf("vehicle: threaded part rate must be positive")
+	}
+	return v.add(p, true, hz)
+}
+
+func (v *Vehicle) add(p Part, threaded bool, hz float64) error {
+	if p == nil {
+		return errors.New("vehicle: nil part")
+	}
+	if v.started {
+		return errors.New("vehicle: cannot add parts after start")
+	}
+	for _, e := range v.parts {
+		if e.part.Name() == p.Name() {
+			return fmt.Errorf("vehicle: duplicate part %q", p.Name())
+		}
+	}
+	v.parts = append(v.parts, partEntry{part: p, threaded: threaded, hz: hz})
+	return nil
+}
+
+// LoopStats reports timing behaviour of a completed run.
+type LoopStats struct {
+	Ticks      int
+	PartErrors int
+	MeanLate   time.Duration // mean overshoot past the tick deadline
+	MaxLate    time.Duration
+	WallTime   time.Duration
+}
+
+// Start runs the loop for the given number of ticks, returning stats. Part
+// errors are counted, not fatal (a flaky camera must not crash the car);
+// the first error is returned alongside the stats for visibility.
+func (v *Vehicle) Start(ticks int) (LoopStats, error) {
+	if ticks <= 0 {
+		return LoopStats{}, fmt.Errorf("vehicle: ticks must be positive")
+	}
+	v.started = true
+	defer func() { v.started = false }()
+
+	sleep := v.Sleeper
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+
+	// Launch threaded parts.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var errMu sync.Mutex
+	var firstErr error
+	var errCount int
+	record := func(err error) {
+		if err == nil {
+			return
+		}
+		errMu.Lock()
+		errCount++
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+	for _, e := range v.parts {
+		if !e.threaded {
+			continue
+		}
+		wg.Add(1)
+		go func(e partEntry) {
+			defer wg.Done()
+			period := time.Duration(float64(time.Second) / e.hz)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				record(e.part.Run(v.mem))
+				sleep(period)
+			}
+		}(e)
+	}
+
+	stats := LoopStats{}
+	period := time.Duration(float64(time.Second) / v.Hz)
+	start := time.Now()
+	var lateSum time.Duration
+	for tick := 0; tick < ticks; tick++ {
+		tickStart := time.Now()
+		for _, e := range v.parts {
+			if e.threaded {
+				continue
+			}
+			record(e.part.Run(v.mem))
+		}
+		elapsed := time.Since(tickStart)
+		if elapsed > period {
+			late := elapsed - period
+			lateSum += late
+			if late > stats.MaxLate {
+				stats.MaxLate = late
+			}
+		} else {
+			sleep(period - elapsed)
+		}
+		stats.Ticks++
+	}
+	close(stop)
+	wg.Wait()
+
+	stats.WallTime = time.Since(start)
+	if stats.Ticks > 0 {
+		stats.MeanLate = lateSum / time.Duration(stats.Ticks)
+	}
+	errMu.Lock()
+	stats.PartErrors = errCount
+	err := firstErr
+	errMu.Unlock()
+	return stats, err
+}
+
+// Standard DonkeyCar channel names, re-exported for part wiring.
+const (
+	ChanImage    = "cam/image_array"
+	ChanAngle    = "user/angle"
+	ChanThrottle = "user/throttle"
+	ChanMode     = "user/mode"
+	ChanPilotA   = "pilot/angle"
+	ChanPilotT   = "pilot/throttle"
+)

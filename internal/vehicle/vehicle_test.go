@@ -1,0 +1,308 @@
+package vehicle
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/track"
+)
+
+// noSleep runs loops at full speed for tests.
+func noSleep(time.Duration) {}
+
+func TestMemoryBasics(t *testing.T) {
+	m := NewMemory()
+	if _, ok := m.Get("x"); ok {
+		t.Error("phantom key")
+	}
+	m.Put("user/angle", 0.5)
+	if got := m.GetFloat("user/angle"); got != 0.5 {
+		t.Errorf("got %g", got)
+	}
+	if got := m.GetFloat("missing"); got != 0 {
+		t.Errorf("missing key gave %g", got)
+	}
+	m.Put("weird", "string")
+	if got := m.GetFloat("weird"); got != 0 {
+		t.Errorf("non-float gave %g", got)
+	}
+	m.Put("a", 1)
+	keys := m.Keys()
+	if len(keys) != 3 || keys[0] != "a" {
+		t.Errorf("keys = %v", keys)
+	}
+}
+
+func TestVehicleValidation(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Error("zero rate accepted")
+	}
+	v, err := New(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Add(nil); err == nil {
+		t.Error("nil part accepted")
+	}
+	p := PartFunc{PartName: "p", Fn: func(*Memory) error { return nil }}
+	if err := v.Add(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Add(p); err == nil {
+		t.Error("duplicate part accepted")
+	}
+	if err := v.AddThreaded(PartFunc{PartName: "q", Fn: func(*Memory) error { return nil }}, 0); err == nil {
+		t.Error("zero-rate threaded part accepted")
+	}
+	if _, err := v.Start(0); err == nil {
+		t.Error("zero ticks accepted")
+	}
+}
+
+func TestInlinePartsRunInOrderEachTick(t *testing.T) {
+	v, _ := New(1000)
+	v.Sleeper = noSleep
+	var order []string
+	for _, name := range []string{"a", "b", "c"} {
+		name := name
+		v.Add(PartFunc{PartName: name, Fn: func(m *Memory) error {
+			order = append(order, name)
+			return nil
+		}})
+	}
+	stats, err := v.Start(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Ticks != 3 {
+		t.Errorf("ticks %d", stats.Ticks)
+	}
+	want := "abcabcabc"
+	got := ""
+	for _, s := range order {
+		got += s
+	}
+	if got != want {
+		t.Errorf("order %q, want %q", got, want)
+	}
+}
+
+func TestPartErrorsCountedNotFatal(t *testing.T) {
+	v, _ := New(1000)
+	v.Sleeper = noSleep
+	calls := 0
+	v.Add(PartFunc{PartName: "flaky", Fn: func(*Memory) error {
+		calls++
+		if calls%2 == 0 {
+			return fmt.Errorf("camera glitch")
+		}
+		return nil
+	}})
+	stats, err := v.Start(10)
+	if err == nil {
+		t.Error("first error not surfaced")
+	}
+	if stats.Ticks != 10 {
+		t.Errorf("loop stopped early at %d", stats.Ticks)
+	}
+	if stats.PartErrors != 5 {
+		t.Errorf("errors %d, want 5", stats.PartErrors)
+	}
+}
+
+func TestThreadedPartRunsConcurrently(t *testing.T) {
+	// Real sleeper: the loop takes ~50ms, plenty for the threaded part to
+	// be scheduled many times at its own (faster) rate.
+	v, _ := New(1000)
+	var count int64
+	v.AddThreaded(PartFunc{PartName: "bg", Fn: func(m *Memory) error {
+		atomic.AddInt64(&count, 1)
+		return nil
+	}}, 10000)
+	v.Add(PartFunc{PartName: "loop", Fn: func(*Memory) error { return nil }})
+	if _, err := v.Start(50); err != nil {
+		t.Fatal(err)
+	}
+	if atomic.LoadInt64(&count) == 0 {
+		t.Error("threaded part never ran")
+	}
+}
+
+func TestCannotAddWhileRunning(t *testing.T) {
+	v, _ := New(100)
+	v.Sleeper = noSleep
+	v.Add(PartFunc{PartName: "adder", Fn: func(*Memory) error {
+		return v.Add(PartFunc{PartName: "late", Fn: func(*Memory) error { return nil }})
+	}})
+	stats, err := v.Start(1)
+	if err == nil {
+		t.Error("adding during run should error")
+	}
+	if stats.PartErrors != 1 {
+		t.Errorf("errors %d", stats.PartErrors)
+	}
+}
+
+// TestFullCarAssembly wires camera → driver → plant → recorder exactly like
+// a DonkeyCar manage.py drive loop and checks the car actually drives.
+func TestFullCarAssembly(t *testing.T) {
+	trk, err := track.DefaultOval()
+	if err != nil {
+		t.Fatal(err)
+	}
+	camCfg := sim.SmallCameraConfig()
+	camCfg.Width, camCfg.Height = 16, 12
+	cam, err := sim.NewCamera(camCfg, trk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	car, err := sim.NewCar(sim.DefaultCarConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, y, h := trk.StartPose(0)
+	car.Reset(x, y, h)
+
+	hz := 20.0
+	v, err := New(hz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.Sleeper = noSleep
+	rec := &RecorderPart{}
+	v.Add(&CameraPart{Cam: cam, Car: car})
+	v.Add(&DriverPart{Driver: sim.NewPurePursuit(trk, car.Cfg), Car: car})
+	v.Add(rec)
+	v.Add(&PlantPart{Car: car, Hz: hz})
+
+	stats, err := v.Start(400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Ticks != 400 || len(rec.Records) != 400 {
+		t.Fatalf("ticks %d records %d", stats.Ticks, len(rec.Records))
+	}
+	if car.State.Speed < 0.3 {
+		t.Errorf("car not driving: speed %g", car.State.Speed)
+	}
+	if !trk.OnTrack(track.Point{X: car.State.X, Y: car.State.Y}) {
+		t.Error("car left the track under the parts loop")
+	}
+	// Recorder captured live commands, not zeros.
+	nonzero := 0
+	for _, r := range rec.Records {
+		if r.Throttle != 0 {
+			nonzero++
+		}
+	}
+	if nonzero == 0 {
+		t.Error("recorder captured only neutral commands")
+	}
+}
+
+func TestUnwiredPartsError(t *testing.T) {
+	v, _ := New(100)
+	v.Sleeper = noSleep
+	v.Add(&CameraPart{})
+	if _, err := v.Start(1); err == nil {
+		t.Error("unwired camera accepted")
+	}
+	v2, _ := New(100)
+	v2.Sleeper = noSleep
+	v2.Add(&RecorderPart{})
+	if _, err := v2.Start(1); err == nil {
+		t.Error("recorder without camera accepted")
+	}
+	v3, _ := New(100)
+	v3.Sleeper = noSleep
+	v3.Add(&PlantPart{})
+	if _, err := v3.Start(1); err == nil {
+		t.Error("unwired plant accepted")
+	}
+	v4, _ := New(100)
+	v4.Sleeper = noSleep
+	v4.Add(&DriverPart{})
+	if _, err := v4.Start(1); err == nil {
+		t.Error("unwired driver accepted")
+	}
+}
+
+func TestLoopKeepsRateWithRealSleep(t *testing.T) {
+	v, _ := New(200) // 5ms period
+	v.Add(PartFunc{PartName: "noop", Fn: func(*Memory) error { return nil }})
+	stats, err := v.Start(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 20 ticks at 5ms = 100ms nominal; allow generous scheduling slack.
+	if stats.WallTime < 80*time.Millisecond {
+		t.Errorf("loop ran too fast: %v", stats.WallTime)
+	}
+	if stats.WallTime > 500*time.Millisecond {
+		t.Errorf("loop ran too slow: %v", stats.WallTime)
+	}
+}
+
+func TestGPSPartPublishesNoisyFixes(t *testing.T) {
+	car, err := sim.NewCar(sim.DefaultCarConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	car.Reset(3, 4, 0)
+	gps, err := NewGPSPart(car, 0.05, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := New(100)
+	v.Sleeper = noSleep
+	v.Add(gps)
+	if _, err := v.Start(50); err != nil {
+		t.Fatal(err)
+	}
+	if len(gps.Fixes) != 50 {
+		t.Fatalf("got %d fixes", len(gps.Fixes))
+	}
+	// Fixes cluster near the true position but are not all identical.
+	distinct := map[[2]float64]bool{}
+	for _, f := range gps.Fixes {
+		if f[0] < 2.5 || f[0] > 3.5 || f[1] < 3.5 || f[1] > 4.5 {
+			t.Fatalf("fix %v far from (3,4)", f)
+		}
+		distinct[f] = true
+	}
+	if len(distinct) < 10 {
+		t.Error("GPS noise missing")
+	}
+	if x := v.Memory().GetFloat(ChanGPSX); x == 0 {
+		t.Error("gps/x channel empty")
+	}
+}
+
+func TestGPSPartValidation(t *testing.T) {
+	if _, err := NewGPSPart(nil, 0.1, 1); err == nil {
+		t.Error("nil car accepted")
+	}
+	car, _ := sim.NewCar(sim.DefaultCarConfig())
+	if _, err := NewGPSPart(car, -1, 1); err == nil {
+		t.Error("negative noise accepted")
+	}
+}
+
+func TestGPSZeroNoiseIsExact(t *testing.T) {
+	car, _ := sim.NewCar(sim.DefaultCarConfig())
+	car.Reset(1, 2, 0)
+	gps, err := NewGPSPart(car, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := NewMemory()
+	if err := gps.Run(mem); err != nil {
+		t.Fatal(err)
+	}
+	if mem.GetFloat(ChanGPSX) != 1 || mem.GetFloat(ChanGPSY) != 2 {
+		t.Error("exact GPS off position")
+	}
+}

@@ -1,0 +1,173 @@
+// Package webctl implements the DonkeyCar web controller the paper
+// describes ("use the DonkeyCar web controller that provides the same
+// functionality via a web interface and sends the commands to the car"):
+// an HTTP server that accepts steering/throttle commands, serves the
+// latest camera frame as PNG, exposes car state as JSON, and supports the
+// constant-throttle race mode.
+package webctl
+
+import (
+	"encoding/json"
+	"fmt"
+	"image"
+	"image/color"
+	"image/png"
+	"net/http"
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// Server bridges HTTP clients to a WebController driver and the live car.
+// It is safe for concurrent use; the drive loop reads commands through the
+// embedded sim.WebController while HTTP handlers write them.
+type Server struct {
+	mu   sync.Mutex
+	ctl  *sim.WebController
+	car  *sim.Car
+	last *sim.Frame
+
+	mux *http.ServeMux
+}
+
+// New builds a server around a controller and car. The car may be nil for
+// a command-only controller (state endpoints then return 404).
+func New(ctl *sim.WebController, car *sim.Car) (*Server, error) {
+	if ctl == nil {
+		return nil, fmt.Errorf("webctl: nil controller")
+	}
+	s := &Server{ctl: ctl, car: car, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/drive", s.handleDrive)
+	s.mux.HandleFunc("/state", s.handleState)
+	s.mux.HandleFunc("/video", s.handleVideo)
+	s.mux.HandleFunc("/mode", s.handleMode)
+	s.mux.HandleFunc("/", s.handleIndex)
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// UpdateFrame stores the latest camera frame for the /video endpoint; the
+// drive loop calls this each tick.
+func (s *Server) UpdateFrame(f *sim.Frame) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.last = f
+}
+
+// driveRequest is the POST /drive body.
+type driveRequest struct {
+	Angle    float64 `json:"angle"`
+	Throttle float64 `json:"throttle"`
+}
+
+func (s *Server) handleDrive(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req driveRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.Angle < -1 || req.Angle > 1 || req.Throttle < -1 || req.Throttle > 1 {
+		http.Error(w, "angle and throttle must be in [-1,1]", http.StatusBadRequest)
+		return
+	}
+	s.ctl.Update(req.Angle, req.Throttle)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// modeRequest is the POST /mode body; constant_throttle <= 0 disables the
+// race mode.
+type modeRequest struct {
+	ConstantThrottle float64 `json:"constant_throttle"`
+}
+
+func (s *Server) handleMode(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req modeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.ConstantThrottle > 1 {
+		http.Error(w, "constant_throttle must be <= 1", http.StatusBadRequest)
+		return
+	}
+	s.ctl.SetConstantThrottle(req.ConstantThrottle)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// stateResponse is the GET /state body.
+type stateResponse struct {
+	X        float64 `json:"x"`
+	Y        float64 `json:"y"`
+	Heading  float64 `json:"heading"`
+	Speed    float64 `json:"speed"`
+	Steering float64 `json:"steering_actual"`
+	Throttle float64 `json:"throttle_actual"`
+}
+
+func (s *Server) handleState(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.car == nil {
+		http.Error(w, "no car attached", http.StatusNotFound)
+		return
+	}
+	st := s.car.State
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(stateResponse{
+		X: st.X, Y: st.Y, Heading: st.Heading, Speed: st.Speed,
+		Steering: st.SteerActual, Throttle: st.ThrottleActual,
+	})
+}
+
+func (s *Server) handleVideo(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	s.mu.Lock()
+	f := s.last
+	s.mu.Unlock()
+	if f == nil {
+		http.Error(w, "no frame yet", http.StatusNotFound)
+		return
+	}
+	img := image.NewRGBA(image.Rect(0, 0, f.W, f.H))
+	for y := 0; y < f.H; y++ {
+		for x := 0; x < f.W; x++ {
+			px := f.At(x, y)
+			if f.C == 3 {
+				img.Set(x, y, color.RGBA{px[0], px[1], px[2], 255})
+			} else {
+				img.Set(x, y, color.RGBA{px[0], px[0], px[0], 255})
+			}
+		}
+	}
+	w.Header().Set("Content-Type", "image/png")
+	png.Encode(w, img)
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, `<!doctype html><title>AutoLearn web controller</title>
+<h1>AutoLearn web controller</h1>
+<p>POST /drive {"angle":a,"throttle":t} · POST /mode {"constant_throttle":t}
+· GET /state · GET /video</p>`)
+}

@@ -1,0 +1,286 @@
+package webctl
+
+import (
+	"bytes"
+	"encoding/json"
+	"image/png"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/track"
+)
+
+func testServer(t *testing.T, withCar bool) (*Server, *sim.WebController, *sim.Car) {
+	t.Helper()
+	ctl := sim.NewWebController()
+	var car *sim.Car
+	if withCar {
+		var err error
+		car, err = sim.NewCar(sim.DefaultCarConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, err := New(ctl, car)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, ctl, car
+}
+
+func TestNewRequiresController(t *testing.T) {
+	if _, err := New(nil, nil); err == nil {
+		t.Fatal("nil controller accepted")
+	}
+}
+
+func TestDriveUpdatesController(t *testing.T) {
+	s, ctl, _ := testServer(t, false)
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	body := bytes.NewBufferString(`{"angle":0.4,"throttle":0.7}`)
+	resp, err := http.Post(srv.URL+"/drive", "application/json", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	angle, throttle := ctl.Drive(sim.CarState{})
+	if angle != 0.4 || throttle != 0.7 {
+		t.Errorf("controller = (%g, %g)", angle, throttle)
+	}
+}
+
+func TestDriveValidation(t *testing.T) {
+	s, _, _ := testServer(t, false)
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	for name, tc := range map[string]struct {
+		method, body string
+		want         int
+	}{
+		"get rejected":      {http.MethodGet, "", http.StatusMethodNotAllowed},
+		"bad json":          {http.MethodPost, "{", http.StatusBadRequest},
+		"angle range":       {http.MethodPost, `{"angle":2,"throttle":0}`, http.StatusBadRequest},
+		"throttle range":    {http.MethodPost, `{"angle":0,"throttle":-2}`, http.StatusBadRequest},
+		"valid passthrough": {http.MethodPost, `{"angle":0,"throttle":0}`, http.StatusNoContent},
+	} {
+		req, err := http.NewRequest(tc.method, srv.URL+"/drive", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: status %d, want %d", name, resp.StatusCode, tc.want)
+		}
+	}
+}
+
+func TestConstantThrottleMode(t *testing.T) {
+	s, ctl, _ := testServer(t, false)
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	resp, err := http.Post(srv.URL+"/mode", "application/json",
+		strings.NewReader(`{"constant_throttle":0.35}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	_, throttle := ctl.Drive(sim.CarState{})
+	if throttle != 0.35 {
+		t.Errorf("throttle %g", throttle)
+	}
+	// Invalid value rejected.
+	resp, err = http.Post(srv.URL+"/mode", "application/json",
+		strings.NewReader(`{"constant_throttle":1.5}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("status %d", resp.StatusCode)
+	}
+}
+
+func TestStateEndpoint(t *testing.T) {
+	s, _, car := testServer(t, true)
+	car.Reset(1, 2, 0.5)
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/state")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var st struct {
+		X, Y, Heading float64
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.X != 1 || st.Y != 2 || st.Heading != 0.5 {
+		t.Errorf("state = %+v", st)
+	}
+}
+
+func TestStateWithoutCar(t *testing.T) {
+	s, _, _ := testServer(t, false)
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/state")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("status %d", resp.StatusCode)
+	}
+}
+
+func TestVideoEndpoint(t *testing.T) {
+	s, _, _ := testServer(t, false)
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	// No frame yet.
+	resp, err := http.Get(srv.URL + "/video")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status %d before first frame", resp.StatusCode)
+	}
+
+	f, err := sim.NewFrame(8, 6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Set(2, 2, 200, 100, 50)
+	s.UpdateFrame(f)
+
+	resp, err = http.Get(srv.URL + "/video")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "image/png" {
+		t.Errorf("content type %q", ct)
+	}
+	img, err := png.Decode(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Bounds().Dx() != 8 || img.Bounds().Dy() != 6 {
+		t.Errorf("decoded %v", img.Bounds())
+	}
+}
+
+func TestIndexPage(t *testing.T) {
+	s, _, _ := testServer(t, false)
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	if !strings.Contains(buf.String(), "web controller") {
+		t.Error("index page missing title")
+	}
+	// Unknown path 404s.
+	resp, err = http.Get(srv.URL + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("status %d", resp.StatusCode)
+	}
+}
+
+// TestWebDrivenCar is the end-to-end wire: a browser-like client posts
+// commands over HTTP while the drive loop reads the controller — the car
+// must move accordingly, like the paper's remote driving workflow.
+func TestWebDrivenCar(t *testing.T) {
+	trk, err := track.DefaultOval()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl := sim.NewWebController()
+	car, err := sim.NewCar(sim.DefaultCarConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(ctl, car)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	x, y, h := trk.StartPose(0)
+	car.Reset(x, y, h)
+
+	// Drive loop in the background at high virtual rate.
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			steering, throttle := ctl.Drive(car.State)
+			car.Step(steering, throttle, 0.05)
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	// The "student" floors it over HTTP.
+	resp, err := http.Post(srv.URL+"/drive", "application/json",
+		strings.NewReader(`{"angle":0,"throttle":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	time.Sleep(150 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	if car.State.Speed <= 0 {
+		t.Error("web command did not move the car")
+	}
+}
