@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/eval"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/pilot"
 	"repro/internal/sim"
 	"repro/internal/track"
@@ -24,6 +25,7 @@ func cmdModels(args []string) error {
 	ticks := fs.Int("ticks", 1200, "expert data-collection ticks")
 	epochs := fs.Int("epochs", 8, "training epochs per model")
 	evalTicks := fs.Int("eval-ticks", 800, "autonomous evaluation ticks")
+	of := addObsFlags(fs)
 	fs.Parse(args)
 
 	cfg := core.DefaultConfig()
@@ -33,6 +35,9 @@ func cmdModels(args []string) error {
 	if err != nil {
 		return err
 	}
+	o := of.observer()
+	m.Instrument(o)
+	root := o.Tracer.Start("models")
 	car, err := m.NewCar()
 	if err != nil {
 		return err
@@ -43,12 +48,17 @@ func cmdModels(args []string) error {
 		return err
 	}
 	fmt.Printf("collecting %d expert records on %s ...\n", *ticks, m.Track.Name)
+	collect := root.Child("collect")
 	data := ses.Run(epoch)
+	collect.SetAttr("records", len(data.Records))
+	collect.SetSimDuration("drive", data.Duration)
+	collect.End()
 
 	fmt.Printf("%-12s %-9s %-9s %-6s %-8s %-8s %s\n",
 		"model", "params", "valLoss", "laps", "crashes", "speed", "frontier")
 	var rows []eval.Comparison
 	for _, kind := range pilot.AllKinds() {
+		sp := root.Child(string(kind))
 		pcfg := m.DefaultPilotConfig(kind)
 		pl, err := pilot.New(pcfg)
 		if err != nil {
@@ -59,8 +69,11 @@ func cmdModels(args []string) error {
 			return err
 		}
 		samples = pilot.AugmentFlip(samples)
+		epochHist := o.Metrics.Histogram("autolearn_train_epoch_seconds",
+			obs.DefSecondsBuckets, obs.L("pilot", string(kind)))
 		hist, err := pl.Train(samples, nn.TrainConfig{
-			Epochs: *epochs, BatchSize: 32, ValFrac: 0.15, Seed: 2, ClipGrad: 5})
+			Epochs: *epochs, BatchSize: 32, ValFrac: 0.15, Seed: 2, ClipGrad: 5,
+			EpochObserver: func(_ nn.EpochStats, dur time.Duration) { epochHist.ObserveDuration(dur) }})
 		if err != nil {
 			return err
 		}
@@ -87,13 +100,22 @@ func cmdModels(args []string) error {
 		}
 		rows = append(rows, eval.Comparison{Name: string(kind), ValLoss: hist.BestValLoss,
 			ParamCount: pl.ParamCount(), Report: rep})
+		sp.SetAttr("params", pl.ParamCount())
+		sp.SetAttr("best_val_loss", hist.BestValLoss)
+		sp.SetAttr("epochs", len(hist.Epochs))
+		sp.SetAttr("laps", rep.Laps)
+		sp.SetAttr("crashes", rep.Crashes)
+		sp.SetAttr("frontier", rep.Frontier())
+		sp.End()
 		fmt.Printf("%-12s %-9d %-9.4f %-6d %-8d %-8.2f %.3f\n",
 			kind, pl.ParamCount(), hist.BestValLoss, rep.Laps, rep.Crashes, rep.MeanSpeed, rep.Frontier())
 	}
 	if best := eval.Best(rows); best >= 0 {
+		root.SetAttr("best", rows[best].Name)
 		fmt.Printf("best on the speed x accuracy frontier: %s (the paper's team found: inferred)\n", rows[best].Name)
 	}
-	return nil
+	root.End()
+	return of.write(o)
 }
 
 // cmdTwin runs the digital-twin divergence table.

@@ -10,9 +10,9 @@
 //	autolearn clean     -tub DIR
 //	autolearn merge     -out DIR SRC1 [SRC2 ...]
 //	autolearn train     -tub DIR -out FILE [-model linear] [-gpu V100] [-epochs 5]
-//	autolearn evaluate  -model FILE [-track default-oval] [-placement edge] [-ticks 600]
-//	autolearn pipeline  [-track default-oval] [-model inferred] [-gpu RTX6000]
-//	autolearn models    [-track default-oval] [-ticks 1200] [-epochs 8]
+//	autolearn evaluate  -model FILE [-track default-oval] [-placement edge] [-ticks 600] [-trace FILE] [-metrics FILE]
+//	autolearn pipeline  [-track default-oval] [-model inferred] [-gpu RTX6000] [-trace FILE] [-metrics FILE]
+//	autolearn models    [-track default-oval] [-ticks 1200] [-epochs 8] [-trace FILE] [-metrics FILE]
 //	autolearn twin      [-track default-oval] [-ticks 800]
 //	autolearn hybrid    [-shrink 8] [-blend 0.4] [-ticks 600]
 //	autolearn zero      [-image-mb 800]
@@ -29,12 +29,69 @@ import (
 	"repro/internal/eval"
 	"repro/internal/netem"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/pilot"
 	"repro/internal/sim"
 	"repro/internal/testbed"
 	"repro/internal/track"
 	"repro/internal/tub"
 )
+
+// obsFlags carries the -trace/-metrics export destinations shared by the
+// pipeline, models, and evaluate commands.
+type obsFlags struct {
+	trace   *string
+	metrics *string
+}
+
+func addObsFlags(fs *flag.FlagSet) obsFlags {
+	return obsFlags{
+		trace:   fs.String("trace", "", "write a JSONL span trace to this file"),
+		metrics: fs.String("metrics", "", "write Prometheus-format metrics to this file"),
+	}
+}
+
+// observer returns a live observer when either export was requested, and
+// the inert zero observer otherwise.
+func (of obsFlags) observer() obs.Observer {
+	if *of.trace == "" && *of.metrics == "" {
+		return obs.Observer{}
+	}
+	return obs.NewObserver()
+}
+
+// write exports the requested trace and metrics files.
+func (of obsFlags) write(o obs.Observer) error {
+	if *of.trace != "" {
+		f, err := os.Create(*of.trace)
+		if err != nil {
+			return err
+		}
+		if err := o.Tracer.WriteJSONL(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("trace: %d spans -> %s\n", len(o.Tracer.Finished()), *of.trace)
+	}
+	if *of.metrics != "" {
+		f, err := os.Create(*of.metrics)
+		if err != nil {
+			return err
+		}
+		if err := o.Metrics.WriteProm(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("metrics: %s\n", *of.metrics)
+	}
+	return nil
+}
 
 var epoch = time.Date(2023, 9, 1, 9, 0, 0, 0, time.UTC)
 
@@ -97,7 +154,10 @@ commands:
   models      train and race all six pilot architectures
   twin        print the digital-twin divergence table
   hybrid      distill a student and run the hybrid edge-cloud loop
-  merge       combine several tubs into one (mix and match)`)
+  merge       combine several tubs into one (mix and match)
+
+pipeline, models, and evaluate accept -trace FILE (JSONL span trace) and
+-metrics FILE (Prometheus text format) to export observability data.`)
 }
 
 func cmdTracks() error {
@@ -267,10 +327,15 @@ func cmdEvaluate(args []string) error {
 	trackName := fs.String("track", "default-oval", "track name")
 	placement := fs.String("placement", "edge", "inference placement: edge|cloud|hybrid")
 	ticks := fs.Int("ticks", 600, "evaluation ticks at 20 Hz")
+	of := addObsFlags(fs)
 	fs.Parse(args)
 	if *modelFile == "" {
 		return fmt.Errorf("evaluate: -model is required")
 	}
+	o := of.observer()
+	root := o.Tracer.Start("evaluate")
+	root.SetAttr("model", *modelFile)
+	root.SetAttr("placement", *placement)
 	f, err := os.Open(*modelFile)
 	if err != nil {
 		return err
@@ -280,7 +345,9 @@ func cmdEvaluate(args []string) error {
 	if err != nil {
 		return err
 	}
-	pm := core.DefaultPlacementModel(netem.NewNet(1))
+	net := netem.NewNet(1)
+	net.Instrument(o.Metrics)
+	pm := core.DefaultPlacementModel(net)
 	lat, err := pm.ControlLatency(core.Placement(*placement), pl.ParamCount())
 	if err != nil {
 		return err
@@ -295,6 +362,7 @@ func cmdEvaluate(args []string) error {
 	}
 	camCfg := sim.CameraConfig{Width: pl.Cfg.Width, Height: pl.Cfg.Height, Channels: pl.Cfg.Channels,
 		HeightAboveGround: 0.12, Pitch: sim.DefaultCameraConfig().Pitch, HFOV: sim.DefaultCameraConfig().HFOV}
+	drive := root.Child("drive")
 	res, trk, err := sessionOn(*trackName, camCfg, func(*track.Track, *sim.Car) sim.Driver { return delayed }, *ticks)
 	if err != nil {
 		return err
@@ -302,15 +370,23 @@ func cmdEvaluate(args []string) error {
 	if err := drv.Err(); err != nil {
 		return err
 	}
+	drive.SetAttr("ticks", *ticks)
+	drive.SetSimDuration("drive", res.Duration)
+	drive.End()
 	rep, err := eval.Evaluate(res, trk, 20)
 	if err != nil {
 		return err
 	}
+	root.SetAttr("laps", rep.Laps)
+	root.SetAttr("crashes", rep.Crashes)
+	root.SetAttr("mean_speed", rep.MeanSpeed)
+	root.SetSimDuration("latency", lat)
+	root.End()
 	fmt.Printf("placement %s: latency %v (%.1f Hz achievable)\n",
 		*placement, lat.Round(time.Microsecond), core.AchievableHz(lat))
 	fmt.Printf("laps %d  crashes %d  mean speed %.2f m/s  RMS lateral %.3f m  consistency %.3f\n",
 		rep.Laps, rep.Crashes, rep.MeanSpeed, rep.RMSLateral, rep.SpeedConsistency)
-	return nil
+	return of.write(o)
 }
 
 func cmdPipeline(args []string) error {
@@ -318,6 +394,7 @@ func cmdPipeline(args []string) error {
 	trackName := fs.String("track", "default-oval", "track name")
 	model := fs.String("model", "inferred", "pilot kind")
 	gpu := fs.String("gpu", "RTX6000", "GPU SKU")
+	of := addObsFlags(fs)
 	fs.Parse(args)
 
 	cfg := core.DefaultConfig()
@@ -326,6 +403,8 @@ func cmdPipeline(args []string) error {
 	if err != nil {
 		return err
 	}
+	o := of.observer()
+	m.Instrument(o)
 	student, err := m.Enroll("cli-student", "local")
 	if err != nil {
 		return err
@@ -367,7 +446,8 @@ func cmdPipeline(args []string) error {
 	}
 	fmt.Printf("   latency %v, laps %d, crashes %d, mean speed %.2f m/s\n",
 		ev.Latency.Round(time.Microsecond), ev.Report.Laps, ev.Report.Crashes, ev.Report.MeanSpeed)
-	return nil
+	p.EndTrace()
+	return of.write(o)
 }
 
 func cmdZero(args []string) error {

@@ -1,10 +1,12 @@
 // Command webserve runs the DonkeyCar-style web controller against a live
 // simulated car: the drive loop runs locally while a browser (or curl)
-// steers over HTTP and watches the camera at /video.
+// steers over HTTP and watches the camera at /video. Prometheus-format
+// runtime metrics are served at /metrics.
 //
 //	webserve -addr :8887 -track default-oval
 //	curl -X POST localhost:8887/drive -d '{"angle":0.2,"throttle":0.5}'
 //	curl localhost:8887/state
+//	curl localhost:8887/metrics
 package main
 
 import (
@@ -15,6 +17,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/track"
 	"repro/internal/webctl"
@@ -53,6 +56,14 @@ func run(addr, trackName string, hz float64) error {
 		return err
 	}
 
+	reg := obs.NewRegistry()
+	reg.Help("webserve_frames_total", "camera frames rendered by the drive loop")
+	reg.Help("webserve_loop_hz", "configured drive loop rate")
+	reg.Help("webserve_tick_seconds", "wall-clock cost of one physics+render tick")
+	reg.Gauge("webserve_loop_hz").Set(hz)
+	frames := reg.Counter("webserve_frames_total")
+	tickHist := reg.Histogram("webserve_tick_seconds", obs.DefSecondsBuckets)
+
 	// Drive loop: controller commands move the physics; frames refresh the
 	// /video endpoint.
 	go func() {
@@ -60,12 +71,18 @@ func run(addr, trackName string, hz float64) error {
 		ticker := time.NewTicker(period)
 		defer ticker.Stop()
 		for range ticker.C {
+			t0 := time.Now()
 			steering, throttle := ctl.Drive(car.State)
 			car.Step(steering, throttle, 1/hz)
 			srv.UpdateFrame(cam.Render(car.State))
+			frames.Inc()
+			tickHist.ObserveDuration(time.Since(t0))
 		}
 	}()
 
-	log.Printf("web controller on %s (track %s); POST /drive, GET /state, GET /video", addr, trk.Name)
-	return http.ListenAndServe(addr, srv)
+	mux := http.NewServeMux()
+	mux.Handle("/", srv)
+	mux.Handle("/metrics", obs.Handler(reg))
+	log.Printf("web controller on %s (track %s); POST /drive, GET /state, GET /video, GET /metrics", addr, trk.Name)
+	return http.ListenAndServe(addr, mux)
 }

@@ -14,6 +14,7 @@ import (
 	"repro/internal/edge"
 	"repro/internal/netem"
 	"repro/internal/objstore"
+	"repro/internal/obs"
 	"repro/internal/pilot"
 	"repro/internal/sim"
 	"repro/internal/testbed"
@@ -99,6 +100,10 @@ type Module struct {
 	Store   *objstore.Store
 	Net     *netem.Net
 	Trovi   *trovi.Hub
+
+	// Obs is set by Instrument; the zero value leaves the module
+	// uninstrumented.
+	Obs obs.Observer
 
 	camera *sim.Camera
 }

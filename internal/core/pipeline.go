@@ -10,6 +10,7 @@ import (
 	"repro/internal/eval"
 	"repro/internal/netem"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/pilot"
 	"repro/internal/sim"
 	"repro/internal/testbed"
@@ -28,6 +29,13 @@ type Pipeline struct {
 	// Augment doubles training data with the horizontal-flip augmentation
 	// before every Train call (standard DonkeyCar practice).
 	Augment bool
+
+	// Obs receives one span per pipeline stage plus stage metrics; the
+	// zero value disables instrumentation. Inherited from the module when
+	// it was instrumented before NewPipeline.
+	Obs obs.Observer
+
+	root *obs.Span // the "pipeline" span, parent of every stage span
 }
 
 // NewPipeline creates a pipeline for an enrolled student.
@@ -38,7 +46,7 @@ func (m *Module) NewPipeline(student *testbed.Session, workDir string) (*Pipelin
 	if workDir == "" {
 		return nil, fmt.Errorf("core: pipeline needs a work directory")
 	}
-	return &Pipeline{M: m, Student: student, WorkDir: workDir, WANLink: netem.CampusWAN}, nil
+	return &Pipeline{M: m, Student: student, WorkDir: workDir, WANLink: netem.CampusWAN, Obs: m.Obs}, nil
 }
 
 // CollectResult summarizes the data-collection phase.
@@ -115,9 +123,7 @@ func (m *Module) driveAndStore(dir string, ticks int, seed int64, noisy bool) (s
 	return res, t, nil
 }
 
-// CollectData runs one of the three Fig. 2 collection paths, leaving a tub
-// in the pipeline's work directory.
-func (p *Pipeline) CollectData(path CollectionPath, name string, ticks int) (CollectResult, error) {
+func (p *Pipeline) collectData(path CollectionPath, name string, ticks int) (CollectResult, error) {
 	if name == "" {
 		return CollectResult{}, fmt.Errorf("core: collection name required")
 	}
@@ -177,9 +183,7 @@ func (p *Pipeline) CollectData(path CollectionPath, name string, ticks int) (Col
 	}
 }
 
-// CleanData runs tubclean's automatic detector over a collected tub
-// (the manual video review is available through the tub package directly).
-func (p *Pipeline) CleanData(tubDir string) (marked, remaining int, err error) {
+func (p *Pipeline) cleanData(tubDir string) (marked, remaining int, err error) {
 	t, err := tub.Open(tubDir)
 	if err != nil {
 		return 0, 0, err
@@ -206,10 +210,7 @@ type TrainResult struct {
 	ModelBytes  int64
 }
 
-// Train reserves a GPU node, deploys the CUDA appliance, transfers the
-// cleaned tub, trains the requested pilot, and publishes the checkpoint to
-// the object store (§3.3 "Model training").
-func (p *Pipeline) Train(tubDir string, kind pilot.Kind, gpu testbed.GPUType,
+func (p *Pipeline) train(tubDir string, kind pilot.Kind, gpu testbed.GPUType,
 	trainCfg nn.TrainConfig, start time.Time) (TrainResult, error) {
 	out := TrainResult{GPU: gpu}
 
@@ -301,10 +302,7 @@ type EvalResult struct {
 	Report     eval.Report
 }
 
-// Evaluate downloads a trained model from the object store onto the car
-// and drives autonomously under the chosen inference placement, whose
-// control-loop latency is injected into the simulation as command delay.
-func (p *Pipeline) Evaluate(modelObject string, placement Placement, pm PlacementModel, ticks int) (EvalResult, error) {
+func (p *Pipeline) evaluate(modelObject string, placement Placement, pm PlacementModel, ticks int) (EvalResult, error) {
 	out := EvalResult{Placement: placement}
 	data, _, err := p.M.Store.Get(ContainerModels, modelObject)
 	if err != nil {

@@ -14,6 +14,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // DeviceStatus tracks a BYOD device through its lifecycle.
@@ -87,6 +89,37 @@ type Hub struct {
 
 	// ImagePullRate is container-image bytes per second onto the device.
 	ImagePullRate float64
+
+	metrics *obs.Registry
+}
+
+// Instrument routes control-plane metrics into reg: a heartbeat-liveness
+// gauge (devices currently connected), running-container gauge, and
+// counters for heartbeats and sweep evictions. The gauges are published
+// immediately so scrapes before any device activity still see the series.
+func (h *Hub) Instrument(reg *obs.Registry) {
+	reg.Help("edge_devices_live", "devices currently in the connected state")
+	reg.Help("edge_containers_running", "containers deployed across the fleet")
+	reg.Help("edge_heartbeats_total", "device daemon check-ins received")
+	reg.Help("edge_sweep_evictions_total", "devices taken offline by heartbeat sweeps")
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.metrics = reg
+	reg.Counter("edge_sweep_evictions_total")
+	h.publishLocked()
+}
+
+// publishLocked refreshes the liveness and container gauges; callers hold
+// h.mu.
+func (h *Hub) publishLocked() {
+	live := 0
+	for _, d := range h.devices {
+		if d.Status == StatusConnected {
+			live++
+		}
+	}
+	h.metrics.Gauge("edge_devices_live").Set(float64(live))
+	h.metrics.Gauge("edge_containers_running").Set(float64(len(h.containers)))
 }
 
 // NewHub creates an empty CHI@Edge control plane.
@@ -149,6 +182,7 @@ func (h *Hub) Boot(deviceID string) (time.Duration, error) {
 		return 0, fmt.Errorf("edge: device %s cannot boot from state %s (flash first)", deviceID, d.Status)
 	}
 	d.Status = StatusConnected
+	h.publishLocked()
 	return BootTime, nil
 }
 
@@ -162,6 +196,7 @@ func (h *Hub) SetOffline(deviceID string) error {
 	}
 	d.Status = StatusOffline
 	delete(h.byDevice, deviceID)
+	h.publishLocked()
 	return nil
 }
 
@@ -239,6 +274,7 @@ func (h *Hub) LaunchContainer(deviceID, projectID, image string, imageBytes int6
 	}
 	h.containers[c.ID] = c
 	h.byDevice[deviceID] = c.ID
+	h.publishLocked()
 	return c, nil
 }
 
@@ -252,6 +288,7 @@ func (h *Hub) StopContainer(containerID string) error {
 	}
 	delete(h.containers, containerID)
 	delete(h.byDevice, c.DeviceID)
+	h.publishLocked()
 	return nil
 }
 

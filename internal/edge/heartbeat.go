@@ -31,6 +31,7 @@ func (h *Hub) Heartbeat(deviceID string, now time.Time) error {
 		h.lastSeen = map[string]time.Time{}
 	}
 	h.lastSeen[deviceID] = now
+	h.metrics.Counter("edge_heartbeats_total").Inc()
 	return nil
 }
 
@@ -66,6 +67,12 @@ func (h *Hub) SweepHeartbeats(now time.Time) []string {
 			dropped = append(dropped, id)
 		}
 	}
+	// Map iteration order is random; sort so traces, logs, and callers see
+	// a deterministic eviction order.
 	sort.Strings(dropped)
+	if len(dropped) > 0 {
+		h.metrics.Counter("edge_sweep_evictions_total").Add(float64(len(dropped)))
+		h.publishLocked()
+	}
 	return dropped
 }

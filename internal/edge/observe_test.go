@@ -1,0 +1,105 @@
+package edge
+
+import (
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// connectN enrolls and connects n devices whitelisted for "edu".
+func connectN(t *testing.T, h *Hub, n int) []string {
+	t.Helper()
+	ids := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		d, err := h.RegisterDevice("car", "owner")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := h.FlashImage(d.ID); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := h.Boot(d.ID); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, d.ID)
+	}
+	return ids
+}
+
+func TestSweepHeartbeatsDeterministicOrder(t *testing.T) {
+	// Evicting many devices at once must report them sorted regardless of
+	// map-iteration order, so traces and logs are stable run to run.
+	for trial := 0; trial < 10; trial++ {
+		h := NewHub()
+		ids := connectN(t, h, 12)
+		for _, id := range ids {
+			if err := h.Heartbeat(id, t0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		dropped := h.SweepHeartbeats(t0.Add(HeartbeatWindow + time.Minute))
+		if len(dropped) != len(ids) {
+			t.Fatalf("dropped %d of %d", len(dropped), len(ids))
+		}
+		if !sort.StringsAreSorted(dropped) {
+			t.Fatalf("trial %d: evictions not sorted: %v", trial, dropped)
+		}
+	}
+}
+
+func TestHubLivenessMetrics(t *testing.T) {
+	h := NewHub()
+	reg := obs.NewRegistry()
+	h.Instrument(reg)
+
+	// Instrumenting publishes the gauges immediately.
+	if got := reg.Gauge("edge_devices_live").Value(); got != 0 {
+		t.Fatalf("initial liveness = %v", got)
+	}
+
+	ids := connectN(t, h, 3)
+	if got := reg.Gauge("edge_devices_live").Value(); got != 3 {
+		t.Fatalf("liveness after 3 boots = %v", got)
+	}
+	for _, id := range ids {
+		if err := h.Whitelist(id, "edu"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := h.LaunchContainer(ids[0], "edu", "img", 1<<20, t0); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Gauge("edge_containers_running").Value(); got != 1 {
+		t.Fatalf("containers gauge = %v", got)
+	}
+
+	// One device keeps heartbeating; two go silent and are swept.
+	for _, id := range ids {
+		if err := h.Heartbeat(id, t0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := h.Heartbeat(ids[2], t0.Add(HeartbeatWindow)); err != nil {
+		t.Fatal(err)
+	}
+	dropped := h.SweepHeartbeats(t0.Add(HeartbeatWindow + time.Second))
+	if len(dropped) != 2 {
+		t.Fatalf("dropped = %v", dropped)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Gauges["edge_devices_live"]; got != 1 {
+		t.Errorf("liveness after sweep = %v", got)
+	}
+	if got := snap.Counters["edge_sweep_evictions_total"]; got != 2 {
+		t.Errorf("evictions = %v", got)
+	}
+	if got := snap.Counters["edge_heartbeats_total"]; got != 4 {
+		t.Errorf("heartbeats = %v", got)
+	}
+	// The swept device's container was reaped.
+	if got := snap.Gauges["edge_containers_running"]; got != 0 {
+		t.Errorf("containers after sweep = %v", got)
+	}
+}

@@ -12,6 +12,8 @@ import (
 	"math/rand"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Link describes one direction of a network path.
@@ -84,11 +86,26 @@ type Net struct {
 	bytesSent int64
 	transfers int
 	rpcs      int
+
+	metrics *obs.Registry
 }
 
 // NewNet creates a network simulator with a deterministic seed.
 func NewNet(seed int64) *Net {
 	return &Net{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Instrument routes per-link traffic metrics into reg: transfer bytes and
+// counts, simulated transfer/RPC durations, and retransmissions. A nil
+// registry turns instrumentation off.
+func (n *Net) Instrument(reg *obs.Registry) {
+	n.mu.Lock()
+	n.metrics = reg
+	n.mu.Unlock()
+	reg.Help("netem_transfer_bytes_total", "bulk-transfer payload bytes moved per link")
+	reg.Help("netem_transfer_seconds", "simulated bulk-transfer duration per link")
+	reg.Help("netem_rpc_seconds", "simulated RPC round-trip duration per link")
+	reg.Help("netem_retransmits_total", "packets retransmitted on lossy links")
 }
 
 // sample returns latency with jitter noise, never negative.
@@ -157,7 +174,12 @@ func (n *Net) Transfer(l Link, size int64) (TransferResult, error) {
 	n.mu.Lock()
 	n.bytesSent += size
 	n.transfers++
+	reg := n.metrics
 	n.mu.Unlock()
+	link := obs.L("link", l.Name)
+	reg.Counter("netem_transfer_bytes_total", link).Add(float64(size))
+	reg.Counter("netem_retransmits_total", link).Add(float64(retrans))
+	reg.Histogram("netem_transfer_seconds", obs.DefSecondsBuckets, link).ObserveDuration(dur)
 	tp := 0.0
 	if dur > 0 {
 		tp = float64(size) / dur.Seconds()
@@ -183,7 +205,11 @@ func (n *Net) RTT(l Link, reqBytes, respBytes int) (time.Duration, error) {
 	n.mu.Lock()
 	n.rpcs++
 	n.bytesSent += int64(reqBytes + respBytes)
+	reg := n.metrics
 	n.mu.Unlock()
+	link := obs.L("link", l.Name)
+	reg.Counter("netem_transfer_bytes_total", link).Add(float64(reqBytes + respBytes))
+	reg.Histogram("netem_rpc_seconds", obs.DefSecondsBuckets, link).ObserveDuration(d)
 	return d, nil
 }
 

@@ -3,6 +3,7 @@ package nn
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // parallelThreshold is the approximate number of scalar operations below
@@ -11,21 +12,20 @@ import (
 const parallelThreshold = 1 << 16
 
 // maxWorkers caps kernel parallelism. Tests may lower it; 0 means
-// runtime.NumCPU().
-var maxWorkers = 0
+// runtime.NumCPU(). Atomic because concurrent training runs (e.g. the
+// metrics-instrumented race tests) may read it while a test adjusts it.
+var maxWorkers atomic.Int64
 
 // SetMaxWorkers overrides the kernel worker count (0 restores the default
 // of NumCPU). It returns the previous setting so callers can restore it.
 func SetMaxWorkers(n int) int {
-	prev := maxWorkers
-	maxWorkers = n
-	return prev
+	return int(maxWorkers.Swap(int64(n)))
 }
 
 // parallelFor splits the index range [0, n) into contiguous chunks and runs
 // work on each concurrently when the total op estimate justifies it.
 func parallelFor(n, opEstimate int, work func(i0, i1 int)) {
-	workers := maxWorkers
+	workers := int(maxWorkers.Load())
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}

@@ -97,6 +97,11 @@ type TrainConfig struct {
 	LRDecay float64
 	// Verbose emits one line per epoch via the Logf callback.
 	Logf func(format string, args ...any)
+	// EpochObserver, when non-nil, is called synchronously after every
+	// completed epoch with that epoch's stats and its wall-clock duration
+	// — the hook the observability layer uses to export per-epoch loss
+	// and timing without the trainer importing it.
+	EpochObserver func(stats EpochStats, dur time.Duration)
 }
 
 // DefaultTrainConfig mirrors DonkeyCar's training defaults at small scale.
@@ -158,6 +163,7 @@ func Train(model Model, data Dataset, loss Loss, opt Optimizer, cfg TrainConfig)
 	sinceBest := 0
 
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		epochStart := time.Now()
 		idx := rng.Perm(train.Len())
 		var epochLoss float64
 		var batches int
@@ -204,6 +210,9 @@ func Train(model Model, data Dataset, loss Loss, opt Optimizer, cfg TrainConfig)
 			}
 		}
 		h.Epochs = append(h.Epochs, stats)
+		if cfg.EpochObserver != nil {
+			cfg.EpochObserver(stats, time.Since(epochStart))
+		}
 		if cfg.Logf != nil {
 			cfg.Logf("epoch %d: train %.5f val %.5f", epoch, stats.TrainLoss, stats.ValLoss)
 		}

@@ -1,0 +1,444 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Registry holds named metrics. Metrics are get-or-create: asking for the
+// same name and label set twice returns the same instrument, so layers can
+// be instrumented independently and still share series. A nil *Registry
+// returns nil instruments, which are themselves no-ops.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+	help       map[string]string // metric name -> HELP text
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		histograms: map[string]*Histogram{},
+		help:       map[string]string{},
+	}
+}
+
+// Label is one key=value dimension on a metric series.
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for building a label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// seriesKey canonicalizes name+labels: labels sorted by key.
+func seriesKey(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Key, l.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Counter is a monotonically increasing value.
+type Counter struct {
+	mu  sync.Mutex
+	v   float64
+	key string
+}
+
+// Add increases the counter; negative deltas are ignored.
+func (c *Counter) Add(delta float64) {
+	if c == nil || delta < 0 {
+		return
+	}
+	c.mu.Lock()
+	c.v += delta
+	c.mu.Unlock()
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value reads the counter (0 for nil).
+func (c *Counter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.v
+}
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	mu  sync.Mutex
+	v   float64
+	key string
+}
+
+// Set stores the gauge value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	g.v = v
+	g.mu.Unlock()
+}
+
+// Add moves the gauge by delta (either sign).
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	g.v += delta
+	g.mu.Unlock()
+}
+
+// Value reads the gauge (0 for nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.v
+}
+
+// Histogram counts observations into fixed cumulative buckets, Prometheus
+// style: counts[i] is the number of observations <= Bounds[i], with an
+// implicit +Inf bucket holding everything else.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64
+	counts []uint64 // len(bounds)+1; last is +Inf
+	sum    float64
+	count  uint64
+	key    string
+}
+
+// DefSecondsBuckets spans microseconds to hours, suiting both real epoch
+// timings and simulated transfer/training durations.
+var DefSecondsBuckets = []float64{
+	1e-6, 1e-5, 1e-4, 1e-3, 0.01, 0.1, 0.5, 1, 5, 15, 60, 300, 1800, 7200,
+}
+
+// DefBytesBuckets spans a camera frame to a packed dataset.
+var DefBytesBuckets = []float64{
+	1 << 10, 16 << 10, 256 << 10, 1 << 20, 16 << 20, 256 << 20, 1 << 30,
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || math.IsNaN(v) {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	idx := len(h.bounds)
+	for i, b := range h.bounds {
+		if v <= b {
+			idx = i
+			break
+		}
+	}
+	h.counts[idx]++
+	h.sum += v
+	h.count++
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the number of observations (0 for nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Sum returns the sum of observed values (0 for nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Counter returns (creating if needed) the counter for name+labels.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	key := seriesKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[key]
+	if !ok {
+		c = &Counter{key: key}
+		r.counters[key] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the gauge for name+labels.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	key := seriesKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[key]
+	if !ok {
+		g = &Gauge{key: key}
+		r.gauges[key] = g
+	}
+	return g
+}
+
+// Histogram returns (creating if needed) the histogram for name+labels
+// with the given bucket upper bounds (sorted ascending; an implicit +Inf
+// bucket is appended). Buckets are fixed at first creation; later calls
+// with different bounds reuse the existing series.
+func (r *Registry) Histogram(name string, bounds []float64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	key := seriesKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[key]
+	if !ok {
+		bs := append([]float64(nil), bounds...)
+		sort.Float64s(bs)
+		h = &Histogram{key: key, bounds: bs, counts: make([]uint64, len(bs)+1)}
+		r.histograms[key] = h
+	}
+	return h
+}
+
+// Help attaches HELP text to a metric name (not a series), shown in the
+// text exposition.
+func (r *Registry) Help(name, text string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.help[name] = text
+	r.mu.Unlock()
+}
+
+// baseName strips a series key back to its metric name.
+func baseName(key string) string {
+	if i := strings.IndexByte(key, '{'); i >= 0 {
+		return key[:i]
+	}
+	return key
+}
+
+// labelPart returns the "{...}" suffix of a series key ("" when bare).
+func labelPart(key string) string {
+	if i := strings.IndexByte(key, '{'); i >= 0 {
+		return key[i:]
+	}
+	return ""
+}
+
+// mergeLabels splices extra into an existing label part: `{a="b"}` +
+// `le="5"` -> `{a="b",le="5"}`.
+func mergeLabels(part, extra string) string {
+	if part == "" {
+		return "{" + extra + "}"
+	}
+	return part[:len(part)-1] + "," + extra + "}"
+}
+
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// WriteProm writes the registry in the Prometheus text exposition format,
+// deterministically ordered (metric name, then series key).
+func (r *Registry) WriteProm(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	type series struct {
+		key  string
+		kind string // counter | gauge | histogram
+	}
+	var all []series
+	for k := range r.counters {
+		all = append(all, series{k, "counter"})
+	}
+	for k := range r.gauges {
+		all = append(all, series{k, "gauge"})
+	}
+	for k := range r.histograms {
+		all = append(all, series{k, "histogram"})
+	}
+	help := make(map[string]string, len(r.help))
+	for k, v := range r.help {
+		help[k] = v
+	}
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	histograms := make(map[string]*Histogram, len(r.histograms))
+	for k, v := range r.histograms {
+		histograms[k] = v
+	}
+	r.mu.Unlock()
+
+	sort.Slice(all, func(i, j int) bool {
+		ni, nj := baseName(all[i].key), baseName(all[j].key)
+		if ni != nj {
+			return ni < nj
+		}
+		return all[i].key < all[j].key
+	})
+	lastName := ""
+	for _, s := range all {
+		name := baseName(s.key)
+		if name != lastName {
+			if h, ok := help[name]; ok {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, h); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, s.kind); err != nil {
+				return err
+			}
+			lastName = name
+		}
+		switch s.kind {
+		case "counter":
+			if _, err := fmt.Fprintf(w, "%s %s\n", s.key, formatValue(counters[s.key].Value())); err != nil {
+				return err
+			}
+		case "gauge":
+			if _, err := fmt.Fprintf(w, "%s %s\n", s.key, formatValue(gauges[s.key].Value())); err != nil {
+				return err
+			}
+		case "histogram":
+			h := histograms[s.key]
+			part := labelPart(s.key)
+			h.mu.Lock()
+			var cum uint64
+			for i, b := range h.bounds {
+				cum += h.counts[i]
+				le := mergeLabels(part, fmt.Sprintf("le=%q", formatValue(b)))
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, le, cum); err != nil {
+					h.mu.Unlock()
+					return err
+				}
+			}
+			cum += h.counts[len(h.bounds)]
+			le := mergeLabels(part, `le="+Inf"`)
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, le, cum); err != nil {
+				h.mu.Unlock()
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum%s %s\n%s_count%s %d\n",
+				name, part, formatValue(h.sum), name, part, h.count); err != nil {
+				h.mu.Unlock()
+				return err
+			}
+			h.mu.Unlock()
+		}
+	}
+	return nil
+}
+
+// Snapshot is a point-in-time copy of every series, for tests.
+type Snapshot struct {
+	Counters   map[string]float64
+	Gauges     map[string]float64
+	HistCounts map[string]uint64
+	HistSums   map[string]float64
+}
+
+// Snapshot copies the registry's current values keyed by canonical series
+// key (name plus sorted labels).
+func (r *Registry) Snapshot() Snapshot {
+	snap := Snapshot{
+		Counters:   map[string]float64{},
+		Gauges:     map[string]float64{},
+		HistCounts: map[string]uint64{},
+		HistSums:   map[string]float64{},
+	}
+	if r == nil {
+		return snap
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	histograms := make(map[string]*Histogram, len(r.histograms))
+	for k, v := range r.histograms {
+		histograms[k] = v
+	}
+	r.mu.Unlock()
+	for k, c := range counters {
+		snap.Counters[k] = c.Value()
+	}
+	for k, g := range gauges {
+		snap.Gauges[k] = g.Value()
+	}
+	for k, h := range histograms {
+		snap.HistCounts[k] = h.Count()
+		snap.HistSums[k] = h.Sum()
+	}
+	return snap
+}
+
+// Handler serves the registry as a Prometheus-format /metrics endpoint.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WriteProm(w)
+	})
+}

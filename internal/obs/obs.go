@@ -1,0 +1,39 @@
+// Package obs is the reproduction's zero-dependency observability layer:
+// hierarchical spans with JSONL trace export, and a concurrency-safe
+// metrics registry (counters, gauges, fixed-bucket histograms) with a
+// Prometheus-style text exposition writer.
+//
+// The package exists because the paper's pipeline (Fig. 1: collect →
+// clean → train → evaluate) is meant to be *inspected* by students, and
+// because the ROADMAP's performance work needs a way to see where wall
+// clock and simulated time go. Two design rules keep instrumentation
+// cheap to thread through the codebase:
+//
+//  1. Everything is nil-safe. A nil *Tracer, *Span, *Counter, *Gauge, or
+//     *Histogram is a valid no-op, so instrumented code calls the
+//     observability hooks unconditionally and uninstrumented runs pay
+//     one nil check per event.
+//  2. Clocks are injectable. The simulators in this repo run on virtual
+//     time (netem transfers, testbed provisioning); spans carry both the
+//     wall-clock interval measured by the tracer's clock and any number
+//     of explicitly recorded simulated durations as attributes.
+package obs
+
+import "time"
+
+// Clock yields the current time; tests and virtual-time harnesses inject
+// their own.
+type Clock func() time.Time
+
+// Observer bundles a tracer and a metrics registry, the pair every
+// instrumented layer accepts. The zero value (both nil) is a valid no-op
+// observer.
+type Observer struct {
+	Tracer  *Tracer
+	Metrics *Registry
+}
+
+// NewObserver returns an observer with a fresh tracer and registry.
+func NewObserver() Observer {
+	return Observer{Tracer: NewTracer(), Metrics: NewRegistry()}
+}

@@ -1,0 +1,224 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanHierarchyAndJSONL(t *testing.T) {
+	now := time.Unix(1_700_000_000, 0)
+	clock := func() time.Time {
+		now = now.Add(250 * time.Millisecond)
+		return now
+	}
+	tr := NewTracerWithClock(clock)
+	root := tr.Start("pipeline")
+	c := root.Child("collect")
+	c.SetAttr("records", 42)
+	c.SetAttr("drive", 3*time.Second) // durations export as seconds
+	c.SetSimDuration("transfer", 1500*time.Millisecond)
+	c.End()
+	c.End() // double-end is a no-op
+	root.End()
+
+	if got := len(tr.Finished()); got != 2 {
+		t.Fatalf("finished spans = %d, want 2", got)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	var recs []map[string]any
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		recs = append(recs, m)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("JSONL lines = %d, want 2", len(recs))
+	}
+	// collect ended first.
+	child, parent := recs[0], recs[1]
+	if child["name"] != "collect" || parent["name"] != "pipeline" {
+		t.Fatalf("unexpected span order: %v then %v", child["name"], parent["name"])
+	}
+	if child["parent"] != parent["id"] {
+		t.Errorf("child parent = %v, want %v", child["parent"], parent["id"])
+	}
+	attrs := child["attrs"].(map[string]any)
+	if attrs["records"].(float64) != 42 {
+		t.Errorf("records attr = %v", attrs["records"])
+	}
+	if attrs["drive"].(float64) != 3 {
+		t.Errorf("drive attr = %v, want 3 (seconds)", attrs["drive"])
+	}
+	if attrs["sim_transfer_s"].(float64) != 1.5 {
+		t.Errorf("sim_transfer_s = %v, want 1.5", attrs["sim_transfer_s"])
+	}
+	if child["dur_ms"].(float64) != 250 {
+		t.Errorf("child dur_ms = %v, want 250", child["dur_ms"])
+	}
+}
+
+func TestNilObservabilityIsNoOp(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Start("x")
+	sp.SetAttr("k", 1)
+	sp.Child("y").End()
+	sp.EndErr(nil)
+	if err := tr.WriteJSONL(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	var r *Registry
+	r.Counter("c").Inc()
+	r.Gauge("g").Set(3)
+	r.Histogram("h", DefSecondsBuckets).Observe(1)
+	r.Help("c", "nope")
+	if err := r.WriteProm(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	if s := r.Snapshot(); len(s.Counters) != 0 {
+		t.Fatal("nil registry snapshot not empty")
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("hits", L("path", "/x"))
+	b := r.Counter("hits", L("path", "/x"))
+	if a != b {
+		t.Fatal("same name+labels must return the same counter")
+	}
+	if c := r.Counter("hits", L("path", "/y")); c == a {
+		t.Fatal("different labels must return a different counter")
+	}
+	// Label order must not matter.
+	g1 := r.Gauge("temp", L("a", "1"), L("b", "2"))
+	g2 := r.Gauge("temp", L("b", "2"), L("a", "1"))
+	if g1 != g2 {
+		t.Fatal("label order changed series identity")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count = %d, want 4", h.Count())
+	}
+	if h.Sum() != 55.55 {
+		t.Fatalf("sum = %v, want 55.55", h.Sum())
+	}
+	var buf bytes.Buffer
+	if err := r.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE lat_seconds histogram",
+		`lat_seconds_bucket{le="0.1"} 1`,
+		`lat_seconds_bucket{le="1"} 2`,
+		`lat_seconds_bucket{le="10"} 3`,
+		`lat_seconds_bucket{le="+Inf"} 4`,
+		"lat_seconds_sum 55.55",
+		"lat_seconds_count 4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWritePromDeterministicAndLabeled(t *testing.T) {
+	r := NewRegistry()
+	r.Help("edge_devices_live", "connected edge devices")
+	r.Gauge("edge_devices_live").Set(3)
+	r.Counter("net_transfer_bytes_total", L("link", "campus-wan")).Add(1024)
+	r.Histogram("train_epoch_seconds", []float64{1, 10}, L("gpu", "V100")).Observe(2)
+
+	var a, b bytes.Buffer
+	if err := r.WriteProm(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("exposition output not deterministic")
+	}
+	for _, want := range []string{
+		"# HELP edge_devices_live connected edge devices",
+		"# TYPE edge_devices_live gauge",
+		"edge_devices_live 3",
+		`net_transfer_bytes_total{link="campus-wan"} 1024`,
+		`train_epoch_seconds_bucket{gpu="V100",le="10"} 1`,
+		`train_epoch_seconds_count{gpu="V100"} 1`,
+	} {
+		if !strings.Contains(a.String(), want) {
+			t.Errorf("exposition missing %q:\n%s", want, a.String())
+		}
+	}
+}
+
+func TestConcurrentInstruments(t *testing.T) {
+	r := NewRegistry()
+	tr := NewTracer()
+	root := tr.Start("root")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				r.Counter("c", L("w", "x")).Inc()
+				r.Gauge("g").Add(1)
+				r.Histogram("h", DefSecondsBuckets).Observe(float64(j))
+				sp := root.Child("op")
+				sp.SetAttr("j", j)
+				sp.End()
+			}
+		}()
+	}
+	// Concurrent exports while writers are running.
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = r.WriteProm(&bytes.Buffer{})
+			_ = tr.WriteJSONL(&bytes.Buffer{})
+			_ = r.Snapshot()
+		}()
+	}
+	wg.Wait()
+	root.End()
+	if got := r.Counter("c", L("w", "x")).Value(); got != 4000 {
+		t.Fatalf("counter = %v, want 4000", got)
+	}
+	if got := r.Histogram("h", DefSecondsBuckets).Count(); got != 4000 {
+		t.Fatalf("histogram count = %v, want 4000", got)
+	}
+	if got := len(tr.Finished()); got != 4001 {
+		t.Fatalf("finished spans = %d, want 4001", got)
+	}
+}
+
+func TestObserverZeroValue(t *testing.T) {
+	var o Observer
+	sp := o.Tracer.Start("noop")
+	sp.End()
+	o.Metrics.Counter("x").Inc()
+	if o.Metrics.Counter("x").Value() != 0 {
+		t.Fatal("zero-value observer must be inert")
+	}
+}

@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Tracer produces hierarchical spans and collects the finished ones for
+// export. It is safe for concurrent use; a nil *Tracer is a no-op.
+type Tracer struct {
+	mu       sync.Mutex
+	clock    Clock
+	nextID   int
+	finished []*Span
+}
+
+// NewTracer builds a tracer on the wall clock.
+func NewTracer() *Tracer { return &Tracer{clock: time.Now} }
+
+// NewTracerWithClock builds a tracer on an injected clock, so simulated
+// time can drive span intervals in virtual-time experiments.
+func NewTracerWithClock(c Clock) *Tracer {
+	if c == nil {
+		c = time.Now
+	}
+	return &Tracer{clock: c}
+}
+
+// Span is one timed operation. Attributes are set between Start and End;
+// children link to their parent by ID. A nil *Span is a no-op.
+type Span struct {
+	tracer    *Tracer
+	ID        string
+	ParentID  string
+	Name      string
+	StartTime time.Time
+	EndTime   time.Time
+
+	mu    sync.Mutex
+	attrs map[string]any
+	ended bool
+}
+
+// Start opens a root span.
+func (t *Tracer) Start(name string) *Span {
+	return t.newSpan(name, "")
+}
+
+func (t *Tracer) newSpan(name, parent string) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	t.nextID++
+	id := fmt.Sprintf("s%04d", t.nextID)
+	now := t.clock()
+	t.mu.Unlock()
+	return &Span{tracer: t, ID: id, ParentID: parent, Name: name, StartTime: now, attrs: map[string]any{}}
+}
+
+// Child opens a span nested under s.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.tracer.newSpan(name, s.ID)
+}
+
+// SetAttr records a key/value attribute on the span. Values should be
+// JSON-encodable; time.Duration values are exported in seconds.
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if d, ok := value.(time.Duration); ok {
+		value = d.Seconds()
+	}
+	s.attrs[key] = value
+}
+
+// SetSimDuration records a simulated (virtual-time) duration attribute
+// alongside the span's wall-clock interval, exported in seconds under
+// "sim_<name>_s".
+func (s *Span) SetSimDuration(name string, d time.Duration) {
+	s.SetAttr("sim_"+name+"_s", d.Seconds())
+}
+
+// End closes the span and hands it to the tracer for export. Ending a
+// span twice is a no-op.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	s.mu.Unlock()
+	t := s.tracer
+	t.mu.Lock()
+	s.EndTime = t.clock()
+	t.finished = append(t.finished, s)
+	t.mu.Unlock()
+}
+
+// EndErr closes the span, recording err (if non-nil) as an "error"
+// attribute first.
+func (s *Span) EndErr(err error) {
+	if s == nil {
+		return
+	}
+	if err != nil {
+		s.SetAttr("error", err.Error())
+	}
+	s.End()
+}
+
+// Attr returns the attribute stored under key (nil if absent or if the
+// span is nil).
+func (s *Span) Attr(key string) any {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.attrs[key]
+}
+
+// Finished returns the finished spans in end order (snapshot copy).
+func (t *Tracer) Finished() []*Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*Span, len(t.finished))
+	copy(out, t.finished)
+	return out
+}
+
+// spanRecord is the JSONL wire form of a finished span.
+type spanRecord struct {
+	ID     string         `json:"id"`
+	Parent string         `json:"parent,omitempty"`
+	Name   string         `json:"name"`
+	Start  string         `json:"start"`
+	DurMS  float64        `json:"dur_ms"`
+	Attrs  map[string]any `json:"attrs,omitempty"`
+}
+
+// WriteJSONL exports every finished span as one JSON object per line.
+// Attribute maps are copied under the span lock, so export is safe while
+// other spans are still running.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	enc := json.NewEncoder(w)
+	for _, s := range t.Finished() {
+		s.mu.Lock()
+		attrs := make(map[string]any, len(s.attrs))
+		for k, v := range s.attrs {
+			attrs[k] = v
+		}
+		s.mu.Unlock()
+		rec := spanRecord{
+			ID:     s.ID,
+			Parent: s.ParentID,
+			Name:   s.Name,
+			Start:  s.StartTime.UTC().Format(time.RFC3339Nano),
+			DurMS:  float64(s.EndTime.Sub(s.StartTime)) / float64(time.Millisecond),
+			Attrs:  attrs,
+		}
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SpanNames returns the names of finished spans sorted alphabetically
+// (handy in tests).
+func (t *Tracer) SpanNames() []string {
+	var names []string
+	for _, s := range t.Finished() {
+		names = append(names, s.Name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,73 @@
+package testbed
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func TestTestbedInstrumentation(t *testing.T) {
+	tb := New(DefaultInventory())
+	reg := obs.NewRegistry()
+	tb.Instrument(reg)
+	if _, err := tb.CreateProject("edu", "lab", true); err != nil {
+		t.Fatal(err)
+	}
+	u := User{Name: "s1", Institution: "uni"}
+	if err := tb.AddMember("edu", u); err != nil {
+		t.Fatal(err)
+	}
+	s, err := tb.Login(u, "edu")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	start := time.Date(2023, 9, 1, 9, 0, 0, 0, time.UTC)
+	for i, gpu := range []GPUType{V100, V100, A100} {
+		at := start.Add(time.Duration(i*5) * time.Hour)
+		l, err := s.Reserve(NodeFilter{GPU: gpu}, at, at.Add(4*time.Hour))
+		if err != nil {
+			t.Fatal(err)
+		}
+		inst, err := s.Deploy(l.ID, "CC-Ubuntu20.04-CUDA", at)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := inst.TrainingTime(TrainingJob{
+			Samples: 1000, ParamCount: 100_000, Epochs: 5, BatchSize: 32}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	snap := reg.Snapshot()
+	if got := snap.Counters[`testbed_leases_total{gpu="V100"}`]; got != 2 {
+		t.Errorf("V100 leases = %v, want 2", got)
+	}
+	if got := snap.Counters[`testbed_leases_total{gpu="A100"}`]; got != 1 {
+		t.Errorf("A100 leases = %v, want 1", got)
+	}
+	if got := snap.HistCounts["testbed_provision_seconds"]; got != 3 {
+		t.Errorf("provision observations = %v, want 3", got)
+	}
+	if got := snap.HistCounts[`testbed_training_seconds{gpu="V100"}`]; got != 2 {
+		t.Errorf("V100 training observations = %v, want 2", got)
+	}
+	// Provision sum is 3x the configured ProvisionTime.
+	if got, want := snap.HistSums["testbed_provision_seconds"], 3*tb.ProvisionTime.Seconds(); got != want {
+		t.Errorf("provision sum = %v, want %v", got, want)
+	}
+}
+
+func TestInstanceLiteralUninstrumented(t *testing.T) {
+	// CLI code builds Instance literals directly; TrainingTime must work
+	// without a registry.
+	inst := &Instance{GPU: V100, GPUCount: 1}
+	d, err := inst.TrainingTime(TrainingJob{Samples: 100, ParamCount: 1000, Epochs: 1, BatchSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d <= 0 {
+		t.Fatalf("training time = %v", d)
+	}
+}

@@ -12,6 +12,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // GPUType names an accelerator SKU from the paper.
@@ -154,6 +156,8 @@ type Instance struct {
 	ReadyAt  time.Time // when bare-metal provisioning completes
 	GPU      GPUType
 	GPUCount int
+
+	metrics *obs.Registry // inherited from the testbed at Deploy time
 }
 
 // Testbed holds the whole emulated facility. It is safe for concurrent use.
@@ -169,6 +173,21 @@ type Testbed struct {
 	// ProvisionTime is how long bare-metal deployment of an image takes
 	// (the paper's Ubuntu 20.04 CUDA appliance).
 	ProvisionTime time.Duration
+
+	metrics *obs.Registry
+}
+
+// Instrument routes facility metrics into reg: per-GPU-type lease counts,
+// provisioning (queue-to-ready) durations, and — through instances
+// deployed afterwards — simulated training durations per SKU, the series
+// behind the paper's §3.3 GPU sweep.
+func (tb *Testbed) Instrument(reg *obs.Registry) {
+	reg.Help("testbed_leases_total", "node reservations granted per GPU type")
+	reg.Help("testbed_provision_seconds", "simulated bare-metal appliance deployment time")
+	reg.Help("testbed_training_seconds", "simulated training wall time per GPU type")
+	tb.mu.Lock()
+	tb.metrics = reg
+	tb.mu.Unlock()
 }
 
 // New builds a testbed with the given node inventory.
@@ -316,6 +335,7 @@ func (s *Session) Reserve(f NodeFilter, start, end time.Time) (*Lease, error) {
 			sort.Slice(s.tb.byNode[n.ID], func(i, j int) bool {
 				return s.tb.byNode[n.ID][i].Start.Before(s.tb.byNode[n.ID][j].Start)
 			})
+			s.tb.metrics.Counter("testbed_leases_total", obs.L("gpu", string(n.GPU))).Inc()
 			return l, nil
 		}
 	}
@@ -369,6 +389,8 @@ func (s *Session) Deploy(leaseID, image string, now time.Time) (*Instance, error
 		return nil, fmt.Errorf("testbed: empty image name")
 	}
 	n := s.tb.nodes[l.NodeID]
+	s.tb.metrics.Histogram("testbed_provision_seconds", obs.DefSecondsBuckets).
+		ObserveDuration(s.tb.ProvisionTime)
 	return &Instance{
 		LeaseID:  leaseID,
 		NodeID:   l.NodeID,
@@ -376,6 +398,7 @@ func (s *Session) Deploy(leaseID, image string, now time.Time) (*Instance, error
 		ReadyAt:  now.Add(s.tb.ProvisionTime),
 		GPU:      n.GPU,
 		GPUCount: n.GPUCount,
+		metrics:  s.tb.metrics,
 	}, nil
 }
 

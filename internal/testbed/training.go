@@ -3,6 +3,8 @@ package testbed
 import (
 	"fmt"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // TrainingJob describes a model-training workload in hardware-neutral
@@ -60,7 +62,10 @@ func (inst *Instance) TrainingTime(j TrainingJob) (time.Duration, error) {
 	}
 	rate := v100BaseRate * f * scale
 	compute := time.Duration(j.workUnits() / rate * float64(time.Second))
-	return compute + time.Duration(j.Epochs)*perEpochOverhead, nil
+	total := compute + time.Duration(j.Epochs)*perEpochOverhead
+	inst.metrics.Histogram("testbed_training_seconds", obs.DefSecondsBuckets,
+		obs.L("gpu", string(inst.GPU))).ObserveDuration(total)
+	return total, nil
 }
 
 // InferenceTime returns the simulated per-frame inference latency of a

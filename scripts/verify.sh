@@ -1,0 +1,25 @@
+#!/bin/sh
+# Full pre-merge verification: vet, build, race-enabled tests, gofmt.
+# Run from the repo root: ./scripts/verify.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "==> gofmt -l ."
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "OK: vet, build, race tests, and gofmt all clean."
