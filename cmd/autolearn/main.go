@@ -11,7 +11,7 @@
 //	autolearn merge     -out DIR SRC1 [SRC2 ...]
 //	autolearn train     -tub DIR -out FILE [-model linear] [-gpu V100] [-epochs 5]
 //	autolearn evaluate  -model FILE [-track default-oval] [-placement edge] [-ticks 600] [-trace FILE] [-metrics FILE]
-//	autolearn pipeline  [-track default-oval] [-model inferred] [-gpu RTX6000] [-trace FILE] [-metrics FILE]
+//	autolearn pipeline  [-track default-oval] [-model inferred] [-gpu RTX6000] [-faults PROFILE] [-trace FILE] [-metrics FILE]
 //	autolearn models    [-track default-oval] [-ticks 1200] [-epochs 8] [-trace FILE] [-metrics FILE]
 //	autolearn twin      [-track default-oval] [-ticks 800]
 //	autolearn hybrid    [-shrink 8] [-blend 0.4] [-ticks 600]
@@ -23,10 +23,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/eval"
+	"repro/internal/faults"
 	"repro/internal/netem"
 	"repro/internal/nn"
 	"repro/internal/obs"
@@ -157,7 +159,9 @@ commands:
   merge       combine several tubs into one (mix and match)
 
 pipeline, models, and evaluate accept -trace FILE (JSONL span trace) and
--metrics FILE (Prometheus text format) to export observability data.`)
+-metrics FILE (Prometheus text format) to export observability data.
+pipeline also accepts -faults PROFILE (lossy-wan, flaky-objstore,
+heartbeat-gap, preempt, chaos) to run under deterministic fault injection.`)
 }
 
 func cmdTracks() error {
@@ -394,6 +398,7 @@ func cmdPipeline(args []string) error {
 	trackName := fs.String("track", "default-oval", "track name")
 	model := fs.String("model", "inferred", "pilot kind")
 	gpu := fs.String("gpu", "RTX6000", "GPU SKU")
+	profile := fs.String("faults", "", "fault profile: "+strings.Join(faults.Profiles(), "|")+" (empty = fault-free)")
 	of := addObsFlags(fs)
 	fs.Parse(args)
 
@@ -418,6 +423,19 @@ func cmdPipeline(args []string) error {
 	if err != nil {
 		return err
 	}
+	var plan *faults.Plan
+	trainStart := epoch
+	if *profile != "" {
+		plan, err = faults.NewPlan(*profile, cfg.Seed, epoch)
+		if err != nil {
+			return err
+		}
+		plan.Instrument(o.Metrics)
+		if err := p.EnableFaults(plan); err != nil {
+			return err
+		}
+		fmt.Printf("== fault profile %q (seed %d)\n", *profile, cfg.Seed)
+	}
 	fmt.Println("== phase 1: data collection (simulator path)")
 	col, err := p.CollectData(core.Simulator, "drive-1", 1000)
 	if err != nil {
@@ -431,8 +449,11 @@ func cmdPipeline(args []string) error {
 	}
 	fmt.Printf("   %d marked, %d remain\n", marked, remaining)
 	fmt.Printf("== phase 3: training %s on %s\n", *model, *gpu)
+	if plan != nil {
+		trainStart = plan.Clock.Now()
+	}
 	tr, err := p.Train(col.TubDir, pilot.Kind(*model), testbed.GPUType(*gpu),
-		nn.TrainConfig{Epochs: 5, BatchSize: 32, ValFrac: 0.15, Seed: 2, ClipGrad: 5}, epoch)
+		nn.TrainConfig{Epochs: 5, BatchSize: 32, ValFrac: 0.15, Seed: 2, ClipGrad: 5}, trainStart)
 	if err != nil {
 		return err
 	}
@@ -446,6 +467,19 @@ func cmdPipeline(args []string) error {
 	}
 	fmt.Printf("   latency %v, laps %d, crashes %d, mean speed %.2f m/s\n",
 		ev.Latency.Round(time.Microsecond), ev.Report.Laps, ev.Report.Crashes, ev.Report.MeanSpeed)
+	if plan != nil {
+		// Under faults, also exercise the hybrid edge-cloud path: this is
+		// where cloud deadline misses fall back to the on-device pilot.
+		fmt.Println("== phase 5: hybrid inference under faults")
+		hy, err := p.EvaluateHybrid(tr.ModelObject, core.DefaultPlacementModel(m.Net),
+			pilot.DefaultDistillConfig(), 0.4, 600)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("   student %d params, laps %d, crashes %d, cloud fallbacks %d\n",
+			hy.StudentParams, hy.Report.Laps, hy.Report.Crashes, hy.Fallbacks)
+		fmt.Printf("== faults: %s\n", plan.Summary())
+	}
 	p.EndTrace()
 	return of.write(o)
 }

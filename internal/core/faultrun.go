@@ -1,0 +1,330 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"repro/internal/edge"
+	"repro/internal/faults"
+	"repro/internal/netem"
+	"repro/internal/nn"
+	"repro/internal/pilot"
+	"repro/internal/testbed"
+)
+
+// This file wires the fault-injection plan through the pipeline: the WAN
+// and the object store go through the plan's retry policy, a scripted
+// device fleet plays heartbeats (and scheduled silences) into the edge hub
+// as virtual time passes, and training survives a lease preemption by
+// resuming from its per-epoch checkpoint. Everything is a no-op on a
+// pipeline without a plan.
+
+// EnableFaults attaches a fault plan to the pipeline: the module's network
+// consults the plan's link schedule, the object store injects its
+// transient errors, and the plan's scripted devices are onboarded into the
+// edge hub with heartbeat playback driven by the plan's clock. Call it
+// once, before running stages.
+func (p *Pipeline) EnableFaults(plan *faults.Plan) error {
+	if plan == nil {
+		return fmt.Errorf("core: nil fault plan")
+	}
+	if p.Faults != nil {
+		return fmt.Errorf("core: pipeline already has a fault plan")
+	}
+	p.Faults = plan
+	p.M.Net.SetFaults(plan)
+	p.M.Store.SetFaultHook(func(op, _, _ string) error { return plan.StoreFault(op) })
+	return p.startFleetPlayback(plan)
+}
+
+// advance moves the plan's virtual clock; without a plan it is a no-op
+// (the unfaulted pipeline has no clock to keep).
+func (p *Pipeline) advance(d time.Duration) {
+	if p.Faults != nil {
+		p.Faults.Clock.Advance(d)
+	}
+}
+
+// wanTransfer is Net.Transfer under the retry policy: outage windows turn
+// into retryable errors, backoff burns virtual time until the link heals,
+// and the successful attempt's duration lands on the clock.
+func (p *Pipeline) wanTransfer(size int64) (netem.TransferResult, error) {
+	if p.Faults == nil {
+		return p.M.Net.Transfer(p.WANLink, size)
+	}
+	var out netem.TransferResult
+	err := p.Faults.Do("wan_transfer", func(int) (time.Duration, error) {
+		tr, err := p.M.Net.Transfer(p.WANLink, size)
+		if err != nil {
+			return 0, err
+		}
+		out = tr
+		return tr.Duration, nil
+	})
+	return out, err
+}
+
+// storeGet is Store.Get under the retry policy (injected transient errors
+// retry; real errors like a missing object return immediately).
+func (p *Pipeline) storeGet(container, name string) ([]byte, error) {
+	if p.Faults == nil {
+		data, _, err := p.M.Store.Get(container, name)
+		return data, err
+	}
+	var data []byte
+	err := p.Faults.Do("objstore_get", func(int) (time.Duration, error) {
+		d, _, err := p.M.Store.Get(container, name)
+		if err != nil {
+			return 0, err
+		}
+		data = d
+		return 0, nil
+	})
+	return data, err
+}
+
+// storePut is Store.Put under the retry policy.
+func (p *Pipeline) storePut(container, name string, data []byte, meta map[string]string) error {
+	if p.Faults == nil {
+		_, err := p.M.Store.Put(container, name, data, meta)
+		return err
+	}
+	return p.Faults.Do("objstore_put", func(int) (time.Duration, error) {
+		_, err := p.M.Store.Put(container, name, data, meta)
+		return 0, err
+	})
+}
+
+// controlLatency is PlacementModel.ControlLatency under the retry policy:
+// the cloud placement's RTT probe can hit an outage window.
+func (p *Pipeline) controlLatency(pm PlacementModel, place Placement, paramCount int) (time.Duration, error) {
+	if p.Faults == nil {
+		return pm.ControlLatency(place, paramCount)
+	}
+	var lat time.Duration
+	err := p.Faults.Do("control_latency", func(int) (time.Duration, error) {
+		l, err := pm.ControlLatency(place, paramCount)
+		if err != nil {
+			return 0, err
+		}
+		lat = l
+		return 0, nil
+	})
+	return lat, err
+}
+
+// fleetPlayback replays the plan's scripted device fleet into the edge hub
+// as the clock advances: devices heartbeat every HeartbeatEvery unless
+// scheduled silent, the control plane sweeps every SweepEvery (evicting
+// the silent ones for real), and a device whose silence window has passed
+// re-onboards through the flash-and-boot reconnect path.
+type fleetPlayback struct {
+	plan *faults.Plan
+	hub  *edge.Hub
+	ids  map[string]string // scripted name -> hub device ID
+	mu   chan struct{}     // 1-token semaphore; see catchUp
+	beat time.Time         // next heartbeat round
+	swp  time.Time         // next sweep
+}
+
+// startFleetPlayback onboards the plan's scripted devices (none for
+// profiles without heartbeat gaps) and hooks playback to the clock.
+func (p *Pipeline) startFleetPlayback(plan *faults.Plan) error {
+	devs := plan.ScriptDevices()
+	if len(devs) == 0 {
+		return nil
+	}
+	fp := &fleetPlayback{
+		plan: plan,
+		hub:  p.M.Edge,
+		ids:  map[string]string{},
+		mu:   make(chan struct{}, 1),
+		beat: plan.Clock.Now().Add(plan.HeartbeatEvery),
+		swp:  plan.Clock.Now().Add(plan.SweepEvery),
+	}
+	for _, name := range devs {
+		d, err := p.M.Edge.RegisterDevice(name, "faults-plan")
+		if err != nil {
+			return err
+		}
+		if _, err := p.M.Edge.FlashImage(d.ID); err != nil {
+			return err
+		}
+		if _, err := p.M.Edge.Boot(d.ID); err != nil {
+			return err
+		}
+		fp.ids[name] = d.ID
+	}
+	plan.Clock.OnAdvance(fp.catchUp)
+	return nil
+}
+
+// catchUp plays every heartbeat round and sweep due up to now, in
+// chronological order. The semaphore (rather than a sync.Mutex) makes
+// reentrant Advance-during-playback a skip instead of a deadlock, and
+// concurrent advancers hand the backlog to whoever holds the token.
+func (fp *fleetPlayback) catchUp(now time.Time) {
+	select {
+	case fp.mu <- struct{}{}:
+	default:
+		return
+	}
+	defer func() { <-fp.mu }()
+	for !fp.beat.After(now) || !fp.swp.After(now) {
+		if !fp.beat.After(now) && !fp.beat.After(fp.swp) {
+			fp.beatRound(fp.beat)
+			fp.beat = fp.beat.Add(fp.plan.HeartbeatEvery)
+		} else {
+			fp.hub.SweepHeartbeats(fp.swp)
+			fp.swp = fp.swp.Add(fp.plan.SweepEvery)
+		}
+	}
+}
+
+// beatRound lets every scripted device act at time t: silent devices skip
+// their check-in (that is the injected fault); healthy ones heartbeat, and
+// a previously evicted one re-onboards via flash + boot first.
+func (fp *fleetPlayback) beatRound(t time.Time) {
+	for _, name := range fp.plan.ScriptDevices() {
+		id := fp.ids[name]
+		if fp.plan.DeviceSilent(name, t) {
+			fp.plan.RecordInjection("heartbeat_gap")
+			continue
+		}
+		d, err := fp.hub.Device(id)
+		if err != nil {
+			continue
+		}
+		if d.Status == edge.StatusOffline {
+			// Daemon came back after an eviction: reconnect path.
+			if _, err := fp.hub.FlashImage(id); err != nil {
+				continue
+			}
+			if _, err := fp.hub.Boot(id); err != nil {
+				continue
+			}
+		}
+		_ = fp.hub.Heartbeat(id, t)
+	}
+}
+
+// runTraining trains pl, surviving a scheduled lease preemption: each
+// epoch checkpoints the model, and when the plan's preemption fraction of
+// the simulated GPU time has elapsed the trainer aborts, the operator
+// yanks the node, and training resumes from the checkpoint on a freshly
+// reserved node. Returns the merged history and the pilot that finished
+// training (the resumed copy, if preempted). res.Lease/Instance are
+// updated to the replacement node on preemption.
+func (p *Pipeline) runTraining(pl *pilot.Pilot, samples []pilot.Sample, cfg nn.TrainConfig,
+	res *TrainResult, start time.Time) (nn.History, *pilot.Pilot, error) {
+	plan := p.Faults
+	if plan == nil || plan.PreemptAfterFrac <= 0 || cfg.Epochs < 2 {
+		hist, err := pl.Train(samples, cfg)
+		return hist, pl, err
+	}
+
+	job := testbed.TrainingJob{
+		Samples: len(samples), ParamCount: pl.ParamCount(), Epochs: 1, BatchSize: cfg.BatchSize,
+	}
+	perEpoch, err := res.Instance.TrainingTime(job)
+	if err != nil {
+		return nn.History{}, nil, err
+	}
+	// Abort after the epoch that crosses the preemption fraction, but
+	// always mid-run: at least one epoch done, at least one left.
+	preemptAfter := int(plan.PreemptAfterFrac * float64(cfg.Epochs))
+	if preemptAfter < 1 {
+		preemptAfter = 1
+	}
+	if preemptAfter > cfg.Epochs-1 {
+		preemptAfter = cfg.Epochs - 1
+	}
+
+	var ckpt bytes.Buffer
+	done := 0
+	cfg1 := cfg
+	prev := cfg.EpochObserver
+	cfg1.EpochObserver = func(stats nn.EpochStats, dur time.Duration) {
+		done = stats.Epoch + 1
+		ckpt.Reset()
+		_ = pl.Save(&ckpt)
+		if prev != nil {
+			prev(stats, dur)
+		}
+	}
+	cfg1.Abort = func() bool { return done >= preemptAfter }
+
+	hist, err := pl.Train(samples, cfg1)
+	if err != nil {
+		return hist, nil, err
+	}
+	if !hist.Aborted {
+		// Early stopping beat the preemption to it; nothing to resume.
+		p.advance(time.Duration(done) * perEpoch)
+		return hist, pl, nil
+	}
+
+	// The node dies mid-training: bill the GPU time burned so far, count
+	// the injection, and yank the lease (the node goes into maintenance).
+	p.advance(time.Duration(done) * perEpoch)
+	plan.RecordInjection("preemption")
+	if err := p.M.Testbed.PreemptLease(res.Lease.ID); err != nil {
+		return hist, nil, err
+	}
+
+	// Re-reserve the same SKU (the dead node is in maintenance, so the
+	// scheduler picks a sibling), redeploy, and resume from the checkpoint.
+	now := plan.Clock.Now()
+	lease, err := p.Student.Reserve(testbed.NodeFilter{GPU: res.GPU}, now, now.Add(4*time.Hour))
+	if err != nil {
+		return hist, nil, fmt.Errorf("core: re-reserve after preemption: %w", err)
+	}
+	inst, err := p.Student.Deploy(lease.ID, res.Instance.Image, now)
+	if err != nil {
+		return hist, nil, fmt.Errorf("core: redeploy after preemption: %w", err)
+	}
+	res.Lease, res.Instance = lease, inst
+	p.advance(inst.ReadyAt.Sub(now))
+
+	resumed, err := pilot.Load(bytes.NewReader(ckpt.Bytes()))
+	if err != nil {
+		return hist, nil, fmt.Errorf("core: checkpoint resume: %w", err)
+	}
+	cfg2 := cfg
+	cfg2.Epochs = cfg.Epochs - done
+	offset := done
+	cfg2.EpochObserver = func(stats nn.EpochStats, dur time.Duration) {
+		if prev != nil {
+			stats.Epoch += offset
+			prev(stats, dur)
+		}
+	}
+	hist2, err := resumed.Train(samples, cfg2)
+	if err != nil {
+		return hist, nil, err
+	}
+	perEpoch2, err := inst.TrainingTime(job)
+	if err != nil {
+		return hist, nil, err
+	}
+	p.advance(time.Duration(len(hist2.Epochs)) * perEpoch2)
+
+	// Merge the two halves into one run history.
+	merged := hist
+	merged.Aborted = false
+	merged.Stopped = hist2.Stopped
+	merged.WallTime += hist2.WallTime
+	merged.SamplesSeen += hist2.SamplesSeen
+	merged.BestValLoss = hist.BestValLoss
+	merged.BestEpoch = hist.BestEpoch
+	for _, st := range hist2.Epochs {
+		st.Epoch += offset
+		merged.Epochs = append(merged.Epochs, st)
+		if st.ValLoss < merged.BestValLoss {
+			merged.BestValLoss = st.ValLoss
+			merged.BestEpoch = st.Epoch
+		}
+	}
+	return merged, resumed, nil
+}

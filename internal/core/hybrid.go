@@ -34,6 +34,19 @@ type HybridDriver struct {
 	// MaxStaleTicks beyond which a cloud command is discarded.
 	MaxStaleTicks int
 
+	// CloudRPC, when non-nil, is consulted every frame in place of the
+	// fixed CloudDelayTicks: it performs the frame's cloud round trip and
+	// returns the delivery delay in ticks. An error (link outage) or a
+	// delay beyond MaxStaleTicks means the cloud missed its deadline: the
+	// frame is served by the on-device student alone and counted as a
+	// fallback. This is the graceful-degradation half of the §3.3
+	// trade-off: the car keeps driving on the pilot when the WAN does not.
+	CloudRPC func(tick int) (delayTicks int, err error)
+	// OnFallback is invoked once per fallback frame (metrics hook).
+	OnFallback func()
+	// Fallbacks counts frames served without the cloud.
+	Fallbacks int
+
 	pending []cloudCmd
 	tick    int
 }
@@ -71,11 +84,28 @@ func (h *HybridDriver) DriveFrame(f *sim.Frame, st sim.CarState) (float64, float
 	sAngle, sThrottle := h.Student.DriveFrame(f, st)
 
 	// Ship the frame to the cloud: compute the teacher's answer now but
-	// deliver it later (the teacher sees the frame as of send time).
-	tAngle, tThrottle := h.Teacher.DriveFrame(f, st)
-	h.pending = append(h.pending, cloudCmd{
-		readyAt: h.tick + h.CloudDelayTicks, angle: tAngle, throttle: tThrottle,
-	})
+	// deliver it later (the teacher sees the frame as of send time). With a
+	// live CloudRPC, a failed or too-slow round trip drops the frame from
+	// the cloud path entirely — the student's answer stands alone.
+	delay, cloudUp := h.CloudDelayTicks, true
+	if h.CloudRPC != nil {
+		d, err := h.CloudRPC(h.tick)
+		if err != nil || d > h.MaxStaleTicks {
+			cloudUp = false
+			h.Fallbacks++
+			if h.OnFallback != nil {
+				h.OnFallback()
+			}
+		} else {
+			delay = d
+		}
+	}
+	if cloudUp {
+		tAngle, tThrottle := h.Teacher.DriveFrame(f, st)
+		h.pending = append(h.pending, cloudCmd{
+			readyAt: h.tick + delay, angle: tAngle, throttle: tThrottle,
+		})
+	}
 
 	// Consume the freshest arrived command.
 	var latest *cloudCmd
@@ -117,6 +147,10 @@ type HybridEvalResult struct {
 	StudentParams int
 	TeacherParams int
 	DistillLoss   float64
+	// Fallbacks counts eval frames the cloud missed (outage or deadline)
+	// and the on-device student served alone; nonzero only under a fault
+	// plan with a live per-frame cloud RPC.
+	Fallbacks int
 }
 
 // EvaluateHybrid runs the *working* hybrid runtime end to end: download
@@ -127,11 +161,11 @@ type HybridEvalResult struct {
 func (p *Pipeline) EvaluateHybrid(modelObject string, pm PlacementModel, dc pilot.DistillConfig,
 	blend float64, ticks int) (HybridEvalResult, error) {
 	out := HybridEvalResult{EvalResult: EvalResult{Placement: HybridPlacement}}
-	data, _, err := p.M.Store.Get(ContainerModels, modelObject)
+	data, err := p.storeGet(ContainerModels, modelObject)
 	if err != nil {
 		return out, fmt.Errorf("core: model download: %w", err)
 	}
-	tr, err := p.M.Net.Transfer(p.WANLink, int64(len(data)))
+	tr, err := p.wanTransfer(int64(len(data)))
 	if err != nil {
 		return out, err
 	}
@@ -173,7 +207,7 @@ func (p *Pipeline) EvaluateHybrid(modelObject string, pm PlacementModel, dc pilo
 	}
 	out.Latency = studentLat
 	out.DelayTicks = DelayTicksFor(studentLat, hz)
-	cloudLat, err := pm.ControlLatency(CloudPlacement, teacher.ParamCount())
+	cloudLat, err := p.controlLatency(pm, CloudPlacement, teacher.ParamCount())
 	if err != nil {
 		return out, err
 	}
@@ -190,6 +224,21 @@ func (p *Pipeline) EvaluateHybrid(modelObject string, pm PlacementModel, dc pilo
 	hd, err := NewHybridDriver(sd, td, cloudTicks, blend)
 	if err != nil {
 		return out, err
+	}
+	if plan := p.Faults; plan != nil {
+		// Live per-frame cloud RPC: each control tick advances the plan's
+		// clock, so the eval drives through real outage windows; a failed
+		// or too-slow round trip falls back to the student alone.
+		tick := time.Duration(float64(time.Second) / hz)
+		hd.CloudRPC = func(int) (int, error) {
+			plan.Clock.Advance(tick)
+			d, err := p.M.Net.RTT(pm.Link, pm.FrameBytes, pm.CmdBytes)
+			if err != nil {
+				return 0, err
+			}
+			return DelayTicksFor(d, hz), nil
+		}
+		hd.OnFallback = plan.RecordFallback
 	}
 	delayed, err := NewDelayedDriver(hd, out.DelayTicks)
 	if err != nil {
@@ -209,6 +258,7 @@ func (p *Pipeline) EvaluateHybrid(modelObject string, pm PlacementModel, dc pilo
 	if err := hd.Err(); err != nil {
 		return out, err
 	}
+	out.Fallbacks = hd.Fallbacks
 	rep, err := eval.Evaluate(evalRes, p.M.Track, hz)
 	if err != nil {
 		return out, err

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/eval"
+	"repro/internal/faults"
 	"repro/internal/netem"
 	"repro/internal/nn"
 	"repro/internal/obs"
@@ -34,6 +35,11 @@ type Pipeline struct {
 	// zero value disables instrumentation. Inherited from the module when
 	// it was instrumented before NewPipeline.
 	Obs obs.Observer
+
+	// Faults, when set via EnableFaults, injects the plan's scheduled
+	// failures into every stage and routes WAN and object-store operations
+	// through its retry policy (see faultrun.go). Nil runs fault-free.
+	Faults *faults.Plan
 
 	root *obs.Span // the "pipeline" span, parent of every stage span
 }
@@ -131,11 +137,11 @@ func (p *Pipeline) collectData(path CollectionPath, name string, ticks int) (Col
 	out := CollectResult{Path: path, TubDir: dir}
 	switch path {
 	case SampleDatasets:
-		data, _, err := p.M.Store.Get(ContainerDatasets, name)
+		data, err := p.storeGet(ContainerDatasets, name)
 		if err != nil {
 			return out, fmt.Errorf("core: sample dataset: %w", err)
 		}
-		tr, err := p.M.Net.Transfer(p.WANLink, int64(len(data)))
+		tr, err := p.wanTransfer(int64(len(data)))
 		if err != nil {
 			return out, err
 		}
@@ -177,6 +183,7 @@ func (p *Pipeline) collectData(path CollectionPath, name string, ticks int) (Col
 		out.Laps = res.Laps
 		out.Crashes = res.Crashes
 		out.Drive = res.Duration
+		p.advance(out.Drive)
 		return out, nil
 	default:
 		return out, fmt.Errorf("core: unknown collection path %q", path)
@@ -226,6 +233,7 @@ func (p *Pipeline) train(tubDir string, kind pilot.Kind, gpu testbed.GPUType,
 	}
 	out.Instance = inst
 	out.Provision = inst.ReadyAt.Sub(start)
+	p.advance(out.Provision)
 
 	// rsync the tub up.
 	t, err := tub.Open(tubDir)
@@ -236,7 +244,7 @@ func (p *Pipeline) train(tubDir string, kind pilot.Kind, gpu testbed.GPUType,
 	if err != nil {
 		return out, err
 	}
-	tr, err := p.M.Net.Transfer(p.WANLink, size)
+	tr, err := p.wanTransfer(size)
 	if err != nil {
 		return out, err
 	}
@@ -255,38 +263,46 @@ func (p *Pipeline) train(tubDir string, kind pilot.Kind, gpu testbed.GPUType,
 	if p.Augment {
 		samples = pilot.AugmentFlip(samples)
 	}
-	hist, err := pl.Train(samples, trainCfg)
+	// Mirrors runTraining's condition for taking the preemption path, which
+	// bills its GPU time piecewise as it goes.
+	preemptible := p.Faults != nil && p.Faults.PreemptAfterFrac > 0 && trainCfg.Epochs >= 2
+	hist, trained, err := p.runTraining(pl, samples, trainCfg, &out, start)
 	if err != nil {
 		return out, err
 	}
 	out.History = hist
-	out.Pilot = pl
+	out.Pilot = trained
 
-	// Simulated GPU wall time for this job on the chosen SKU.
+	// Simulated GPU wall time for this job on the chosen SKU (the node that
+	// finished the run; under a preemption that is the replacement node).
 	epochs := len(hist.Epochs)
 	if epochs == 0 {
 		epochs = trainCfg.Epochs
 	}
 	job := testbed.TrainingJob{
 		Samples:    len(samples),
-		ParamCount: pl.ParamCount(),
+		ParamCount: trained.ParamCount(),
 		Epochs:     epochs,
 		BatchSize:  trainCfg.BatchSize,
 	}
-	simTime, err := inst.TrainingTime(job)
+	simTime, err := out.Instance.TrainingTime(job)
 	if err != nil {
 		return out, err
 	}
 	out.SimGPUTime = simTime
+	if !preemptible {
+		// The preemption path already billed its GPU time piecewise.
+		p.advance(simTime)
+	}
 
 	// Publish the checkpoint.
 	var buf bytes.Buffer
-	if err := pl.Save(&buf); err != nil {
+	if err := trained.Save(&buf); err != nil {
 		return out, err
 	}
 	out.ModelObject = fmt.Sprintf("%s-%s.ckpt", kind, p.Student.User().Name)
 	out.ModelBytes = int64(buf.Len())
-	if _, err := p.M.Store.Put(ContainerModels, out.ModelObject, buf.Bytes(),
+	if err := p.storePut(ContainerModels, out.ModelObject, buf.Bytes(),
 		map[string]string{"kind": string(kind), "gpu": string(gpu)}); err != nil {
 		return out, err
 	}
@@ -304,11 +320,11 @@ type EvalResult struct {
 
 func (p *Pipeline) evaluate(modelObject string, placement Placement, pm PlacementModel, ticks int) (EvalResult, error) {
 	out := EvalResult{Placement: placement}
-	data, _, err := p.M.Store.Get(ContainerModels, modelObject)
+	data, err := p.storeGet(ContainerModels, modelObject)
 	if err != nil {
 		return out, fmt.Errorf("core: model download: %w", err)
 	}
-	tr, err := p.M.Net.Transfer(p.WANLink, int64(len(data)))
+	tr, err := p.wanTransfer(int64(len(data)))
 	if err != nil {
 		return out, err
 	}
@@ -318,7 +334,7 @@ func (p *Pipeline) evaluate(modelObject string, placement Placement, pm Placemen
 	if err != nil {
 		return out, err
 	}
-	lat, err := pm.ControlLatency(placement, pl.ParamCount())
+	lat, err := p.controlLatency(pm, placement, pl.ParamCount())
 	if err != nil {
 		return out, err
 	}

@@ -182,6 +182,10 @@ func (h *Hub) Boot(deviceID string) (time.Duration, error) {
 		return 0, fmt.Errorf("edge: device %s cannot boot from state %s (flash first)", deviceID, d.Status)
 	}
 	d.Status = StatusConnected
+	// A boot starts a fresh heartbeat history: any lastSeen left over from a
+	// previous connected spell would let the next sweep evict the device
+	// before its daemon gets a chance to check in.
+	delete(h.lastSeen, deviceID)
 	h.publishLocked()
 	return BootTime, nil
 }
@@ -196,6 +200,8 @@ func (h *Hub) SetOffline(deviceID string) error {
 	}
 	d.Status = StatusOffline
 	delete(h.byDevice, deviceID)
+	// Leaving the connected state invalidates the heartbeat history too.
+	delete(h.lastSeen, deviceID)
 	h.publishLocked()
 	return nil
 }

@@ -1,0 +1,73 @@
+package eval
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// Regression: a zero-lap crashy session produces ErrorsPerLap = +Inf,
+// which encoding/json refuses to serialize as a float. Report must encode
+// the infinity as the "+Inf" sentinel string and decode it back.
+func TestReportJSONSurvivesInfiniteErrorsPerLap(t *testing.T) {
+	_, trk := expertRun(t, 10)
+	r, err := Evaluate(sim.SessionResult{Crashes: 3}, trk, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(r.ErrorsPerLap, 1) {
+		t.Fatalf("precondition: ErrorsPerLap = %g, want +Inf", r.ErrorsPerLap)
+	}
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatalf("marshal with infinite ErrorsPerLap: %v", err)
+	}
+	if !strings.Contains(string(data), `"ErrorsPerLap":"+Inf"`) {
+		t.Errorf("infinity not encoded as sentinel: %s", data)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(back.ErrorsPerLap, 1) {
+		t.Errorf("round trip lost the infinity: %g", back.ErrorsPerLap)
+	}
+	back.ErrorsPerLap = r.ErrorsPerLap
+	if back.Crashes != r.Crashes || back.Laps != r.Laps {
+		t.Errorf("round trip mangled the report: got %+v, want %+v", back, r)
+	}
+}
+
+func TestReportJSONFiniteValuesStayNumeric(t *testing.T) {
+	r := Report{Laps: 4, Crashes: 2, ErrorsPerLap: 0.5}
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"ErrorsPerLap":0.5`) {
+		t.Errorf("finite value not encoded as a number: %s", data)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.ErrorsPerLap != 0.5 {
+		t.Errorf("round trip: ErrorsPerLap = %g, want 0.5", back.ErrorsPerLap)
+	}
+}
+
+func TestReportJSONRejectsGarbageSentinel(t *testing.T) {
+	var r Report
+	if err := json.Unmarshal([]byte(`{"ErrorsPerLap":"lots"}`), &r); err == nil {
+		t.Error("garbage sentinel accepted")
+	}
+	if err := json.Unmarshal([]byte(`{"ErrorsPerLap":"-Inf"}`), &r); err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(r.ErrorsPerLap, -1) {
+		t.Errorf("-Inf sentinel decoded to %g", r.ErrorsPerLap)
+	}
+}

@@ -1,0 +1,112 @@
+// Package faults is the deterministic fault-injection and resilience layer
+// of the continuum: seeded, virtual-time fault schedules (link outages and
+// degradation windows, transient object-store errors, device heartbeat
+// silence, GPU-node preemption) plus a reusable retry policy (exponential
+// backoff with jitter, per-attempt timeout, total budget) that accrues
+// virtual time through an injected clock instead of sleeping. Every run
+// with the same seed and profile replays byte-for-byte: schedules are
+// generated up front from a seeded RNG and consulted read-only afterwards,
+// and backoff jitter draws from the plan's own RNG in call order.
+package faults
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// Clock is the virtual timebase fault schedules are evaluated against.
+// Nothing in this package sleeps: waiting (backoff, provisioning, drives)
+// advances the clock, and schedules answer "what is broken at this
+// instant". It is safe for concurrent use.
+type Clock struct {
+	mu        sync.Mutex
+	now       time.Time
+	onAdvance []func(now time.Time)
+}
+
+// NewClock starts a virtual clock at the given instant.
+func NewClock(start time.Time) *Clock {
+	return &Clock{now: start}
+}
+
+// Now returns the current virtual time.
+func (c *Clock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Advance moves the clock forward by d (negative deltas are ignored) and
+// fires any OnAdvance callbacks with the new time. Callbacks run outside
+// the clock's lock, so they may read Now but must not Advance.
+func (c *Clock) Advance(d time.Duration) time.Time {
+	c.mu.Lock()
+	if d > 0 {
+		c.now = c.now.Add(d)
+	}
+	now := c.now
+	cbs := c.onAdvance
+	c.mu.Unlock()
+	for _, fn := range cbs {
+		fn(now)
+	}
+	return now
+}
+
+// OnAdvance registers a callback invoked after every Advance — the hook
+// the edge-fleet heartbeat playback uses to let scripted devices check in
+// (or stay scheduled-silent) as virtual time passes through transfers,
+// retries, and training.
+func (c *Clock) OnAdvance(fn func(now time.Time)) {
+	c.mu.Lock()
+	c.onAdvance = append(c.onAdvance, fn)
+	c.mu.Unlock()
+}
+
+// Error is a typed, retryable fault injected by a schedule. Substrates
+// return it (usually wrapped) so callers can distinguish transient
+// injected failures from real programming errors.
+type Error struct {
+	Kind string // e.g. "link_outage", "objstore", "timeout"
+	Op   string // the operation that was refused
+}
+
+// Error implements error.
+func (e *Error) Error() string {
+	if e.Op == "" {
+		return "faults: " + e.Kind
+	}
+	return "faults: " + e.Kind + " during " + e.Op
+}
+
+// Retryable marks the fault as transient.
+func (e *Error) Retryable() bool { return true }
+
+// Retryable reports whether err, or anything it wraps, is marked
+// retryable (implements `Retryable() bool` returning true). Real errors —
+// missing objects, validation failures — are not, and short-circuit the
+// retry loop.
+func Retryable(err error) bool {
+	var r interface{ Retryable() bool }
+	return errors.As(err, &r) && r.Retryable()
+}
+
+// Window is one half-open interval [Start, End) of virtual time during
+// which a fault is active. Factor 0 means a hard outage; Factor > 1 is a
+// degradation multiplier (latency and jitter scale up, bandwidth scales
+// down by the same factor).
+type Window struct {
+	Start, End time.Time
+	Factor     float64
+}
+
+func (w Window) contains(t time.Time) bool {
+	return !t.Before(w.Start) && t.Before(w.End)
+}
+
+// LinkState is what a network link looks like at one instant.
+type LinkState struct {
+	Down       bool
+	SlowFactor float64 // 1 when healthy, > 1 when degraded
+}

@@ -1,0 +1,275 @@
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Plan is one deterministic fault campaign: a profile expanded, from a
+// seed, into concrete schedules over a virtual-time horizon, plus the
+// retry policy and the counters the run accrues. A nil *Plan everywhere
+// means "no faults" and costs a nil check.
+type Plan struct {
+	Profile string
+	Seed    int64
+	Clock   *Clock
+	Retry   Policy
+
+	// HeartbeatEvery and SweepEvery pace the scripted edge fleet: how
+	// often connected devices check in and how often the control plane
+	// sweeps for silent ones.
+	HeartbeatEvery time.Duration
+	SweepEvery     time.Duration
+
+	// PreemptAfterFrac preempts the training lease once the run's
+	// simulated GPU time crosses this fraction of the total (0 disables).
+	PreemptAfterFrac float64
+
+	links      map[string][]Window // link name -> fault windows (sorted)
+	silence    map[string][]Window // scripted device -> silence windows
+	storeEvery int                 // fail every Nth object-store attempt (0 disables)
+
+	mu        sync.Mutex
+	rng       *rand.Rand // backoff jitter; draws happen in call order
+	storeOps  int
+	injected  map[string]int // kind -> count (mirrors faults_injected_total)
+	attempts  int
+	fallbacks int
+
+	metrics *obs.Registry
+}
+
+// Horizon is how far past the plan's start the generated schedules
+// extend; pipelines run well inside it.
+const Horizon = 4 * time.Hour
+
+// Profiles lists the named fault profiles NewPlan accepts.
+func Profiles() []string {
+	return []string{"lossy-wan", "flaky-objstore", "heartbeat-gap", "preempt", "chaos"}
+}
+
+// NewPlan expands a named profile into a concrete plan whose schedules
+// start at the given virtual instant. The same profile, seed, and start
+// always produce the same plan.
+func NewPlan(profile string, seed int64, start time.Time) (*Plan, error) {
+	p := &Plan{
+		Profile:        profile,
+		Seed:           seed,
+		Clock:          NewClock(start),
+		Retry:          DefaultPolicy(),
+		HeartbeatEvery: 15 * time.Second,
+		SweepEvery:     45 * time.Second,
+		links:          map[string][]Window{},
+		silence:        map[string][]Window{},
+		rng:            rand.New(rand.NewSource(seed ^ 0x5eed)),
+		injected:       map[string]int{},
+	}
+	gen := rand.New(rand.NewSource(seed))
+	switch profile {
+	case "lossy-wan":
+		p.genLinkWindows(gen, start)
+	case "flaky-objstore":
+		p.storeEvery = 3
+	case "heartbeat-gap":
+		p.genSilenceWindows(gen, start)
+	case "preempt":
+		p.PreemptAfterFrac = 0.35 + 0.3*gen.Float64()
+	case "chaos":
+		p.genLinkWindows(gen, start)
+		p.storeEvery = 3
+		p.genSilenceWindows(gen, start)
+		p.PreemptAfterFrac = 0.35 + 0.3*gen.Float64()
+	default:
+		return nil, fmt.Errorf("faults: unknown profile %q (have %s)",
+			profile, strings.Join(Profiles(), ", "))
+	}
+	return p, nil
+}
+
+// genLinkWindows scatters alternating outage and degradation windows over
+// the campus WAN. The cycle period stays under ~30s so any half-minute of
+// traffic crosses at least one outage, and every outage is shorter than
+// the retry policy's cumulative backoff, so retries always recover.
+func (p *Plan) genLinkWindows(gen *rand.Rand, start time.Time) {
+	const link = "campus-wan"
+	t := start.Add(time.Duration(2+gen.Intn(4)) * time.Second)
+	end := start.Add(Horizon)
+	var ws []Window
+	for t.Before(end) {
+		down := time.Duration(4+gen.Intn(7)) * time.Second // 4-10s outage
+		ws = append(ws, Window{Start: t, End: t.Add(down), Factor: 0})
+		t = t.Add(down)
+		slow := time.Duration(3+gen.Intn(5)) * time.Second // 3-7s degraded tail
+		ws = append(ws, Window{Start: t, End: t.Add(slow), Factor: 2 + 2*gen.Float64()})
+		t = t.Add(slow)
+		t = t.Add(time.Duration(8+gen.Intn(9)) * time.Second) // 8-16s healthy
+	}
+	p.links[link] = ws
+}
+
+// genSilenceWindows scripts two BYOD devices whose daemons go silent for
+// longer than the heartbeat window (batteries dying mid-session), then
+// come back and re-onboard.
+func (p *Plan) genSilenceWindows(gen *rand.Rand, start time.Time) {
+	for i := 0; i < 2; i++ {
+		name := fmt.Sprintf("chaos-pi-%d", i+1)
+		t := start.Add(time.Duration(45+gen.Intn(76)) * time.Second) // first gap 45-120s in
+		end := start.Add(Horizon)
+		var ws []Window
+		for t.Before(end) {
+			gap := time.Duration(120+gen.Intn(121)) * time.Second // 2-4 min silent
+			ws = append(ws, Window{Start: t, End: t.Add(gap)})
+			t = t.Add(gap)
+			t = t.Add(time.Duration(120+gen.Intn(181)) * time.Second) // 2-5 min healthy
+		}
+		p.silence[name] = ws
+	}
+}
+
+// Instrument routes the plan's counters into reg and pre-registers the
+// series so scrapes before the first fault still see them. The plan also
+// keeps private tallies, so Summary works without a registry.
+func (p *Plan) Instrument(reg *obs.Registry) {
+	p.mu.Lock()
+	p.metrics = reg
+	p.mu.Unlock()
+	reg.Help("faults_injected_total", "faults injected by the active profile, by kind")
+	reg.Help("retry_attempts_total", "operation attempts made under the retry policy, by op")
+	reg.Help("hybrid_fallbacks_total", "hybrid-inference frames that fell back to the on-device pilot")
+	reg.Counter("faults_injected_total")
+	reg.Counter("retry_attempts_total")
+	reg.Counter("hybrid_fallbacks_total")
+}
+
+// RecordInjection counts one injected fault of the given kind.
+func (p *Plan) RecordInjection(kind string) {
+	p.mu.Lock()
+	p.injected[kind]++
+	reg := p.metrics
+	p.mu.Unlock()
+	reg.Counter("faults_injected_total").Inc()
+	reg.Counter("faults_injected_total", obs.L("kind", kind)).Inc()
+}
+
+// RecordAttempt counts one attempt of op under the retry policy.
+func (p *Plan) RecordAttempt(op string) {
+	p.mu.Lock()
+	p.attempts++
+	reg := p.metrics
+	p.mu.Unlock()
+	reg.Counter("retry_attempts_total").Inc()
+	reg.Counter("retry_attempts_total", obs.L("op", op)).Inc()
+}
+
+// RecordFallback counts one hybrid-inference frame served by the
+// on-device pilot because the cloud missed its deadline.
+func (p *Plan) RecordFallback() {
+	p.mu.Lock()
+	p.fallbacks++
+	reg := p.metrics
+	p.mu.Unlock()
+	reg.Counter("hybrid_fallbacks_total").Inc()
+}
+
+// Summary is the plan's cumulative tally, for CLI reporting.
+type Summary struct {
+	Injected  map[string]int
+	Attempts  int
+	Fallbacks int
+}
+
+// Summary snapshots the counters accrued so far.
+func (p *Plan) Summary() Summary {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := Summary{Injected: make(map[string]int, len(p.injected)),
+		Attempts: p.attempts, Fallbacks: p.fallbacks}
+	for k, v := range p.injected {
+		s.Injected[k] = v
+	}
+	return s
+}
+
+// String renders the summary as one line with kinds sorted.
+func (s Summary) String() string {
+	var kinds []string
+	total := 0
+	for k, v := range s.Injected {
+		kinds = append(kinds, fmt.Sprintf("%s %d", k, v))
+		total += v
+	}
+	sort.Strings(kinds)
+	detail := ""
+	if len(kinds) > 0 {
+		detail = " (" + strings.Join(kinds, ", ") + ")"
+	}
+	return fmt.Sprintf("injected %d%s, retry attempts %d, hybrid fallbacks %d",
+		total, detail, s.Attempts, s.Fallbacks)
+}
+
+// LinkState reports what the named link looks like right now on the
+// plan's clock. Links with no schedule are always healthy.
+func (p *Plan) LinkState(link string) LinkState {
+	now := p.Clock.Now()
+	st := LinkState{SlowFactor: 1}
+	for _, w := range p.links[link] {
+		if w.contains(now) {
+			if w.Factor == 0 {
+				st.Down = true
+			} else if w.Factor > st.SlowFactor {
+				st.SlowFactor = w.Factor
+			}
+		}
+	}
+	return st
+}
+
+// StoreFault is the object-store injection hook: every storeEvery-th
+// attempt (counting from the first) fails with a transient error, so a
+// single retry always clears it. op is informational.
+func (p *Plan) StoreFault(op string) error {
+	p.mu.Lock()
+	n := p.storeOps
+	p.storeOps++
+	every := p.storeEvery
+	p.mu.Unlock()
+	if every <= 0 || n%every != 0 {
+		return nil
+	}
+	p.RecordInjection("objstore")
+	return &Error{Kind: "objstore", Op: op}
+}
+
+// ScriptDevices lists the scripted edge devices, sorted.
+func (p *Plan) ScriptDevices() []string {
+	out := make([]string, 0, len(p.silence))
+	for name := range p.silence {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DeviceSilent reports whether the scripted device's daemon is in a
+// scheduled silence window at t.
+func (p *Plan) DeviceSilent(device string, t time.Time) bool {
+	for _, w := range p.silence[device] {
+		if w.contains(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// randFloat draws backoff jitter from the plan's seeded RNG.
+func (p *Plan) randFloat() float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.rng.Float64()
+}

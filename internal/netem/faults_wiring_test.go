@@ -1,0 +1,86 @@
+package netem
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+)
+
+// Regression: Transfer used to bill the last partial packet as a full
+// MTU, so a 1-byte transfer serialized as slowly as a 1500-byte one. On a
+// deterministic link (no jitter, no loss) the duration must be exactly
+// latency + bytes/bandwidth for both a sub-MTU and a full-MTU payload.
+func TestTransferBillsActualBytesNotMTU(t *testing.T) {
+	// 1500 B/s makes serialization dominate: pre-fix, 1 byte billed as a
+	// whole 1500-byte packet came out ~1s instead of ~0.7ms.
+	lab := Link{Name: "lab", Latency: 10 * time.Millisecond, Bandwidth: 1500, MTU: 1500}
+	n := NewNet(7)
+	for _, tc := range []struct {
+		name  string
+		bytes int64
+	}{
+		{"one byte", 1},
+		{"full packet", 1500},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			r, err := n.Transfer(lab, tc.bytes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := lab.Latency + time.Duration(float64(tc.bytes)/lab.Bandwidth*float64(time.Second))
+			if diff := (r.Duration - want).Abs(); diff > time.Millisecond {
+				t.Errorf("%d bytes took %v, want %v (last partial packet must not be billed as a full MTU)",
+					tc.bytes, r.Duration, want)
+			}
+		})
+	}
+}
+
+// A net wired to a lossy-wan plan must surface outage windows as typed
+// retryable errors and degraded windows as slower (never failed) traffic,
+// while staying healthy between windows.
+func TestNetConsultsFaultSchedule(t *testing.T) {
+	start := time.Date(2023, 9, 1, 9, 0, 0, 0, time.UTC)
+	plan, err := faults.NewPlan("lossy-wan", 42, start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := NewNet(1)
+	n.SetFaults(plan)
+
+	// Walk the first 30 minutes of the schedule one second at a time; the
+	// lossy-wan cycle is short enough that this crosses many outage and
+	// degradation windows.
+	var failed, ok int
+	for i := 0; i < 1800; i++ {
+		plan.Clock.Advance(time.Second)
+		_, err := n.Transfer(CampusWAN, 1500)
+		switch {
+		case err == nil:
+			ok++
+		case faults.Retryable(err):
+			failed++
+		default:
+			t.Fatalf("outage produced a non-retryable error: %v", err)
+		}
+	}
+	if failed == 0 {
+		t.Error("no outage windows hit in 30 minutes of lossy-wan")
+	}
+	if ok == 0 {
+		t.Error("link never healthy in 30 minutes of lossy-wan")
+	}
+	sum := plan.Summary()
+	if sum.Injected["link_outage"] == 0 {
+		t.Errorf("no link_outage injections recorded: %v", sum.Injected)
+	}
+	if sum.Injected["link_degraded"] == 0 {
+		t.Errorf("no link_degraded injections recorded: %v", sum.Injected)
+	}
+
+	// Only the scheduled link is affected.
+	if _, err := n.Transfer(Loopback, 1500); err != nil {
+		t.Errorf("unscheduled link failed: %v", err)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/obs"
 )
 
@@ -88,6 +89,7 @@ type Net struct {
 	rpcs      int
 
 	metrics *obs.Registry
+	faults  *faults.Plan
 }
 
 // NewNet creates a network simulator with a deterministic seed.
@@ -106,6 +108,40 @@ func (n *Net) Instrument(reg *obs.Registry) {
 	reg.Help("netem_transfer_seconds", "simulated bulk-transfer duration per link")
 	reg.Help("netem_rpc_seconds", "simulated RPC round-trip duration per link")
 	reg.Help("netem_retransmits_total", "packets retransmitted on lossy links")
+}
+
+// SetFaults attaches a fault plan: links consult its outage and
+// degradation schedule at the plan's virtual now. Nil detaches.
+func (n *Net) SetFaults(p *faults.Plan) {
+	n.mu.Lock()
+	n.faults = p
+	n.mu.Unlock()
+}
+
+// applyFaults consults the fault schedule for the link at the plan's
+// current virtual time. During an outage it returns a typed retryable
+// error; during a degradation window it returns the link with latency and
+// jitter scaled up and bandwidth scaled down by the window's factor.
+func (n *Net) applyFaults(l Link, op string) (Link, error) {
+	n.mu.Lock()
+	plan := n.faults
+	n.mu.Unlock()
+	if plan == nil {
+		return l, nil
+	}
+	st := plan.LinkState(l.Name)
+	if st.Down {
+		plan.RecordInjection("link_outage")
+		return l, fmt.Errorf("netem: %s unreachable: %w", l.Name,
+			&faults.Error{Kind: "link_outage", Op: op})
+	}
+	if f := st.SlowFactor; f > 1 {
+		plan.RecordInjection("link_degraded")
+		l.Latency = time.Duration(float64(l.Latency) * f)
+		l.Jitter = time.Duration(float64(l.Jitter) * f)
+		l.Bandwidth /= f
+	}
+	return l, nil
 }
 
 // sample returns latency with jitter noise, never negative.
@@ -150,6 +186,10 @@ func (n *Net) Transfer(l Link, size int64) (TransferResult, error) {
 	if size < 0 {
 		return TransferResult{}, fmt.Errorf("netem: negative transfer size")
 	}
+	l, err := n.applyFaults(l, "transfer")
+	if err != nil {
+		return TransferResult{}, err
+	}
 	mtu := int64(l.mtu())
 	packets := (size + mtu - 1) / mtu
 	if packets == 0 {
@@ -166,8 +206,11 @@ func (n *Net) Transfer(l Link, size int64) (TransferResult, error) {
 		n.mu.Unlock()
 		retrans = int(math.Max(0, math.Round(mean+noise)))
 	}
-	totalPackets := packets + int64(retrans)
-	serialize := time.Duration(float64(totalPackets*mtu) / l.Bandwidth * float64(time.Second))
+	// Serialization bills the actual payload plus full-MTU retransmissions;
+	// rounding the last partial packet up to a whole MTU would overstate the
+	// duration (and understate throughput) for any non-MTU-multiple size.
+	wire := size + int64(retrans)*mtu
+	serialize := time.Duration(float64(wire) / l.Bandwidth * float64(time.Second))
 	// Each retransmission round adds one RTT of stall (coarse TCP model).
 	stall := time.Duration(retrans) * 2 * l.Latency / time.Duration(max64(1, packets/64+1))
 	dur := n.sample(l) + serialize + stall
@@ -195,6 +238,10 @@ func (n *Net) RTT(l Link, reqBytes, respBytes int) (time.Duration, error) {
 	}
 	if reqBytes < 0 || respBytes < 0 {
 		return 0, fmt.Errorf("netem: negative RPC size")
+	}
+	l, err := n.applyFaults(l, "rpc")
+	if err != nil {
+		return 0, err
 	}
 	d := n.sample(l) + n.sample(l)
 	d += time.Duration(float64(reqBytes+respBytes) / l.Bandwidth * float64(time.Second))

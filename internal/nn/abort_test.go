@@ -1,0 +1,56 @@
+package nn
+
+import (
+	"testing"
+	"time"
+)
+
+// Abort is the preemption hook: polled after each completed epoch (after
+// the EpochObserver, so a checkpoint taken there exists), a true return
+// stops training and marks the history aborted.
+func TestTrainAbortStopsMidRun(t *testing.T) {
+	data := observerDataset(t, 64)
+	opt, err := NewAdam(1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	observed := 0
+	cfg := TrainConfig{
+		Epochs: 8, BatchSize: 8, ValFrac: 0, Seed: 7, ClipGrad: 5,
+		EpochObserver: func(EpochStats, time.Duration) { observed++ },
+		Abort:         func() bool { return observed >= 3 },
+	}
+	h, err := Train(observerModel(), data, MSE{}, opt, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.Aborted {
+		t.Error("history not marked aborted")
+	}
+	if len(h.Epochs) != 3 {
+		t.Errorf("trained %d epochs, want 3 (abort after the observer saw 3)", len(h.Epochs))
+	}
+	// The observer ran for every completed epoch before the abort check.
+	if observed != 3 {
+		t.Errorf("observer fired %d times, want 3", observed)
+	}
+}
+
+func TestTrainWithoutAbortRunsToCompletion(t *testing.T) {
+	data := observerDataset(t, 64)
+	opt, err := NewAdam(1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := TrainConfig{Epochs: 3, BatchSize: 8, ValFrac: 0, Seed: 7, ClipGrad: 5}
+	h, err := Train(observerModel(), data, MSE{}, opt, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Aborted {
+		t.Error("unaborted run marked aborted")
+	}
+	if len(h.Epochs) != 3 {
+		t.Errorf("trained %d epochs, want 3", len(h.Epochs))
+	}
+}

@@ -102,6 +102,12 @@ type TrainConfig struct {
 	// — the hook the observability layer uses to export per-epoch loss
 	// and timing without the trainer importing it.
 	EpochObserver func(stats EpochStats, dur time.Duration)
+	// Abort, when non-nil, is polled after every completed epoch (after
+	// EpochObserver, so a checkpoint of that epoch exists); returning true
+	// stops training cleanly with History.Aborted set — the hook the
+	// testbed's lease-preemption path uses to interrupt and later resume a
+	// run from its last checkpoint.
+	Abort func() bool
 }
 
 // DefaultTrainConfig mirrors DonkeyCar's training defaults at small scale.
@@ -122,6 +128,7 @@ type History struct {
 	BestValLoss float64
 	BestEpoch   int
 	Stopped     bool // true if early stopping fired
+	Aborted     bool // true if the Abort hook interrupted training
 	WallTime    time.Duration
 	SamplesSeen int
 	ParamCount  int
@@ -215,6 +222,10 @@ func Train(model Model, data Dataset, loss Loss, opt Optimizer, cfg TrainConfig)
 		}
 		if cfg.Logf != nil {
 			cfg.Logf("epoch %d: train %.5f val %.5f", epoch, stats.TrainLoss, stats.ValLoss)
+		}
+		if cfg.Abort != nil && cfg.Abort() {
+			h.Aborted = true
+			break
 		}
 		if cfg.Patience > 0 && sinceBest >= cfg.Patience {
 			h.Stopped = true

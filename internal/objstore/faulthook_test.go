@@ -1,0 +1,46 @@
+package objstore
+
+import (
+	"errors"
+	"testing"
+)
+
+// The fault hook lets a chaos plan inject transient failures into Put and
+// Get without the store knowing anything about schedules.
+func TestFaultHookInjectsAndClears(t *testing.T) {
+	s := newStore(t)
+	if _, err := s.Put("datasets", "x", []byte("ok"), nil); err != nil {
+		t.Fatal(err)
+	}
+
+	boom := errors.New("injected: objstore transient")
+	var ops []string
+	s.SetFaultHook(func(op, container, name string) error {
+		ops = append(ops, op+":"+container+"/"+name)
+		return boom
+	})
+	if _, err := s.Put("datasets", "y", []byte("no"), nil); !errors.Is(err, boom) {
+		t.Errorf("Put error = %v, want injected fault", err)
+	}
+	if _, _, err := s.Get("datasets", "x"); !errors.Is(err, boom) {
+		t.Errorf("Get error = %v, want injected fault", err)
+	}
+	want := []string{"put:datasets/y", "get:datasets/x"}
+	if len(ops) != len(want) || ops[0] != want[0] || ops[1] != want[1] {
+		t.Errorf("hook saw %v, want %v", ops, want)
+	}
+
+	// A failed Put must not have stored anything.
+	if _, _, err := s.Get("datasets", "y"); err == nil {
+		t.Error("faulted Put stored the object anyway")
+	}
+
+	// Clearing the hook restores normal service.
+	s.SetFaultHook(nil)
+	if _, err := s.Put("datasets", "y", []byte("yes"), nil); err != nil {
+		t.Fatal(err)
+	}
+	if data, _, err := s.Get("datasets", "y"); err != nil || string(data) != "yes" {
+		t.Errorf("after clearing hook: %q, %v", data, err)
+	}
+}

@@ -43,6 +43,7 @@ type Store struct {
 	mu         sync.RWMutex
 	containers map[string]map[string]*object
 	clock      func() time.Time
+	faultHook  func(op, container, name string) error
 }
 
 // New creates an empty store. The clock may be overridden for
@@ -56,6 +57,27 @@ func (s *Store) SetClock(fn func() time.Time) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.clock = fn
+}
+
+// SetFaultHook installs a fault-injection hook consulted before every Put
+// and Get. A non-nil return aborts the operation with that error (fault
+// plans return transient, retryable errors). Nil removes the hook. The
+// hook keeps the store free of any dependency on the faults package.
+func (s *Store) SetFaultHook(fn func(op, container, name string) error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.faultHook = fn
+}
+
+// faultCheck runs the installed hook, if any, outside the store's lock.
+func (s *Store) faultCheck(op, container, name string) error {
+	s.mu.RLock()
+	fn := s.faultHook
+	s.mu.RUnlock()
+	if fn == nil {
+		return nil
+	}
+	return fn(op, container, name)
 }
 
 func validName(n string) bool {
@@ -105,6 +127,9 @@ func (s *Store) Put(container, name string, data []byte, meta map[string]string)
 	if !validName(name) {
 		return ObjectInfo{}, fmt.Errorf("%w: %q", ErrBadName, name)
 	}
+	if err := s.faultCheck("put", container, name); err != nil {
+		return ObjectInfo{}, err
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	c, ok := s.containers[container]
@@ -131,6 +156,9 @@ func (s *Store) Put(container, name string, data []byte, meta map[string]string)
 
 // Get returns a copy of the object's bytes and its info.
 func (s *Store) Get(container, name string) ([]byte, ObjectInfo, error) {
+	if err := s.faultCheck("get", container, name); err != nil {
+		return nil, ObjectInfo{}, err
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	o, err := s.lookup(container, name)

@@ -38,6 +38,34 @@ func (tb *Testbed) InMaintenance(nodeID string) bool {
 	return tb.maintenance[nodeID]
 }
 
+// PreemptLease is failure injection for the reservation system: the
+// operator yanks a node out from under a running lease (hardware fault,
+// emergency maintenance). The lease is removed from the calendar and the
+// node goes into maintenance, so the victim must re-reserve elsewhere and
+// resume from its last checkpoint.
+func (tb *Testbed) PreemptLease(leaseID string) error {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	l, ok := tb.leases[leaseID]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoLease, leaseID)
+	}
+	delete(tb.leases, leaseID)
+	ls := tb.byNode[l.NodeID]
+	for i, x := range ls {
+		if x.ID == leaseID {
+			tb.byNode[l.NodeID] = append(ls[:i], ls[i+1:]...)
+			break
+		}
+	}
+	if tb.maintenance == nil {
+		tb.maintenance = map[string]bool{}
+	}
+	tb.maintenance[l.NodeID] = true
+	tb.metrics.Counter("testbed_preemptions_total").Inc()
+	return nil
+}
+
 // AffectedLeases lists leases on a node that overlap [from, to) — what the
 // operator must notify when scheduling maintenance.
 func (tb *Testbed) AffectedLeases(nodeID string, from, to time.Time) []Lease {

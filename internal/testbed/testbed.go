@@ -185,6 +185,7 @@ func (tb *Testbed) Instrument(reg *obs.Registry) {
 	reg.Help("testbed_leases_total", "node reservations granted per GPU type")
 	reg.Help("testbed_provision_seconds", "simulated bare-metal appliance deployment time")
 	reg.Help("testbed_training_seconds", "simulated training wall time per GPU type")
+	reg.Help("testbed_preemptions_total", "leases preempted out from under their holders")
 	tb.mu.Lock()
 	tb.metrics = reg
 	tb.mu.Unlock()

@@ -1,5 +1,6 @@
 #!/bin/sh
-# Full pre-merge verification: vet, build, race-enabled tests, gofmt.
+# Full pre-merge verification: vet, build, race-enabled tests, a
+# fault-profile pipeline smoke run, and gofmt.
 # Run from the repo root: ./scripts/verify.sh
 set -eu
 
@@ -14,6 +15,26 @@ go build ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
+echo "==> fault-profile smoke run (lossy-wan)"
+metrics=$(mktemp)
+out=$(mktemp)
+go run ./cmd/autolearn pipeline -faults lossy-wan -metrics "$metrics" >"$out" 2>&1 || {
+    echo "fault-profile pipeline failed:" >&2
+    cat "$out" >&2
+    exit 1
+}
+if ! grep -q '^== faults:' "$out"; then
+    echo "fault-profile pipeline did not complete (no fault summary):" >&2
+    cat "$out" >&2
+    exit 1
+fi
+fallbacks=$(awk '$1 == "hybrid_fallbacks_total" {print $2}' "$metrics")
+if [ -z "$fallbacks" ] || [ "$fallbacks" -eq 0 ]; then
+    echo "hybrid_fallbacks_total missing or zero under lossy-wan (got '${fallbacks:-absent}')" >&2
+    exit 1
+fi
+rm -f "$metrics" "$out"
+
 echo "==> gofmt -l ."
 unformatted=$(gofmt -l .)
 if [ -n "$unformatted" ]; then
@@ -22,4 +43,4 @@ if [ -n "$unformatted" ]; then
     exit 1
 fi
 
-echo "OK: vet, build, race tests, and gofmt all clean."
+echo "OK: vet, build, race tests, fault smoke run, and gofmt all clean."
