@@ -1,0 +1,82 @@
+package nn
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// Scratch-tensor arena: a set of sync.Pools bucketed by power-of-two
+// capacity that recycles the short-lived intermediate tensors the heavy
+// kernels burn through (im2col matrices, GEMM outputs, LSTM per-step
+// buffers, mini-batch copies). Pooling these cuts the steady-state
+// allocation rate of training to near zero without changing any public
+// API: only buffers whose lifetime is provably confined to one
+// forward/backward pass are released.
+//
+// Contents of a pooled buffer are undefined at acquisition; every user
+// either fully overwrites it (im2col, overwrite-GEMM) or asks for the
+// zeroed variant.
+
+const scratchBuckets = 32
+
+var scratchPools [scratchBuckets]sync.Pool
+
+// bucketFor returns the pool index whose buffers have capacity 2^idx ≥ n.
+func bucketFor(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// getScratch returns a *Tensor with the given shape whose Data contents
+// are UNDEFINED. Pair with releaseScratch once no live reference to the
+// tensor (or aliases of its Data) remains.
+func getScratch(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	b := bucketFor(n)
+	var data []float64
+	if b < scratchBuckets {
+		if v := scratchPools[b].Get(); v != nil {
+			t := v.(*Tensor)
+			t.Shape = append(t.Shape[:0], shape...)
+			t.Data = t.Data[:n]
+			return t
+		}
+		data = make([]float64, 1<<b)[:n]
+	} else {
+		data = make([]float64, n)
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: data}
+}
+
+// getScratchZero returns a zeroed scratch tensor.
+func getScratchZero(shape ...int) *Tensor {
+	t := getScratch(shape...)
+	for i := range t.Data {
+		t.Data[i] = 0
+	}
+	return t
+}
+
+// releaseScratch returns a scratch tensor to the arena. nil is a no-op;
+// tensors whose capacity is not an exact power of two (i.e. not arena
+// born) are silently dropped for the GC to take.
+func releaseScratch(t *Tensor) {
+	if t == nil {
+		return
+	}
+	c := cap(t.Data)
+	if c == 0 || c&(c-1) != 0 {
+		return
+	}
+	b := bucketFor(c)
+	if b >= scratchBuckets || 1<<b != c {
+		return
+	}
+	t.Data = t.Data[:c]
+	scratchPools[b].Put(t)
+}

@@ -44,6 +44,13 @@ func (c *Conv2D) outDims(h, w int) (int, int, error) {
 
 // Forward implements Layer.
 func (c *Conv2D) Forward(x *Tensor, train bool) (*Tensor, error) {
+	return c.forward(x, nil)
+}
+
+// forward lowers the convolution to a blocked GEMM over scratch-pooled
+// im2col buffers, optionally applying a fused activation epilogue to the
+// output while it is cache-hot.
+func (c *Conv2D) forward(x *Tensor, act fusedActivation) (*Tensor, error) {
 	if len(x.Shape) != 4 || x.Shape[1] != c.InC {
 		return nil, fmt.Errorf("nn: conv2d expects [N,%d,H,W], got %v", c.InC, x.Shape)
 	}
@@ -54,21 +61,24 @@ func (c *Conv2D) Forward(x *Tensor, train bool) (*Tensor, error) {
 	}
 	c.lastX, c.outH, c.outW = x, oh, ow
 	if c.Naive {
-		return c.forwardNaive(x, n, h, w, oh, ow)
+		y, err := c.forwardNaive(x, n, h, w, oh, ow)
+		if err == nil && act != nil {
+			act.fuseInto(y)(0, len(y.Data))
+		}
+		return y, err
 	}
 	// im2col: rows are output positions, columns are receptive-field taps.
 	patch := c.InC * c.K * c.K
-	cols := NewTensor(n*oh*ow, patch)
+	releaseScratch(c.cols) // drop a cached matrix from a backward-less pass
+	cols := getScratch(n*oh*ow, patch)
 	c.im2col(x, cols, n, h, w, oh, ow)
 	c.cols = cols
 	wMat, err := c.w.W.Reshape(c.OutC, patch)
 	if err != nil {
 		return nil, err
 	}
-	out2d, err := MatMulTransB(cols, wMat) // [n*oh*ow, OutC]
-	if err != nil {
-		return nil, err
-	}
+	out2d := getScratch(n*oh*ow, c.OutC)
+	gemmTransBInto(cols.Data, wMat.Data, out2d.Data, n*oh*ow, patch, c.OutC)
 	y := NewTensor(n, c.OutC, oh, ow)
 	// Transpose [pos, f] into [n, f, oh, ow] and add bias.
 	for i := 0; i < n; i++ {
@@ -78,6 +88,10 @@ func (c *Conv2D) Forward(x *Tensor, train bool) (*Tensor, error) {
 				y.Data[((i*c.OutC+f)*oh*ow)+p] = row[f] + c.b.W.Data[f]
 			}
 		}
+	}
+	releaseScratch(out2d)
+	if act != nil {
+		act.fuseInto(y)(0, len(y.Data))
 	}
 	return y, nil
 }
@@ -134,6 +148,18 @@ func (c *Conv2D) forwardNaive(x *Tensor, n, h, w, oh, ow int) (*Tensor, error) {
 
 // Backward implements Layer.
 func (c *Conv2D) Backward(grad *Tensor) (*Tensor, error) {
+	return c.backward(grad, true)
+}
+
+// backwardParamsOnly implements noInputGrad: when the layer is first in a
+// Sequential, its input gradient is discarded, so the dCols GEMM and the
+// col2im scatter — as expensive as the whole forward pass — are skipped.
+func (c *Conv2D) backwardParamsOnly(grad *Tensor) error {
+	_, err := c.backward(grad, false)
+	return err
+}
+
+func (c *Conv2D) backward(grad *Tensor, needDX bool) (*Tensor, error) {
 	if c.lastX == nil {
 		return nil, fmt.Errorf("nn: conv2d backward before forward")
 	}
@@ -154,7 +180,7 @@ func (c *Conv2D) Backward(grad *Tensor) (*Tensor, error) {
 	}
 
 	// Rearrange grad [n, f, oh, ow] into [n*oh*ow, f].
-	gmat := NewTensor(n*oh*ow, c.OutC)
+	gmat := getScratch(n*oh*ow, c.OutC)
 	for i := 0; i < n; i++ {
 		for f := 0; f < c.OutC; f++ {
 			base := ((i*c.OutC + f) * oh) * ow
@@ -166,22 +192,24 @@ func (c *Conv2D) Backward(grad *Tensor) (*Tensor, error) {
 
 	if c.cols == nil {
 		// Naive path: rebuild the im2col matrix for gradient computation.
-		cols := NewTensor(n*oh*ow, patch)
+		cols := getScratch(n*oh*ow, patch)
 		c.im2col(c.lastX, cols, n, h, w, oh, ow)
 		c.cols = cols
 	}
 
 	// dW[f, tap] = sum_pos gmat[pos, f] * cols[pos, tap]  (= gmatᵀ × cols)
-	dw, err := MatMulTransA(gmat, c.cols)
-	if err != nil {
+	dw := getScratch(c.OutC, patch)
+	gemmTransAInto(gmat.Data, c.cols.Data, dw.Data, n*oh*ow, c.OutC, patch)
+	if err := c.w.Grad.AddScaled(dw, 1); err != nil {
 		return nil, err
 	}
-	dwT, err := dw.Reshape(c.OutC, c.InC, c.K, c.K)
-	if err != nil {
-		return nil, err
-	}
-	if err := c.w.Grad.AddScaled(dwT, 1); err != nil {
-		return nil, err
+	releaseScratch(dw)
+
+	if !needDX {
+		releaseScratch(gmat)
+		releaseScratch(c.cols)
+		c.cols = nil
+		return nil, nil
 	}
 
 	// dCols = gmat × wMat  → scatter back (col2im).
@@ -189,10 +217,9 @@ func (c *Conv2D) Backward(grad *Tensor) (*Tensor, error) {
 	if err != nil {
 		return nil, err
 	}
-	dcols, err := MatMul(gmat, wMat)
-	if err != nil {
-		return nil, err
-	}
+	dcols := getScratch(n*oh*ow, patch)
+	gemmInto(gmat.Data, wMat.Data, dcols.Data, n*oh*ow, c.OutC, patch)
+	releaseScratch(gmat)
 	dx := NewTensor(n, c.InC, h, w)
 	for i := 0; i < n; i++ {
 		for oy := 0; oy < oh; oy++ {
@@ -212,6 +239,8 @@ func (c *Conv2D) Backward(grad *Tensor) (*Tensor, error) {
 			}
 		}
 	}
+	releaseScratch(dcols)
+	releaseScratch(c.cols)
 	c.cols = nil
 	return dx, nil
 }

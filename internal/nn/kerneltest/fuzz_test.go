@@ -1,0 +1,34 @@
+package kerneltest
+
+import (
+	"testing"
+
+	"repro/internal/nn"
+)
+
+// fuzzDims maps raw fuzz bytes to a kernel problem: dimensions land in
+// [1, 96] (straddling the 64-wide tile boundary and the 2×4 register
+// tile) and the worker count in [1, 8].
+func fuzzDims(m, k, n, workers byte) (int, int, int, int) {
+	return 1 + int(m)%96, 1 + int(k)%96, 1 + int(n)%96, 1 + int(workers)%8
+}
+
+func fuzzKernel(f *testing.F, v Variant) {
+	f.Add(byte(1), byte(1), byte(1), byte(0), int64(1))
+	f.Add(byte(2), byte(4), byte(4), byte(1), int64(2))
+	f.Add(byte(63), byte(10), byte(65), byte(3), int64(3))
+	f.Add(byte(64), byte(64), byte(64), byte(7), int64(4))
+	f.Add(byte(95), byte(33), byte(2), byte(2), int64(5))
+	f.Fuzz(func(t *testing.T, mb, kb, nb, wb byte, seed int64) {
+		m, k, n, workers := fuzzDims(mb, kb, nb, wb)
+		prev := nn.SetMaxWorkers(workers)
+		defer nn.SetMaxWorkers(prev)
+		if err := CheckCase(v, m, k, n, seed); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func FuzzMatMul(f *testing.F)       { fuzzKernel(f, Variants()[0]) }
+func FuzzMatMulTransA(f *testing.F) { fuzzKernel(f, Variants()[1]) }
+func FuzzMatMulTransB(f *testing.F) { fuzzKernel(f, Variants()[2]) }

@@ -1,0 +1,128 @@
+// Package kerneltest cross-checks the optimized GEMM kernels in
+// internal/nn against their naive reference siblings. The optimized
+// kernels (cache-blocked, register-tiled, parallel) may legally group
+// partial sums differently from the plain triple loop, so equality is
+// asserted up to Tol rather than bitwise — but each kernel on its own
+// must be bitwise deterministic across runs and worker counts, which
+// the determinism tests assert exactly.
+//
+// The package exports the harness pieces (variants table, input
+// generator, comparator) so both the grid tests and the fuzz targets
+// drive the same machinery.
+package kerneltest
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/nn"
+)
+
+// Tol is the maximum |optimized - reference| accepted per element. The
+// kernels accumulate at most a few thousand unit-scale terms, so any
+// true divergence (wrong index, dropped tile edge) lands far above this
+// while reordering noise stays far below it.
+const Tol = 1e-12
+
+// Variant names one GEMM layout and pairs its optimized entry point
+// with the naive reference implementation.
+type Variant struct {
+	Name string
+	// Opt is the production kernel, Ref the naive ground truth.
+	Opt func(a, b *nn.Tensor) (*nn.Tensor, error)
+	Ref func(a, b *nn.Tensor) (*nn.Tensor, error)
+	// AShape/BShape map a logical (m, k, n) problem to the operand
+	// shapes this layout expects.
+	AShape func(m, k, n int) (rows, cols int)
+	BShape func(m, k, n int) (rows, cols int)
+}
+
+// Variants returns the three production GEMM layouts: C = A×B,
+// C = Aᵀ×B and C = A×Bᵀ.
+func Variants() []Variant {
+	return []Variant{
+		{
+			Name: "MatMul",
+			Opt:  nn.MatMul, Ref: nn.MatMulRef,
+			AShape: func(m, k, n int) (int, int) { return m, k },
+			BShape: func(m, k, n int) (int, int) { return k, n },
+		},
+		{
+			Name: "MatMulTransA",
+			Opt:  nn.MatMulTransA, Ref: nn.MatMulTransARef,
+			AShape: func(m, k, n int) (int, int) { return k, m },
+			BShape: func(m, k, n int) (int, int) { return k, n },
+		},
+		{
+			Name: "MatMulTransB",
+			Opt:  nn.MatMulTransB, Ref: nn.MatMulTransBRef,
+			AShape: func(m, k, n int) (int, int) { return m, k },
+			BShape: func(m, k, n int) (int, int) { return n, k },
+		},
+	}
+}
+
+// RandTensor builds a tensor of the given shape filled with unit-scale
+// gaussians from rng, with roughly 10% exact zeros so the kernels'
+// zero-skip branches are exercised.
+func RandTensor(rng *rand.Rand, rows, cols int) *nn.Tensor {
+	t := nn.NewTensor(rows, cols)
+	for i := range t.Data {
+		if rng.Intn(10) == 0 {
+			continue // leave exact zero
+		}
+		t.Data[i] = rng.NormFloat64()
+	}
+	return t
+}
+
+// MaxAbsDiff returns the largest elementwise |a-b|. NaN anywhere is
+// reported as +Inf so it can never pass a tolerance check.
+func MaxAbsDiff(a, b *nn.Tensor) (float64, error) {
+	if !a.SameShape(b) {
+		return 0, fmt.Errorf("kerneltest: shape mismatch %v vs %v", a.Shape, b.Shape)
+	}
+	worst := 0.0
+	for i := range a.Data {
+		d := math.Abs(a.Data[i] - b.Data[i])
+		if math.IsNaN(d) {
+			return math.Inf(1), nil
+		}
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst, nil
+}
+
+// CheckCase runs one (variant, m, k, n, seed) case: it generates
+// deterministic inputs, evaluates the optimized and reference kernels,
+// and returns an error when the results differ by more than Tol (or a
+// kernel fails outright). The caller controls the worker count via
+// nn.SetMaxWorkers before calling.
+func CheckCase(v Variant, m, k, n int, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	ar, ac := v.AShape(m, k, n)
+	br, bc := v.BShape(m, k, n)
+	a := RandTensor(rng, ar, ac)
+	b := RandTensor(rng, br, bc)
+
+	got, err := v.Opt(a, b)
+	if err != nil {
+		return fmt.Errorf("%s(%dx%dx%d): optimized kernel: %w", v.Name, m, k, n, err)
+	}
+	want, err := v.Ref(a, b)
+	if err != nil {
+		return fmt.Errorf("%s(%dx%dx%d): reference kernel: %w", v.Name, m, k, n, err)
+	}
+	diff, err := MaxAbsDiff(got, want)
+	if err != nil {
+		return fmt.Errorf("%s(%dx%dx%d): %w", v.Name, m, k, n, err)
+	}
+	if diff > Tol {
+		return fmt.Errorf("%s(%dx%dx%d): max |opt-ref| = %g exceeds %g",
+			v.Name, m, k, n, diff, Tol)
+	}
+	return nil
+}

@@ -45,51 +45,87 @@ func NewDense(in, out int, rng *rand.Rand) *Dense {
 	return d
 }
 
-// Forward implements Layer.
+// Forward implements Layer: one fused GEMM computes y = xW + b, with the
+// bias folded into the kernel's row initialization.
 func (d *Dense) Forward(x *Tensor, train bool) (*Tensor, error) {
+	return d.forward(x, nil)
+}
+
+// forward runs the fused kernel, optionally applying an activation
+// epilogue to each output row range while it is cache-hot.
+func (d *Dense) forward(x *Tensor, act fusedActivation) (*Tensor, error) {
 	if len(x.Shape) != 2 || x.Shape[1] != d.In {
 		return nil, fmt.Errorf("nn: dense expects [N,%d], got %v", d.In, x.Shape)
 	}
 	d.lastX = x
-	y, err := MatMul(x, d.w.W)
-	if err != nil {
-		return nil, err
-	}
 	n := x.Shape[0]
-	for i := 0; i < n; i++ {
-		row := y.Data[i*d.Out : (i+1)*d.Out]
-		for j := 0; j < d.Out; j++ {
-			row[j] += d.b.W.Data[j]
-		}
+	y := NewTensor(n, d.Out)
+	var epi func(lo, hi int)
+	if act != nil {
+		epi = act.fuseInto(y)
 	}
+	gemmBiasInto(x.Data, d.w.W.Data, d.b.W.Data, y.Data, n, d.In, d.Out, epi)
 	return y, nil
 }
 
 // Backward implements Layer.
 func (d *Dense) Backward(grad *Tensor) (*Tensor, error) {
+	if err := d.backwardParamsOnly(grad); err != nil {
+		return nil, err
+	}
+	// dx = grad Wᵀ
+	return MatMulTransB(grad, d.w.W)
+}
+
+// backwardParamsOnly implements noInputGrad: dW += xᵀ grad and db += column
+// sums, without the dx GEMM a first-in-Sequential layer would discard.
+func (d *Dense) backwardParamsOnly(grad *Tensor) error {
 	if d.lastX == nil {
-		return nil, fmt.Errorf("nn: dense backward before forward")
-	}
-	// dW += xᵀ grad ; db += column sums ; dx = grad Wᵀ
-	dw, err := MatMulTransA(d.lastX, grad)
-	if err != nil {
-		return nil, err
-	}
-	if err := d.w.Grad.AddScaled(dw, 1); err != nil {
-		return nil, err
+		return fmt.Errorf("nn: dense backward before forward")
 	}
 	n := grad.Shape[0]
+	dw := getScratch(d.In, d.Out)
+	gemmTransAInto(d.lastX.Data, grad.Data, dw.Data, n, d.In, d.Out)
+	if err := d.w.Grad.AddScaled(dw, 1); err != nil {
+		return err
+	}
+	releaseScratch(dw)
 	for i := 0; i < n; i++ {
 		row := grad.Data[i*d.Out : (i+1)*d.Out]
 		for j := 0; j < d.Out; j++ {
 			d.b.Grad.Data[j] += row[j]
 		}
 	}
-	return MatMulTransB(grad, d.w.W)
+	return nil
 }
 
 // Params implements Layer.
 func (d *Dense) Params() []*Param { return []*Param{d.w, d.b} }
+
+// fusedActivation is implemented by activations that can run as a GEMM
+// epilogue: fuseInto prepares the layer's backward caches for output y
+// and returns a function that transforms y's flat index range [lo, hi)
+// in place. Concurrent callers receive disjoint ranges.
+type fusedActivation interface {
+	Layer
+	fuseInto(y *Tensor) func(lo, hi int)
+}
+
+// epilogueFuser is implemented by layers (Dense, Conv2D) that can apply a
+// fusedActivation to their output without a separate pass.
+type epilogueFuser interface {
+	Layer
+	forward(x *Tensor, act fusedActivation) (*Tensor, error)
+}
+
+// noInputGrad is implemented by layers (Dense, Conv2D) that can accumulate
+// parameter gradients without materializing the input gradient. Sequential
+// uses it for its first layer, whose input gradient is always discarded —
+// for a leading convolution that halves the backward cost.
+type noInputGrad interface {
+	Layer
+	backwardParamsOnly(grad *Tensor) error
+}
 
 // ReLU is the rectified-linear activation.
 type ReLU struct{ mask []bool }
@@ -97,33 +133,41 @@ type ReLU struct{ mask []bool }
 // Forward implements Layer.
 func (r *ReLU) Forward(x *Tensor, train bool) (*Tensor, error) {
 	y := x.Clone()
+	r.fuseInto(y)(0, len(y.Data))
+	return y, nil
+}
+
+// fuseInto implements fusedActivation.
+func (r *ReLU) fuseInto(y *Tensor) func(lo, hi int) {
 	if cap(r.mask) < len(y.Data) {
 		r.mask = make([]bool, len(y.Data))
 	}
 	r.mask = r.mask[:len(y.Data)]
-	for i, v := range y.Data {
-		if v < 0 {
-			y.Data[i] = 0
-			r.mask[i] = false
-		} else {
-			r.mask[i] = true
+	return func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if y.Data[i] < 0 {
+				y.Data[i] = 0
+				r.mask[i] = false
+			} else {
+				r.mask[i] = true
+			}
 		}
 	}
-	return y, nil
 }
 
-// Backward implements Layer.
+// Backward implements Layer. The upstream gradient is masked in place:
+// every producer in this package hands each backward gradient to exactly
+// one consumer, so reusing the buffer saves a clone per batch.
 func (r *ReLU) Backward(grad *Tensor) (*Tensor, error) {
 	if len(r.mask) != len(grad.Data) {
 		return nil, fmt.Errorf("nn: relu backward size mismatch")
 	}
-	g := grad.Clone()
-	for i := range g.Data {
+	for i := range grad.Data {
 		if !r.mask[i] {
-			g.Data[i] = 0
+			grad.Data[i] = 0
 		}
 	}
-	return g, nil
+	return grad, nil
 }
 
 // Params implements Layer.
@@ -135,24 +179,31 @@ type Tanh struct{ lastY *Tensor }
 // Forward implements Layer.
 func (t *Tanh) Forward(x *Tensor, train bool) (*Tensor, error) {
 	y := x.Clone()
-	for i, v := range y.Data {
-		y.Data[i] = math.Tanh(v)
-	}
-	t.lastY = y
+	t.fuseInto(y)(0, len(y.Data))
 	return y, nil
 }
 
-// Backward implements Layer.
+// fuseInto implements fusedActivation.
+func (t *Tanh) fuseInto(y *Tensor) func(lo, hi int) {
+	t.lastY = y
+	return func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			y.Data[i] = math.Tanh(y.Data[i])
+		}
+	}
+}
+
+// Backward implements Layer. Scales the upstream gradient in place (see
+// ReLU.Backward for the ownership argument).
 func (t *Tanh) Backward(grad *Tensor) (*Tensor, error) {
 	if t.lastY == nil || len(t.lastY.Data) != len(grad.Data) {
 		return nil, fmt.Errorf("nn: tanh backward size mismatch")
 	}
-	g := grad.Clone()
-	for i := range g.Data {
+	for i := range grad.Data {
 		y := t.lastY.Data[i]
-		g.Data[i] *= 1 - y*y
+		grad.Data[i] *= 1 - y*y
 	}
-	return g, nil
+	return grad, nil
 }
 
 // Params implements Layer.
@@ -198,7 +249,8 @@ func (d *Dropout) Forward(x *Tensor, train bool) (*Tensor, error) {
 	return y, nil
 }
 
-// Backward implements Layer.
+// Backward implements Layer. Scales the upstream gradient in place (see
+// ReLU.Backward for the ownership argument).
 func (d *Dropout) Backward(grad *Tensor) (*Tensor, error) {
 	if d.mask == nil {
 		return grad, nil
@@ -206,11 +258,10 @@ func (d *Dropout) Backward(grad *Tensor) (*Tensor, error) {
 	if len(d.mask) != len(grad.Data) {
 		return nil, fmt.Errorf("nn: dropout backward size mismatch")
 	}
-	g := grad.Clone()
-	for i := range g.Data {
-		g.Data[i] *= d.mask[i]
+	for i := range grad.Data {
+		grad.Data[i] *= d.mask[i]
 	}
-	return g, nil
+	return grad, nil
 }
 
 // Params implements Layer.
@@ -245,11 +296,24 @@ type Sequential struct{ Layers []Layer }
 // NewSequential builds a model from layers in order.
 func NewSequential(layers ...Layer) *Sequential { return &Sequential{Layers: layers} }
 
-// Forward implements Model.
+// Forward implements Model. Dense/Conv2D layers immediately followed by a
+// ReLU or Tanh run as one fused kernel: the activation is applied as a
+// GEMM epilogue (filling the activation layer's backward caches), saving
+// a full clone-and-rewrite pass over the activations.
 func (s *Sequential) Forward(x *Tensor, train bool) (*Tensor, error) {
 	var err error
-	for i, l := range s.Layers {
-		x, err = l.Forward(x, train)
+	for i := 0; i < len(s.Layers); i++ {
+		if f, ok := s.Layers[i].(epilogueFuser); ok && i+1 < len(s.Layers) {
+			if act, ok := s.Layers[i+1].(fusedActivation); ok {
+				x, err = f.forward(x, act)
+				if err != nil {
+					return nil, fmt.Errorf("layer %d: %w", i, err)
+				}
+				i++
+				continue
+			}
+		}
+		x, err = s.Layers[i].Forward(x, train)
 		if err != nil {
 			return nil, fmt.Errorf("layer %d: %w", i, err)
 		}
@@ -257,10 +321,19 @@ func (s *Sequential) Forward(x *Tensor, train bool) (*Tensor, error) {
 	return x, nil
 }
 
-// Backward implements Model.
+// Backward implements Model. The first layer's input gradient is never
+// consumed, so layers implementing noInputGrad skip computing it there.
 func (s *Sequential) Backward(grad *Tensor) error {
 	var err error
 	for i := len(s.Layers) - 1; i >= 0; i-- {
+		if i == 0 {
+			if l, ok := s.Layers[0].(noInputGrad); ok {
+				if err := l.backwardParamsOnly(grad); err != nil {
+					return fmt.Errorf("layer 0: %w", err)
+				}
+				return nil
+			}
+		}
 		grad, err = s.Layers[i].Backward(grad)
 		if err != nil {
 			return fmt.Errorf("layer %d: %w", i, err)

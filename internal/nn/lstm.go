@@ -50,28 +50,40 @@ func (l *LSTM) Forward(x *Tensor, train bool) (*Tensor, error) {
 	n, t := x.Shape[0], x.Shape[1]
 	l.xs, l.lastN, l.lastT = x, n, t
 	h4 := 4 * l.Hidden
+	// Recycle the previous pass's per-step caches: they are only ever
+	// referenced between one Forward and the matching Backward.
+	for _, s := range l.gates {
+		releaseScratch(s)
+	}
+	for _, s := range l.hs {
+		releaseScratch(s)
+	}
+	for _, s := range l.cs {
+		releaseScratch(s)
+	}
 	l.hs = l.hs[:0]
 	l.cs = l.cs[:0]
 	l.gates = l.gates[:0]
-	l.hs = append(l.hs, NewTensor(n, l.Hidden))
-	l.cs = append(l.cs, NewTensor(n, l.Hidden))
+	l.hs = append(l.hs, getScratchZero(n, l.Hidden))
+	l.cs = append(l.cs, getScratchZero(n, l.Hidden))
 
+	xt := getScratch(n, l.In)
+	zx := getScratch(n, h4)
+	zh := getScratch(n, h4)
+	defer func() {
+		releaseScratch(xt)
+		releaseScratch(zx)
+		releaseScratch(zh)
+	}()
 	for step := 0; step < t; step++ {
-		xt := &Tensor{Shape: []int{n, l.In}, Data: make([]float64, n*l.In)}
 		for i := 0; i < n; i++ {
 			copy(xt.Data[i*l.In:(i+1)*l.In], x.Data[(i*t+step)*l.In:(i*t+step+1)*l.In])
 		}
-		zx, err := MatMul(xt, l.wx.W)
-		if err != nil {
-			return nil, err
-		}
-		zh, err := MatMul(l.hs[step], l.wh.W)
-		if err != nil {
-			return nil, err
-		}
-		gates := NewTensor(n, h4)
-		h := NewTensor(n, l.Hidden)
-		c := NewTensor(n, l.Hidden)
+		gemmInto(xt.Data, l.wx.W.Data, zx.Data, n, l.In, h4)
+		gemmInto(l.hs[step].Data, l.wh.W.Data, zh.Data, n, l.Hidden, h4)
+		gates := getScratch(n, h4)
+		h := getScratch(n, l.Hidden)
+		c := getScratch(n, l.Hidden)
 		prevC := l.cs[step]
 		for i := 0; i < n; i++ {
 			for j := 0; j < l.Hidden; j++ {
@@ -104,15 +116,31 @@ func (l *LSTM) Backward(grad *Tensor) (*Tensor, error) {
 	}
 	n, t := l.lastN, l.lastT
 	h4 := 4 * l.Hidden
-	dh := grad.Clone()
-	dc := NewTensor(n, l.Hidden)
+	dh := getScratch(n, l.Hidden)
+	copy(dh.Data, grad.Data)
+	dc := getScratchZero(n, l.Hidden)
 	dx := NewTensor(n, t, l.In)
 
+	dz := getScratch(n, h4)
+	xt := getScratch(n, l.In)
+	dwx := getScratch(l.In, h4)
+	dwh := getScratch(l.Hidden, h4)
+	dxt := getScratch(n, l.In)
+	dhPrev := getScratch(n, l.Hidden)
+	defer func() {
+		releaseScratch(dh)
+		releaseScratch(dc)
+		releaseScratch(dz)
+		releaseScratch(xt)
+		releaseScratch(dwx)
+		releaseScratch(dwh)
+		releaseScratch(dxt)
+		releaseScratch(dhPrev)
+	}()
 	for step := t - 1; step >= 0; step-- {
 		gates := l.gates[step]
 		prevC := l.cs[step]
 		c := l.cs[step+1]
-		dz := NewTensor(n, h4)
 		for i := 0; i < n; i++ {
 			for j := 0; j < l.Hidden; j++ {
 				ig := gates.Data[i*h4+j]
@@ -133,21 +161,14 @@ func (l *LSTM) Backward(grad *Tensor) (*Tensor, error) {
 			}
 		}
 		// Parameter gradients: dWx += xtᵀ dz, dWh += h_{t-1}ᵀ dz, db += Σ dz.
-		xt := &Tensor{Shape: []int{n, l.In}, Data: make([]float64, n*l.In)}
 		for i := 0; i < n; i++ {
 			copy(xt.Data[i*l.In:(i+1)*l.In], l.xs.Data[(i*t+step)*l.In:(i*t+step+1)*l.In])
 		}
-		dwx, err := MatMulTransA(xt, dz)
-		if err != nil {
-			return nil, err
-		}
+		gemmTransAInto(xt.Data, dz.Data, dwx.Data, n, l.In, h4)
 		if err := l.wx.Grad.AddScaled(dwx, 1); err != nil {
 			return nil, err
 		}
-		dwh, err := MatMulTransA(l.hs[step], dz)
-		if err != nil {
-			return nil, err
-		}
+		gemmTransAInto(l.hs[step].Data, dz.Data, dwh.Data, n, l.Hidden, h4)
 		if err := l.wh.Grad.AddScaled(dwh, 1); err != nil {
 			return nil, err
 		}
@@ -157,18 +178,12 @@ func (l *LSTM) Backward(grad *Tensor) (*Tensor, error) {
 			}
 		}
 		// Input and previous-hidden gradients.
-		dxt, err := MatMulTransB(dz, l.wx.W)
-		if err != nil {
-			return nil, err
-		}
+		gemmTransBInto(dz.Data, l.wx.W.Data, dxt.Data, n, h4, l.In)
 		for i := 0; i < n; i++ {
 			copy(dx.Data[(i*t+step)*l.In:(i*t+step+1)*l.In], dxt.Data[i*l.In:(i+1)*l.In])
 		}
-		dhPrev, err := MatMulTransB(dz, l.wh.W)
-		if err != nil {
-			return nil, err
-		}
-		dh = dhPrev
+		gemmTransBInto(dz.Data, l.wh.W.Data, dhPrev.Data, n, h4, l.Hidden)
+		dh, dhPrev = dhPrev, dh
 	}
 	return dx, nil
 }

@@ -107,6 +107,11 @@ func (a *Adam) Step(params []*Param) error {
 	a.t++
 	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
 	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	// Folding the bias corrections into the step size and the
+	// second-moment scale leaves one division per element instead of
+	// three (mathematically identical update, fewer rounding steps).
+	step := a.LR / bc1
+	invBC2 := 1 / bc2
 	for _, p := range params {
 		if p.Frozen {
 			p.Grad.Zero()
@@ -119,13 +124,12 @@ func (a *Adam) Step(params []*Param) error {
 			a.v[p] = NewTensor(p.W.Shape...)
 		}
 		v := a.v[p]
-		for i := range p.W.Data {
-			g := p.Grad.Data[i]
-			m.Data[i] = a.Beta1*m.Data[i] + (1-a.Beta1)*g
-			v.Data[i] = a.Beta2*v.Data[i] + (1-a.Beta2)*g*g
-			mh := m.Data[i] / bc1
-			vh := v.Data[i] / bc2
-			p.W.Data[i] -= a.LR * mh / (math.Sqrt(vh) + a.Eps)
+		w, gd, md, vd := p.W.Data, p.Grad.Data, m.Data, v.Data
+		for i := range w {
+			g := gd[i]
+			md[i] = a.Beta1*md[i] + (1-a.Beta1)*g
+			vd[i] = a.Beta2*vd[i] + (1-a.Beta2)*g*g
+			w[i] -= step * md[i] / (math.Sqrt(vd[i]*invBC2) + a.Eps)
 		}
 		p.Grad.Zero()
 	}

@@ -25,6 +25,9 @@ func SetMaxWorkers(n int) int {
 // parallelFor splits the index range [0, n) into contiguous chunks and runs
 // work on each concurrently when the total op estimate justifies it.
 func parallelFor(n, opEstimate int, work func(i0, i1 int)) {
+	if n <= 0 {
+		return
+	}
 	workers := int(maxWorkers.Load())
 	if workers <= 0 {
 		workers = runtime.NumCPU()
@@ -54,4 +57,22 @@ func parallelFor(n, opEstimate int, work func(i0, i1 int)) {
 		}(i0, i1)
 	}
 	wg.Wait()
+}
+
+// parallelForTiles schedules a 2-D tile grid (mTiles × nTiles) across
+// workers: work(ti, tj) is called exactly once per tile, tiles are dealt
+// to workers in contiguous runs of the row-major tile index, and a worker
+// count larger than the tile count degrades to one tile per worker. Each
+// output tile is owned by exactly one goroutine, so tiled kernels stay
+// bitwise deterministic for any worker count.
+func parallelForTiles(mTiles, nTiles, opEstimate int, work func(ti, tj int)) {
+	total := mTiles * nTiles
+	if total <= 0 {
+		return
+	}
+	parallelFor(total, opEstimate, func(t0, t1 int) {
+		for t := t0; t < t1; t++ {
+			work(t/nTiles, t%nTiles)
+		}
+	})
 }

@@ -1,0 +1,210 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestMaxPoolTieBreaking pins the argmax tie rule: the strict `>`
+// comparison keeps the FIRST maximum in row-major window order, so the
+// backward pass routes the whole upstream gradient to that one cell and
+// leaves later duplicates at zero. Training determinism depends on this
+// rule staying fixed.
+func TestMaxPoolTieBreaking(t *testing.T) {
+	pool, err := NewMaxPool2D(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name   string
+		window [4]float64 // row-major 2x2 window
+		want   int        // window-local index that must win
+	}{
+		{"all equal keeps first", [4]float64{3, 3, 3, 3}, 0},
+		{"tie across row", [4]float64{1, 5, 5, 0}, 1},
+		{"tie down column", [4]float64{7, 1, 7, 1}, 0},
+		{"tie on last two", [4]float64{0, 1, 9, 9}, 2},
+		{"negative plateau", [4]float64{-2, -2, -5, -2}, 0},
+		{"zeros and negatives", [4]float64{-1, 0, 0, -1}, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			x := NewTensor(1, 1, 2, 2)
+			copy(x.Data, tc.window[:])
+			y, err := pool.Forward(x, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if y.Data[0] != tc.window[tc.want] {
+				t.Fatalf("pooled value = %v, want %v", y.Data[0], tc.window[tc.want])
+			}
+			grad := NewTensor(1, 1, 1, 1)
+			grad.Data[0] = 1
+			dx, err := pool.Backward(grad)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, g := range dx.Data {
+				want := 0.0
+				if i == tc.want {
+					want = 1
+				}
+				if g != want {
+					t.Errorf("dx[%d] = %v, want %v (gradient must go only to the first max)", i, g, want)
+				}
+			}
+		})
+	}
+}
+
+// TestMaxPoolBackwardAccumulates verifies overlapping output cells (one
+// argmax per window) sum their gradients into distinct input cells and
+// that gradients never leak outside the recorded argmax set.
+func TestMaxPoolBackwardAccumulates(t *testing.T) {
+	pool, err := NewMaxPool2D(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := NewTensor(1, 1, 4, 4)
+	for i := range x.Data {
+		x.Data[i] = float64(i) // strictly increasing: max = bottom-right of each window
+	}
+	if _, err := pool.Forward(x, true); err != nil {
+		t.Fatal(err)
+	}
+	grad := NewTensor(1, 1, 2, 2)
+	for i := range grad.Data {
+		grad.Data[i] = float64(i + 1)
+	}
+	dx, err := pool.Backward(grad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	nonzero := 0
+	for _, g := range dx.Data {
+		sum += g
+		if g != 0 {
+			nonzero++
+		}
+	}
+	if sum != 1+2+3+4 {
+		t.Fatalf("gradient mass = %v, want 10 (conservation)", sum)
+	}
+	if nonzero != 4 {
+		t.Fatalf("nonzero cells = %d, want 4 (one per window)", nonzero)
+	}
+	// Each window's max is its bottom-right cell: flat indices 5, 7, 13, 15.
+	if dx.Data[5] != 1 || dx.Data[7] != 2 || dx.Data[13] != 3 || dx.Data[15] != 4 {
+		t.Fatalf("gradients landed at wrong argmax cells: %v", dx.Data)
+	}
+}
+
+// TestDropoutTrainEvalScaling pins inverted-dropout semantics: eval is
+// the exact identity (same tensor, no scaling), train zeroes a fraction
+// and scales survivors by 1/(1-rate) so the activation expectation is
+// preserved, and backward applies the identical mask.
+func TestDropoutTrainEvalScaling(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	d, err := NewDropout(0.4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	x := NewTensor(64, 32)
+	for i := range x.Data {
+		x.Data[i] = 1
+	}
+
+	// Eval: identity, and not merely equal — the same backing array.
+	y, err := d.Forward(x, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &y.Data[0] != &x.Data[0] {
+		t.Fatal("eval-mode dropout must pass the tensor through unchanged")
+	}
+	g := NewTensor(64, 32)
+	g.Fill(2)
+	gb, err := d.Backward(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range gb.Data {
+		if gb.Data[i] != 2 {
+			t.Fatal("eval-mode dropout backward must be the identity")
+		}
+	}
+
+	// Train: survivors scaled by exactly 1/(1-rate), the rest zero.
+	yt, err := d.Forward(x, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scale := 1 / (1 - d.Rate)
+	kept := 0
+	for i, v := range yt.Data {
+		switch v {
+		case 0:
+		case scale:
+			kept++
+		default:
+			t.Fatalf("element %d = %v, want 0 or %v", i, v, scale)
+		}
+	}
+	// With 2048 draws at keep-prob 0.6 the kept count concentrates hard
+	// around 1229; a 5-sigma band is [1118, 1340].
+	if kept < 1118 || kept > 1340 {
+		t.Fatalf("kept %d of %d, far from keep-prob 0.6", kept, len(yt.Data))
+	}
+	// Expectation preservation: mean of the scaled output stays near 1.
+	mean := 0.0
+	for _, v := range yt.Data {
+		mean += v
+	}
+	mean /= float64(len(yt.Data))
+	if math.Abs(mean-1) > 0.1 {
+		t.Fatalf("train-mode mean = %v, want ~1 (inverted dropout)", mean)
+	}
+
+	// Backward uses the identical mask: zeroed where forward zeroed,
+	// scaled where forward scaled.
+	g2 := NewTensor(64, 32)
+	g2.Fill(1)
+	gt, err := d.Backward(g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range gt.Data {
+		fwdKept := yt.Data[i] != 0
+		if fwdKept && gt.Data[i] != scale {
+			t.Fatalf("grad[%d] = %v, want %v where forward kept", i, gt.Data[i], scale)
+		}
+		if !fwdKept && gt.Data[i] != 0 {
+			t.Fatalf("grad[%d] = %v, want 0 where forward dropped", i, gt.Data[i])
+		}
+	}
+}
+
+// TestDropoutZeroRate verifies rate 0 is a true no-op in both modes.
+func TestDropoutZeroRate(t *testing.T) {
+	d, err := NewDropout(0, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := NewTensor(4, 4)
+	x.Fill(3)
+	for _, train := range []bool{false, true} {
+		y, err := d.Forward(x, train)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range y.Data {
+			if y.Data[i] != 3 {
+				t.Fatalf("train=%v: rate-0 dropout changed the input", train)
+			}
+		}
+	}
+}

@@ -123,99 +123,57 @@ func (t *Tensor) MaxAbs() float64 {
 	return m
 }
 
+func errMatMulShape(a, b *Tensor) error {
+	return fmt.Errorf("nn: MatMul needs 2-D tensors, got %v × %v", a.Shape, b.Shape)
+}
+
+func errMatMulInner(k, k2 int) error {
+	return fmt.Errorf("nn: MatMul inner dims %d vs %d", k, k2)
+}
+
 // MatMul computes C = A×B for 2-D tensors A [m,k] and B [k,n], writing into
-// a new tensor. The inner loops are cache-friendly (ikj order) and the rows
-// of A are processed in parallel for large products.
+// a new tensor. The blocked kernel in gemm.go does the work; MatMulRef is
+// the naive reference it is cross-checked against.
 func MatMul(a, b *Tensor) (*Tensor, error) {
 	if len(a.Shape) != 2 || len(b.Shape) != 2 {
-		return nil, fmt.Errorf("nn: MatMul needs 2-D tensors, got %v × %v", a.Shape, b.Shape)
+		return nil, errMatMulShape(a, b)
 	}
 	m, k := a.Shape[0], a.Shape[1]
 	k2, n := b.Shape[0], b.Shape[1]
 	if k != k2 {
-		return nil, fmt.Errorf("nn: MatMul inner dims %d vs %d", k, k2)
+		return nil, errMatMulInner(k, k2)
 	}
 	c := NewTensor(m, n)
-	matMulInto(a.Data, b.Data, c.Data, m, k, n)
+	gemmInto(a.Data, b.Data, c.Data, m, k, n)
 	return c, nil
-}
-
-// matMulInto computes c += a×b on raw row-major buffers (c must be zeroed
-// by the caller if accumulation is not desired; NewTensor zeroes).
-func matMulInto(a, b, c []float64, m, k, n int) {
-	work := func(i0, i1 int) {
-		for i := i0; i < i1; i++ {
-			ai := a[i*k : (i+1)*k]
-			ci := c[i*n : (i+1)*n]
-			for p := 0; p < k; p++ {
-				av := ai[p]
-				if av == 0 {
-					continue
-				}
-				bp := b[p*n : (p+1)*n]
-				for j := 0; j < n; j++ {
-					ci[j] += av * bp[j]
-				}
-			}
-		}
-	}
-	parallelFor(m, m*k*n, work)
 }
 
 // MatMulTransA computes C = Aᵀ×B for A [k,m], B [k,n] → C [m,n].
 func MatMulTransA(a, b *Tensor) (*Tensor, error) {
 	if len(a.Shape) != 2 || len(b.Shape) != 2 {
-		return nil, fmt.Errorf("nn: MatMulTransA needs 2-D tensors")
+		return nil, errMatMulShape(a, b)
 	}
 	k, m := a.Shape[0], a.Shape[1]
 	k2, n := b.Shape[0], b.Shape[1]
 	if k != k2 {
-		return nil, fmt.Errorf("nn: MatMulTransA inner dims %d vs %d", k, k2)
+		return nil, errMatMulInner(k, k2)
 	}
 	c := NewTensor(m, n)
-	// c[i,j] = sum_p a[p,i] * b[p,j]
-	for p := 0; p < k; p++ {
-		ap := a.Data[p*m : (p+1)*m]
-		bp := b.Data[p*n : (p+1)*n]
-		for i := 0; i < m; i++ {
-			av := ap[i]
-			if av == 0 {
-				continue
-			}
-			ci := c.Data[i*n : (i+1)*n]
-			for j := 0; j < n; j++ {
-				ci[j] += av * bp[j]
-			}
-		}
-	}
+	gemmTransAInto(a.Data, b.Data, c.Data, k, m, n)
 	return c, nil
 }
 
 // MatMulTransB computes C = A×Bᵀ for A [m,k], B [n,k] → C [m,n].
 func MatMulTransB(a, b *Tensor) (*Tensor, error) {
 	if len(a.Shape) != 2 || len(b.Shape) != 2 {
-		return nil, fmt.Errorf("nn: MatMulTransB needs 2-D tensors")
+		return nil, errMatMulShape(a, b)
 	}
 	m, k := a.Shape[0], a.Shape[1]
 	n, k2 := b.Shape[0], b.Shape[1]
 	if k != k2 {
-		return nil, fmt.Errorf("nn: MatMulTransB inner dims %d vs %d", k, k2)
+		return nil, errMatMulInner(k, k2)
 	}
 	c := NewTensor(m, n)
-	work := func(i0, i1 int) {
-		for i := i0; i < i1; i++ {
-			ai := a.Data[i*k : (i+1)*k]
-			ci := c.Data[i*n : (i+1)*n]
-			for j := 0; j < n; j++ {
-				bj := b.Data[j*k : (j+1)*k]
-				var s float64
-				for p := 0; p < k; p++ {
-					s += ai[p] * bj[p]
-				}
-				ci[j] = s
-			}
-		}
-	}
-	parallelFor(m, m*k*n, work)
+	gemmTransBInto(a.Data, b.Data, c.Data, m, k, n)
 	return c, nil
 }

@@ -54,14 +54,45 @@ func (d Dataset) Subset(idx []int) Dataset {
 	if len(idx) == 0 {
 		return Dataset{}
 	}
-	xv, yv := rowVol(d.X), rowVol(d.Y)
 	xs := append([]int{len(idx)}, d.X.Shape[1:]...)
 	ys := append([]int{len(idx)}, d.Y.Shape[1:]...)
 	out := Dataset{X: NewTensor(xs...), Y: NewTensor(ys...)}
+	d.gatherInto(idx, out)
+	return out
+}
+
+// gatherInto copies the selected rows into out's preallocated tensors.
+func (d Dataset) gatherInto(idx []int, out Dataset) {
+	xv, yv := rowVol(d.X), rowVol(d.Y)
 	for i, j := range idx {
 		copy(out.X.Data[i*xv:(i+1)*xv], d.X.Data[j*xv:(j+1)*xv])
 		copy(out.Y.Data[i*yv:(i+1)*yv], d.Y.Data[j*yv:(j+1)*yv])
 	}
+}
+
+// batchScratch is a reusable mini-batch buffer: the trainer and evaluator
+// copy each batch into the same backing arrays instead of allocating two
+// fresh tensors per step.
+type batchScratch struct{ x, y *Tensor }
+
+func newBatchScratch(d Dataset, maxRows int) batchScratch {
+	return batchScratch{
+		x: NewTensor(append([]int{maxRows}, d.X.Shape[1:]...)...),
+		y: NewTensor(append([]int{maxRows}, d.Y.Shape[1:]...)...),
+	}
+}
+
+// batch reshapes the scratch to len(idx) rows and fills it from d. The
+// returned dataset aliases the scratch buffers and is valid until the
+// next call.
+func (b batchScratch) batch(d Dataset, idx []int) Dataset {
+	n := len(idx)
+	b.x.Shape[0], b.y.Shape[0] = n, n
+	out := Dataset{
+		X: &Tensor{Shape: b.x.Shape, Data: b.x.Data[:n*rowVol(b.x)]},
+		Y: &Tensor{Shape: b.y.Shape, Data: b.y.Data[:n*rowVol(b.y)]},
+	}
+	d.gatherInto(idx, out)
 	return out
 }
 
@@ -168,6 +199,7 @@ func Train(model Model, data Dataset, loss Loss, opt Optimizer, cfg TrainConfig)
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed + 1))
 	sinceBest := 0
+	scratch := newBatchScratch(train, min(cfg.BatchSize, train.Len()))
 
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		epochStart := time.Now()
@@ -179,7 +211,7 @@ func Train(model Model, data Dataset, loss Loss, opt Optimizer, cfg TrainConfig)
 			if hi > len(idx) {
 				hi = len(idx)
 			}
-			batch := train.Subset(idx[b:hi])
+			batch := scratch.batch(train, idx[b:hi])
 			pred, err := model.Forward(batch.X, true)
 			if err != nil {
 				return h, fmt.Errorf("nn: epoch %d forward: %w", epoch, err)
@@ -256,12 +288,13 @@ func Evaluate(model Model, data Dataset, loss Loss, batchSize int) (float64, err
 	for i := range idx {
 		idx[i] = i
 	}
+	scratch := newBatchScratch(data, min(batchSize, n))
 	for b := 0; b < n; b += batchSize {
 		hi := b + batchSize
 		if hi > n {
 			hi = n
 		}
-		batch := data.Subset(idx[b:hi])
+		batch := scratch.batch(data, idx[b:hi])
 		pred, err := model.Forward(batch.X, false)
 		if err != nil {
 			return 0, err

@@ -10,11 +10,12 @@ import (
 	"errors"
 	"fmt"
 	"image"
-	"image/color"
 	"image/png"
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
+	"sync"
 
 	"repro/internal/sim"
 )
@@ -65,6 +66,60 @@ type Tub struct {
 	Dir string
 }
 
+// Write-through frame cache shared by all Tub handles: PNG encoding is
+// lossless for the formats saveFrame writes, so a frame saved (or decoded
+// once) can serve later LoadFrame calls without reopening the file — file
+// opens dominate the collect→clean→train loop on slow filesystems, and the
+// cleaner, the trainer, and the collector each Open their own handle to
+// the same directory. Keyed by the image file path; entries are in the
+// file's native channel count and converted per request. Bounded by
+// frameCacheMaxBytes: past it, new frames are simply not cached (files
+// remain the source of truth).
+var frameCache = struct {
+	sync.Mutex
+	m     map[string]*sim.Frame
+	bytes int
+}{m: make(map[string]*sim.Frame)}
+
+const frameCacheMaxBytes = 64 << 20
+
+func (t *Tub) framePath(name string) string {
+	return filepath.Join(t.Dir, imagesDir, name)
+}
+
+func cachePutFrame(path string, f *sim.Frame) {
+	frameCache.Lock()
+	defer frameCache.Unlock()
+	if _, ok := frameCache.m[path]; ok {
+		return
+	}
+	if frameCache.bytes+len(f.Pix) > frameCacheMaxBytes {
+		return
+	}
+	frameCache.m[path] = f
+	frameCache.bytes += len(f.Pix)
+}
+
+func cacheGetFrame(path string) *sim.Frame {
+	frameCache.Lock()
+	defer frameCache.Unlock()
+	return frameCache.m[path]
+}
+
+// cachePurgeDir drops cached frames under dir, so re-initializing a tub in
+// a previously used directory cannot serve stale pixels.
+func cachePurgeDir(dir string) {
+	prefix := filepath.Join(dir, imagesDir) + string(filepath.Separator)
+	frameCache.Lock()
+	defer frameCache.Unlock()
+	for p, f := range frameCache.m {
+		if strings.HasPrefix(p, prefix) {
+			frameCache.bytes -= len(f.Pix)
+			delete(frameCache.m, p)
+		}
+	}
+}
+
 // ErrNotTub is returned when opening a directory without a manifest.json.
 var ErrNotTub = errors.New("tub: directory has no manifest.json")
 
@@ -78,6 +133,7 @@ func Create(dir string) (*Tub, error) {
 	if err := os.MkdirAll(filepath.Join(dir, imagesDir), 0o755); err != nil {
 		return nil, fmt.Errorf("tub: create: %w", err)
 	}
+	cachePurgeDir(dir)
 	t := &Tub{Dir: dir}
 	m := manifest{
 		Inputs:         []string{KeyImage, KeyAngle, KeyThrottle, KeyMode},
@@ -200,37 +256,92 @@ func imageFileName(index int) string {
 	return fmt.Sprintf("%d_cam_image_array_.png", index)
 }
 
-// saveFrame encodes a sim.Frame as PNG under images/.
+// pngPool recycles the PNG encoder's internal scratch (zlib writer and
+// filter rows) across saveFrame calls; without it every record encode
+// rebuilds a full deflate state.
+type pngPool struct{ pool sync.Pool }
+
+func (p *pngPool) Get() *png.EncoderBuffer {
+	b, _ := p.pool.Get().(*png.EncoderBuffer)
+	return b
+}
+
+func (p *pngPool) Put(b *png.EncoderBuffer) { p.pool.Put(b) }
+
+var frameEncoder = png.Encoder{CompressionLevel: png.BestSpeed, BufferPool: &pngPool{}}
+
+// saveFrame encodes a sim.Frame as PNG under images/. Grayscale frames
+// are stored as 8-bit grayscale PNGs (a quarter of the RGBA bytes);
+// 3-channel frames as NRGBA. Pixels move with bulk copies rather than
+// per-pixel Set calls, which would box a color.Color per pixel.
 func (t *Tub) saveFrame(index int, f *sim.Frame) (string, error) {
 	name := imageFileName(index)
-	img := image.NewRGBA(image.Rect(0, 0, f.W, f.H))
-	for y := 0; y < f.H; y++ {
-		for x := 0; x < f.W; x++ {
-			px := f.At(x, y)
-			var c color.RGBA
-			if f.C == 3 {
-				c = color.RGBA{px[0], px[1], px[2], 255}
-			} else {
-				c = color.RGBA{px[0], px[0], px[0], 255}
-			}
-			img.Set(x, y, c)
+	var img image.Image
+	if f.C == 1 {
+		g := image.NewGray(image.Rect(0, 0, f.W, f.H))
+		copy(g.Pix, f.Pix)
+		img = g
+	} else {
+		rgba := image.NewNRGBA(image.Rect(0, 0, f.W, f.H))
+		for i, o := 0, 0; i+2 < len(f.Pix); i, o = i+3, o+4 {
+			rgba.Pix[o] = f.Pix[i]
+			rgba.Pix[o+1] = f.Pix[i+1]
+			rgba.Pix[o+2] = f.Pix[i+2]
+			rgba.Pix[o+3] = 255
 		}
+		img = rgba
 	}
 	fp, err := os.Create(filepath.Join(t.Dir, imagesDir, name))
 	if err != nil {
 		return "", fmt.Errorf("tub: save image: %w", err)
 	}
 	defer fp.Close()
-	if err := png.Encode(fp, img); err != nil {
+	if err := frameEncoder.Encode(fp, img); err != nil {
 		return "", fmt.Errorf("tub: encode image: %w", err)
 	}
+	cachePutFrame(t.framePath(name), cloneFrame(f))
 	return name, nil
+}
+
+func cloneFrame(f *sim.Frame) *sim.Frame {
+	c := *f
+	c.Pix = append([]uint8(nil), f.Pix...)
+	return &c
+}
+
+// convertFrame produces a copy of src with the requested channel count,
+// using the same math as the PNG decode path (PNG is lossless for the
+// formats saveFrame writes, so this equals a disk round trip bit-for-bit).
+func convertFrame(src *sim.Frame, channels int) (*sim.Frame, error) {
+	f, err := sim.NewFrame(src.W, src.H, channels)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case src.C == channels:
+		copy(f.Pix, src.Pix)
+	case src.C == 1: // gray → rgb
+		for i, v := range src.Pix {
+			f.Pix[i*3], f.Pix[i*3+1], f.Pix[i*3+2] = v, v, v
+		}
+	default: // rgb → gray
+		for i := 0; i < len(f.Pix); i++ {
+			r, g, b := src.Pix[i*3], src.Pix[i*3+1], src.Pix[i*3+2]
+			lum := 0.299*float64(r) + 0.587*float64(g) + 0.114*float64(b)
+			f.Pix[i] = uint8(lum)
+		}
+	}
+	return f, nil
 }
 
 // LoadFrame reads a record's image back as a sim.Frame with the requested
 // channel count (1 or 3).
 func (t *Tub) LoadFrame(name string, channels int) (*sim.Frame, error) {
-	fp, err := os.Open(filepath.Join(t.Dir, imagesDir, name))
+	path := t.framePath(name)
+	if cached := cacheGetFrame(path); cached != nil {
+		return convertFrame(cached, channels)
+	}
+	fp, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("tub: load image: %w", err)
 	}
@@ -240,20 +351,59 @@ func (t *Tub) LoadFrame(name string, channels int) (*sim.Frame, error) {
 		return nil, fmt.Errorf("tub: decode image: %w", err)
 	}
 	b := img.Bounds()
-	f, err := sim.NewFrame(b.Dx(), b.Dy(), channels)
-	if err != nil {
-		return nil, err
-	}
-	for y := 0; y < b.Dy(); y++ {
-		for x := 0; x < b.Dx(); x++ {
-			r, g, bb, _ := img.At(b.Min.X+x, b.Min.Y+y).RGBA()
-			if channels == 3 {
-				f.Set(x, y, uint8(r>>8), uint8(g>>8), uint8(bb>>8))
-			} else {
-				lum := 0.299*float64(r>>8) + 0.587*float64(g>>8) + 0.114*float64(bb>>8)
-				f.Set(x, y, uint8(lum))
+	// Fast paths: read the decoded image's Pix buffer directly into a
+	// frame with the file's native channel count (the generic fallback
+	// goes through the color.Color interface, which allocates per pixel),
+	// cache it, and convert per request.
+	var native *sim.Frame
+	switch src := img.(type) {
+	case *image.Gray:
+		native, err = sim.NewFrame(b.Dx(), b.Dy(), 1)
+		if err != nil {
+			return nil, err
+		}
+		loadFromStrided(native, src.Pix, src.Stride, 1)
+	case *image.NRGBA:
+		native, err = sim.NewFrame(b.Dx(), b.Dy(), 3)
+		if err != nil {
+			return nil, err
+		}
+		loadFromStrided(native, src.Pix, src.Stride, 4)
+	case *image.RGBA:
+		native, err = sim.NewFrame(b.Dx(), b.Dy(), 3)
+		if err != nil {
+			return nil, err
+		}
+		loadFromStrided(native, src.Pix, src.Stride, 4)
+	default:
+		native, err = sim.NewFrame(b.Dx(), b.Dy(), 3)
+		if err != nil {
+			return nil, err
+		}
+		for y := 0; y < b.Dy(); y++ {
+			for x := 0; x < b.Dx(); x++ {
+				r, g, bb, _ := img.At(b.Min.X+x, b.Min.Y+y).RGBA()
+				native.Set(x, y, uint8(r>>8), uint8(g>>8), uint8(bb>>8))
 			}
 		}
 	}
-	return f, nil
+	cachePutFrame(path, native)
+	return convertFrame(native, channels)
+}
+
+// loadFromStrided fills f (in the source's native channel count) from a
+// decoded pixel buffer with the given row stride and source pixel width
+// (1 = grayscale, 4 = RGBA/NRGBA).
+func loadFromStrided(f *sim.Frame, pix []uint8, stride, srcC int) {
+	for y := 0; y < f.H; y++ {
+		row := pix[y*stride:]
+		if srcC == 1 {
+			copy(f.Pix[y*f.W:(y+1)*f.W], row[:f.W])
+			continue
+		}
+		for x := 0; x < f.W; x++ {
+			o := (y*f.W + x) * 3
+			f.Pix[o], f.Pix[o+1], f.Pix[o+2] = row[x*4], row[x*4+1], row[x*4+2]
+		}
+	}
 }

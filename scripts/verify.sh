@@ -35,6 +35,34 @@ if [ -z "$fallbacks" ] || [ "$fallbacks" -eq 0 ]; then
 fi
 rm -f "$metrics" "$out"
 
+if [ -z "${SKIP_BENCH_GUARD:-}" ] && [ -f BENCH_pr3.json ]; then
+    echo "==> benchmark regression guard vs BENCH_pr3.json (SKIP_BENCH_GUARD=1 to skip)"
+    bout=$(mktemp)
+    # Same profile as scripts/bench.sh; two rounds so one cold-page-cache
+    # pass cannot fail the guard (the minimum is compared).
+    GOMAXPROCS=1 go test -run '^$' -bench '^BenchmarkFig1Pipeline$' \
+        -benchtime 2x -count 2 . >"$bout" 2>&1 || { cat "$bout" >&2; exit 1; }
+    GOMAXPROCS=1 go test -run '^$' -bench '^BenchmarkE2GPUSweep$' \
+        . >>"$bout" 2>&1 || { cat "$bout" >&2; exit 1; }
+    for name in BenchmarkFig1Pipeline BenchmarkE2GPUSweep; do
+        base=$(sed -n "s/.*\"$name\": {[^}]*\"ns_per_op\": \([0-9.e+]*\).*/\1/p" BENCH_pr3.json)
+        new=$(awk -v n="$name" '$1 ~ "^"n {
+            for (i = 2; i < NF; i++) if ($(i+1) == "ns/op") v = $i
+            if (min == "" || v + 0 < min + 0) min = v
+        } END { print min }' "$bout")
+        if [ -z "$base" ] || [ -z "$new" ]; then
+            echo "benchmark guard: missing $name measurement (base='$base' new='$new')" >&2
+            exit 1
+        fi
+        if awk -v n="$new" -v b="$base" 'BEGIN { exit !(n > b * 1.25) }'; then
+            echo "benchmark guard: $name regressed >25%: $new ns/op vs baseline $base" >&2
+            exit 1
+        fi
+        echo "    $name: $new ns/op (baseline $base, limit +25%)"
+    done
+    rm -f "$bout"
+fi
+
 echo "==> gofmt -l ."
 unformatted=$(gofmt -l .)
 if [ -n "$unformatted" ]; then
