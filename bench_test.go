@@ -25,11 +25,18 @@ package repro
 //	BenchmarkAblationHybridShrink
 
 import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
 	"fmt"
+	"io"
 	"math"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -38,7 +45,9 @@ import (
 	"repro/internal/eval"
 	"repro/internal/netem"
 	"repro/internal/nn"
+	"repro/internal/objstore"
 	"repro/internal/pilot"
+	"repro/internal/serve"
 	"repro/internal/sim"
 	"repro/internal/testbed"
 	"repro/internal/track"
@@ -881,6 +890,167 @@ func (c constCruise) DriveFrame(f *sim.Frame, st sim.CarState) (float64, float64
 	return steer, 0.5
 }
 func (c constCruise) Drive(st sim.CarState) (float64, float64) { return c.inner.Drive(st) }
+
+// --------------------------------------------------------------- E10 ----
+
+// e10DispatchCost is the modeled fixed cost of one backend forward-pass
+// dispatch in the cloud serving tier: an accelerator kernel launch plus
+// driver round trip, or the intra-datacenter RPC hop to a model server —
+// the per-call overhead the paper's hybrid placement (§3.3, E3) attributes
+// to cloud-side inference. It is charged once per InferBatch call through
+// the service's slow hook, which is the defining economics of
+// micro-batching: MaxBatch 1 pays it on every request, MaxBatch 32 pays it
+// once per 32. The cpu/ rows below disable the hook and measure this
+// host's raw scalar kernels, where the per-row forward cost is flat in
+// batch size and the ratio is governed by transport overhead instead.
+const e10DispatchCost = 250 * time.Microsecond
+
+// e10Serve assembles an objstore-backed service around one checkpoint and
+// returns an HTTP test server for it.
+func e10Serve(b *testing.B, cfg serve.Config, ckpt []byte, model string, dispatch bool) *httptest.Server {
+	b.Helper()
+	store := objstore.New()
+	if err := store.CreateContainer(core.ContainerModels); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := store.Put(core.ContainerModels, model+".ckpt", ckpt, nil); err != nil {
+		b.Fatal(err)
+	}
+	reg, err := serve.NewRegistry(store, core.ContainerModels)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := reg.Register(model, model+".ckpt"); err != nil {
+		b.Fatal(err)
+	}
+	svc, err := serve.New(cfg, reg, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if dispatch {
+		svc.SetSlowHook(func() time.Duration { return e10DispatchCost })
+	}
+	b.Cleanup(svc.Close)
+	ts := httptest.NewServer(svc)
+	b.Cleanup(ts.Close)
+	return ts
+}
+
+// e10Drive fires b.N POST /predict requests from `clients` closed-loop
+// goroutines and reports sustained req/s.
+func e10Drive(b *testing.B, ts *httptest.Server, body []byte, clients int) {
+	b.Helper()
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns: clients * 2, MaxIdleConnsPerHost: clients * 2,
+	}}
+	do := func() error {
+		resp, err := client.Post(ts.URL+"/predict", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("status %d", resp.StatusCode)
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return nil
+	}
+	if err := do(); err != nil { // warm connections, model, and scratch
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var issued int64
+	var wg sync.WaitGroup
+	for w := 0; w < clients; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for atomic.AddInt64(&issued, 1) <= int64(b.N) {
+				if err := do(); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	b.StopTimer()
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(b.N)/s, "req/s")
+	}
+}
+
+// BenchmarkE10Serving measures the batched inference service end to end
+// over HTTP: the same pilot served request-at-a-time (MaxBatch 1) versus
+// micro-batched (MaxBatch 32) at 1/8/32 concurrent clients, with the
+// backend dispatch model above charged per forward call. The window/ rows
+// sweep the batch window at 32 clients, and the cpu/ rows record this
+// host's no-dispatch baseline for reference.
+func BenchmarkE10Serving(b *testing.B) {
+	const (
+		servingW, servingH = 24, 16
+		servingModel       = "student"
+	)
+	cfg := pilot.DefaultConfig(pilot.Linear, servingW, servingH, 1)
+	p, err := pilot.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var ckpt bytes.Buffer
+	if err := p.Save(&ckpt); err != nil {
+		b.Fatal(err)
+	}
+	frame, err := sim.NewFrame(servingW, servingH, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(10))
+	for i := range frame.Pix {
+		frame.Pix[i] = uint8(rng.Intn(256))
+	}
+	body, err := json.Marshal(map[string]any{
+		"model": servingModel, "width": servingW, "height": servingH, "channels": 1,
+		"frames": []string{base64.StdEncoding.EncodeToString(frame.Pix)},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	base := serve.Config{QueueDepth: 1024, DefaultDeadline: 10 * time.Second}
+	single := base
+	single.MaxBatch, single.BatchWindow = 1, 0
+	batched := base
+	batched.MaxBatch, batched.BatchWindow = 32, 2*time.Millisecond
+
+	for _, clients := range []int{1, 8, 32} {
+		clients := clients
+		b.Run(fmt.Sprintf("single/clients%d", clients), func(b *testing.B) {
+			e10Drive(b, e10Serve(b, single, ckpt.Bytes(), servingModel, true), body, clients)
+		})
+	}
+	for _, clients := range []int{1, 8, 32} {
+		clients := clients
+		b.Run(fmt.Sprintf("batched/clients%d", clients), func(b *testing.B) {
+			e10Drive(b, e10Serve(b, batched, ckpt.Bytes(), servingModel, true), body, clients)
+		})
+	}
+	for _, window := range []time.Duration{0, 500 * time.Microsecond, 5 * time.Millisecond} {
+		window := window
+		b.Run(fmt.Sprintf("window%v/clients32", window), func(b *testing.B) {
+			cfg := batched
+			cfg.BatchWindow = window
+			e10Drive(b, e10Serve(b, cfg, ckpt.Bytes(), servingModel, true), body, 32)
+		})
+	}
+	// Raw-CPU reference: no dispatch model, so single and batched differ
+	// only by the per-forward fixed cost the scalar kernels amortize.
+	b.Run("cpu/single/clients32", func(b *testing.B) {
+		e10Drive(b, e10Serve(b, single, ckpt.Bytes(), servingModel, false), body, 32)
+	})
+	b.Run("cpu/batched/clients32", func(b *testing.B) {
+		e10Drive(b, e10Serve(b, batched, ckpt.Bytes(), servingModel, false), body, 32)
+	})
+}
 
 // BenchmarkPilotInference measures single-frame inference cost per
 // architecture — the number the placement model prices with ParamCount.

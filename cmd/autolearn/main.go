@@ -17,6 +17,7 @@
 //	autolearn hybrid    [-shrink 8] [-blend 0.4] [-ticks 600]
 //	autolearn zero      [-image-mb 800]
 //	autolearn placement [-params 150000]
+//	autolearn serve     -models name=FILE[,name=FILE...] [-addr :8899] [-max-batch 32] [-batch-window 2ms]
 package main
 
 import (
@@ -128,6 +129,8 @@ func main() {
 		err = cmdHybrid(os.Args[2:])
 	case "merge":
 		err = cmdMerge(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -157,6 +160,7 @@ commands:
   twin        print the digital-twin divergence table
   hybrid      distill a student and run the hybrid edge-cloud loop
   merge       combine several tubs into one (mix and match)
+  serve       run the batched inference service over trained checkpoints
 
 pipeline, models, and evaluate accept -trace FILE (JSONL span trace) and
 -metrics FILE (Prometheus text format) to export observability data.

@@ -1,0 +1,209 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/objstore"
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+// modelSpec is one -models entry: a checkpoint file served under a name.
+type modelSpec struct {
+	name   string // registry name clients put in the request body
+	file   string // checkpoint path on disk, re-read on every poll
+	object string // object name inside the models container
+}
+
+// parseModelSpecs splits "name=file,name2=file2" (the name defaults to the
+// file's base name without extension).
+func parseModelSpecs(s string) ([]modelSpec, error) {
+	if s == "" {
+		return nil, fmt.Errorf("serve: -models is required (name=checkpoint[,name=checkpoint...])")
+	}
+	var specs []modelSpec
+	seen := map[string]bool{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		spec := modelSpec{file: part}
+		if i := strings.IndexByte(part, '='); i >= 0 {
+			spec.name, spec.file = part[:i], part[i+1:]
+		}
+		if spec.file == "" {
+			return nil, fmt.Errorf("serve: empty checkpoint path in %q", part)
+		}
+		if spec.name == "" {
+			base := filepath.Base(spec.file)
+			spec.name = strings.TrimSuffix(base, filepath.Ext(base))
+		}
+		if seen[spec.name] {
+			return nil, fmt.Errorf("serve: duplicate model name %q", spec.name)
+		}
+		seen[spec.name] = true
+		spec.object = spec.name + ".ckpt"
+		specs = append(specs, spec)
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("serve: no models in %q", s)
+	}
+	return specs, nil
+}
+
+// servingApp wires checkpoint files -> object store -> registry -> service.
+type servingApp struct {
+	store   *objstore.Store
+	reg     *serve.Registry
+	svc     *serve.Service
+	metrics *obs.Registry
+	specs   []modelSpec
+}
+
+func buildServing(specs []modelSpec, cfg serve.Config) (*servingApp, error) {
+	store := objstore.New()
+	if err := store.CreateContainer(core.ContainerModels); err != nil {
+		return nil, err
+	}
+	reg, err := serve.NewRegistry(store, core.ContainerModels)
+	if err != nil {
+		return nil, err
+	}
+	a := &servingApp{store: store, reg: reg, metrics: obs.NewRegistry(), specs: specs}
+	for _, spec := range specs {
+		data, err := os.ReadFile(spec.file)
+		if err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+		if _, err := store.Put(core.ContainerModels, spec.object, data, nil); err != nil {
+			return nil, err
+		}
+		if err := reg.Register(spec.name, spec.object); err != nil {
+			return nil, err
+		}
+	}
+	// Polling is driven by refresh (which also re-reads the files), not by
+	// the service's own store-only poller.
+	svcCfg := cfg
+	svcCfg.PollInterval = 0
+	a.svc, err = serve.New(svcCfg, reg, a.metrics)
+	if err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// refresh re-reads every checkpoint file into the store and polls the
+// registry: editing a checkpoint on disk hot-swaps the served model. An
+// unchanged file produces the same ETag, so the poll is a no-op for it;
+// an unreadable file leaves the currently served weights in place.
+func (a *servingApp) refresh() (int, error) {
+	var firstErr error
+	for _, spec := range a.specs {
+		data, err := os.ReadFile(spec.file)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if _, err := a.store.Put(core.ContainerModels, spec.object, data, nil); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	n, err := a.reg.PollOnce()
+	if firstErr == nil {
+		firstErr = err
+	}
+	return n, firstErr
+}
+
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", ":8899", "listen address")
+	models := fs.String("models", "", "name=checkpoint pairs, comma-separated (required)")
+	maxBatch := fs.Int("max-batch", 0, "requests per mini-batch (0 = default)")
+	window := fs.Duration("batch-window", -1, "how long to hold an open batch (-1 = default)")
+	queue := fs.Int("queue", 0, "admission queue depth (0 = default)")
+	deadline := fs.Duration("deadline", 0, "default per-request deadline (0 = default)")
+	poll := fs.Duration("poll", 2*time.Second, "checkpoint reload poll interval (0 disables)")
+	fs.Parse(args)
+
+	specs, err := parseModelSpecs(*models)
+	if err != nil {
+		return err
+	}
+	cfg := serve.DefaultConfig()
+	if *maxBatch > 0 {
+		cfg.MaxBatch = *maxBatch
+	}
+	if *window >= 0 {
+		cfg.BatchWindow = *window
+	}
+	if *queue > 0 {
+		cfg.QueueDepth = *queue
+	}
+	if *deadline > 0 {
+		cfg.DefaultDeadline = *deadline
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return runServe(ctx, *addr, specs, cfg, *poll)
+}
+
+// runServe serves until ctx is canceled, then drains the HTTP server and
+// the batching schedulers.
+func runServe(ctx context.Context, addr string, specs []modelSpec, cfg serve.Config, poll time.Duration) error {
+	a, err := buildServing(specs, cfg)
+	if err != nil {
+		return err
+	}
+	defer a.svc.Close()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	if poll > 0 {
+		go func() {
+			t := time.NewTicker(poll)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					if n, err := a.refresh(); err != nil {
+						fmt.Fprintln(os.Stderr, "autolearn serve: poll:", err)
+					} else if n > 0 {
+						fmt.Printf("reloaded %d model(s)\n", n)
+					}
+				}
+			}
+		}()
+	}
+	hs := &http.Server{Handler: a.svc}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	fmt.Printf("serving %s on %s (max batch %d, window %v, queue %d); POST /predict, GET /models, GET /metrics\n",
+		strings.Join(a.reg.Names(), ", "), ln.Addr(), cfg.MaxBatch, cfg.BatchWindow, cfg.QueueDepth)
+	select {
+	case <-ctx.Done():
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		return hs.Shutdown(sctx)
+	case err := <-errc:
+		return err
+	}
+}

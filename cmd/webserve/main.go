@@ -1,7 +1,8 @@
 // Command webserve runs the DonkeyCar-style web controller against a live
 // simulated car: the drive loop runs locally while a browser (or curl)
 // steers over HTTP and watches the camera at /video. Prometheus-format
-// runtime metrics are served at /metrics.
+// runtime metrics are served at /metrics. Ctrl-C shuts down cleanly: the
+// HTTP server drains and the drive loop stops at a tick boundary.
 //
 //	webserve -addr :8887 -track default-oval
 //	curl -X POST localhost:8887/drive -d '{"angle":0.2,"throttle":0.5}'
@@ -10,11 +11,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/obs"
@@ -28,24 +33,38 @@ func main() {
 	trackName := flag.String("track", "default-oval", "track name")
 	hz := flag.Float64("hz", 20, "drive loop rate")
 	flag.Parse()
-	if err := run(*addr, *trackName, *hz); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, *addr, *trackName, *hz); err != nil {
 		fmt.Fprintln(os.Stderr, "webserve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, trackName string, hz float64) error {
+// app is the assembled simulation + web layer, separated from the
+// listener so tests can drive the loop and handlers directly.
+type app struct {
+	srv  *webctl.Server
+	reg  *obs.Registry
+	mux  *http.ServeMux
+	loop func(ctx context.Context)
+}
+
+func build(trackName string, hz float64) (*app, error) {
+	if hz <= 0 {
+		return nil, fmt.Errorf("hz must be positive")
+	}
 	trk, err := track.ByName(trackName)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	cam, err := sim.NewCamera(sim.DefaultCameraConfig(), trk)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	car, err := sim.NewCar(sim.DefaultCarConfig())
 	if err != nil {
-		return err
+		return nil, err
 	}
 	x, y, h := trk.StartPose(0)
 	car.Reset(x, y, h)
@@ -53,8 +72,11 @@ func run(addr, trackName string, hz float64) error {
 	ctl := sim.NewWebController()
 	srv, err := webctl.New(ctl, car)
 	if err != nil {
-		return err
+		return nil, err
 	}
+	// Publish the starting pose before the loop exists so /state never
+	// falls back to reading the car directly while the loop steps it.
+	srv.UpdateState(car.State)
 
 	reg := obs.NewRegistry()
 	reg.Help("webserve_frames_total", "camera frames rendered by the drive loop")
@@ -64,25 +86,72 @@ func run(addr, trackName string, hz float64) error {
 	frames := reg.Counter("webserve_frames_total")
 	tickHist := reg.Histogram("webserve_tick_seconds", obs.DefSecondsBuckets)
 
-	// Drive loop: controller commands move the physics; frames refresh the
-	// /video endpoint.
-	go func() {
+	// Two render buffers, swapped each tick: once UpdateFrame publishes
+	// one, the server owns it until the next publish, so the loop renders
+	// into the other instead of allocating a frame per tick.
+	front, err := sim.NewFrame(cam.Cfg.Width, cam.Cfg.Height, cam.Cfg.Channels)
+	if err != nil {
+		return nil, err
+	}
+	back, err := sim.NewFrame(cam.Cfg.Width, cam.Cfg.Height, cam.Cfg.Channels)
+	if err != nil {
+		return nil, err
+	}
+
+	// Drive loop: controller commands move the physics; frame and state
+	// snapshots refresh /video and /state.
+	loop := func(ctx context.Context) {
 		period := time.Duration(float64(time.Second) / hz)
 		ticker := time.NewTicker(period)
 		defer ticker.Stop()
-		for range ticker.C {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ticker.C:
+			}
 			t0 := time.Now()
 			steering, throttle := ctl.Drive(car.State)
 			car.Step(steering, throttle, 1/hz)
-			srv.UpdateFrame(cam.Render(car.State))
+			cam.RenderInto(car.State, back)
+			srv.UpdateFrame(back)
+			srv.UpdateState(car.State)
+			front, back = back, front
 			frames.Inc()
 			tickHist.ObserveDuration(time.Since(t0))
 		}
-	}()
+	}
 
 	mux := http.NewServeMux()
 	mux.Handle("/", srv)
 	mux.Handle("/metrics", obs.Handler(reg))
-	log.Printf("web controller on %s (track %s); POST /drive, GET /state, GET /video, GET /metrics", addr, trk.Name)
-	return http.ListenAndServe(addr, mux)
+	return &app{srv: srv, reg: reg, mux: mux, loop: loop}, nil
+}
+
+// run serves until ctx is canceled, then shuts the HTTP server down
+// gracefully and stops the drive loop.
+func run(ctx context.Context, addr, trackName string, hz float64) error {
+	a, err := build(trackName, hz)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	go a.loop(ctx)
+
+	hs := &http.Server{Handler: a.mux}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	log.Printf("web controller on %s (track %s); POST /drive, GET /state, GET /video, GET /metrics",
+		ln.Addr(), trackName)
+	select {
+	case <-ctx.Done():
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		return hs.Shutdown(sctx)
+	case err := <-errc:
+		return err
+	}
 }

@@ -1,0 +1,163 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"image/png"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// startApp builds the webserve app with its drive loop running and
+// returns a test HTTP server over its mux.
+func startApp(t *testing.T, hz float64) *httptest.Server {
+	t.Helper()
+	a, err := build("default-oval", hz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		a.loop(ctx)
+	}()
+	t.Cleanup(func() {
+		cancel()
+		<-done
+	})
+	srv := httptest.NewServer(a.mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestBuildRejectsBadInput(t *testing.T) {
+	if _, err := build("no-such-track", 20); err == nil {
+		t.Error("unknown track accepted")
+	}
+	if _, err := build("default-oval", 0); err == nil {
+		t.Error("zero hz accepted")
+	}
+}
+
+// TestEndpointsAgainstRunningLoop drives every endpoint while the loop is
+// stepping the car — under -race this is what catches unsynchronized
+// handler reads of loop-owned state.
+func TestEndpointsAgainstRunningLoop(t *testing.T) {
+	srv := startApp(t, 200)
+
+	// /drive: floor it.
+	resp, err := http.Post(srv.URL+"/drive", "application/json",
+		strings.NewReader(`{"angle":0,"throttle":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("/drive status %d", resp.StatusCode)
+	}
+
+	// /mode: both bounds enforced while the loop runs.
+	for body, want := range map[string]int{
+		`{"constant_throttle":0.3}`: http.StatusNoContent,
+		`{"constant_throttle":-4}`:  http.StatusBadRequest,
+	} {
+		resp, err := http.Post(srv.URL+"/mode", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Errorf("/mode %s: status %d, want %d", body, resp.StatusCode, want)
+		}
+	}
+
+	// /state: poll concurrently with the loop until the throttle command
+	// shows up as motion.
+	deadline := time.Now().Add(2 * time.Second)
+	var speed float64
+	for time.Now().Before(deadline) && speed == 0 {
+		resp, err := http.Get(srv.URL + "/state")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("/state status %d", resp.StatusCode)
+		}
+		var st struct {
+			Speed float64 `json:"speed"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		speed = st.Speed
+	}
+	if speed <= 0 {
+		t.Error("car never moved despite full throttle over /drive")
+	}
+
+	// /video: a decodable PNG of the camera's shape once a frame exists.
+	deadline = time.Now().Add(2 * time.Second)
+	for {
+		resp, err := http.Get(srv.URL + "/video")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode == http.StatusOK {
+			var buf bytes.Buffer
+			buf.ReadFrom(resp.Body)
+			resp.Body.Close()
+			img, err := png.Decode(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if img.Bounds().Dx() == 0 || img.Bounds().Dy() == 0 {
+				t.Errorf("empty video frame %v", img.Bounds())
+			}
+			break
+		}
+		resp.Body.Close()
+		if time.Now().After(deadline) {
+			t.Fatal("no video frame before deadline")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// /metrics: loop series present and advancing.
+	resp, err = http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	text := buf.String()
+	for _, want := range []string{"webserve_frames_total", "webserve_loop_hz", "webserve_tick_seconds"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+}
+
+// TestRunShutsDownOnCancel exercises the graceful-shutdown path main wires
+// to SIGINT: cancelation must make run return promptly and cleanly.
+func TestRunShutsDownOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- run(ctx, "127.0.0.1:0", "default-oval", 50) }()
+	time.Sleep(100 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("run returned %v on cancel", err)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("run did not shut down after cancel")
+	}
+}

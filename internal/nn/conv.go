@@ -108,7 +108,21 @@ func (c *Conv2D) im2col(x, cols *Tensor, n, h, w, oh, ow int) {
 						base := ((i*c.InC + ch) * h) * w
 						for ky := 0; ky < c.K; ky++ {
 							src := base + (oy*c.Stride+ky)*w + ox*c.Stride
-							copy(row[t:t+c.K], x.Data[src:src+c.K])
+							// Unrolled taps for the common kernel sizes:
+							// a memmove call costs more than 3-5 scalar
+							// stores.
+							switch c.K {
+							case 3:
+								s := x.Data[src : src+3 : src+3]
+								d := row[t : t+3 : t+3]
+								d[0], d[1], d[2] = s[0], s[1], s[2]
+							case 5:
+								s := x.Data[src : src+5 : src+5]
+								d := row[t : t+5 : t+5]
+								d[0], d[1], d[2], d[3], d[4] = s[0], s[1], s[2], s[3], s[4]
+							default:
+								copy(row[t:t+c.K], x.Data[src:src+c.K])
+							}
 							t += c.K
 						}
 					}

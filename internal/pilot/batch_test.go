@@ -1,0 +1,65 @@
+package pilot
+
+import (
+	"math"
+	"testing"
+)
+
+// TestInferBatchMatchesSingle checks, for every architecture, that one
+// batched forward over N samples decodes to exactly what N independent
+// single-sample calls produce — the property the serving layer relies on.
+func TestInferBatchMatchesSingle(t *testing.T) {
+	recs := syntheticRecords(t, 16)
+	for _, kind := range AllKinds() {
+		cfg := testCfg(kind)
+		p, err := New(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		samples, err := SamplesFromRecords(cfg, recs)
+		if err != nil {
+			t.Fatalf("%s: samples: %v", kind, err)
+		}
+		if len(samples) < 4 {
+			t.Fatalf("%s: only %d samples", kind, len(samples))
+		}
+		samples = samples[:4]
+		batched, err := p.InferBatch(samples)
+		if err != nil {
+			t.Fatalf("%s: batch: %v", kind, err)
+		}
+		if len(batched) != len(samples) {
+			t.Fatalf("%s: %d outputs for %d samples", kind, len(batched), len(samples))
+		}
+		for i, s := range samples {
+			angle, throttle, err := p.Infer(s)
+			if err != nil {
+				t.Fatalf("%s: single %d: %v", kind, i, err)
+			}
+			if math.Abs(batched[i][0]-angle) > 1e-9 || math.Abs(batched[i][1]-throttle) > 1e-9 {
+				t.Errorf("%s: sample %d: batch (%g, %g) != single (%g, %g)",
+					kind, i, batched[i][0], batched[i][1], angle, throttle)
+			}
+		}
+	}
+}
+
+func TestInferBatchRejectsBadInput(t *testing.T) {
+	p, err := New(testCfg(Linear))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.InferBatch(nil); err == nil {
+		t.Error("empty batch accepted")
+	}
+	recs := syntheticRecords(t, 4)
+	samples, err := SamplesFromRecords(testCfg(Linear), recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := samples[:2]
+	bad[1].Frames = nil
+	if _, err := p.InferBatch(bad); err == nil {
+		t.Error("batch with frameless sample accepted")
+	}
+}

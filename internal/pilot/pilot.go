@@ -73,22 +73,59 @@ func clampOut(v float64) float64 {
 // Infer runs one sample through the network and decodes (angle, throttle)
 // according to the architecture. The sample's label fields are ignored.
 func (p *Pilot) Infer(s Sample) (angle, throttle float64, err error) {
-	if err := p.Cfg.checkSample(s); err != nil {
-		return 0, 0, err
-	}
-	x, err := p.Cfg.buildX([]Sample{s})
+	out, err := p.InferBatch([]Sample{s})
 	if err != nil {
 		return 0, 0, err
+	}
+	return out[0][0], out[0][1], nil
+}
+
+// InferBatch runs N samples through the network in a single forward pass
+// and decodes each row to (angle, throttle). This is the serving-layer
+// fast path: N concurrent clients pay one batched GEMM instead of N
+// single-sample passes. Outputs are identical to calling Infer per sample.
+// The model's forward pass mutates layer state, so concurrent InferBatch
+// calls on the same Pilot must be serialized by the caller.
+func (p *Pilot) InferBatch(samples []Sample) ([][2]float64, error) {
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("pilot: empty batch")
+	}
+	for i, s := range samples {
+		if err := p.Cfg.checkSample(s); err != nil {
+			return nil, fmt.Errorf("pilot: batch sample %d: %w", i, err)
+		}
+	}
+	x, err := p.Cfg.buildX(samples)
+	if err != nil {
+		return nil, err
 	}
 	y, err := p.model.Forward(x, false)
 	if err != nil {
-		return 0, 0, err
+		return nil, err
 	}
+	if len(y.Shape) != 2 || y.Shape[0] != len(samples) {
+		return nil, fmt.Errorf("pilot: batch output shape %v for %d samples", y.Shape, len(samples))
+	}
+	d := y.Shape[1]
+	out := make([][2]float64, len(samples))
+	for i := range samples {
+		angle, throttle, err := p.decodeRow(y.Data[i*d : (i+1)*d])
+		if err != nil {
+			return nil, err
+		}
+		out[i] = [2]float64{angle, throttle}
+	}
+	return out, nil
+}
+
+// decodeRow turns one output row into (angle, throttle) per the
+// architecture's decoding rule.
+func (p *Pilot) decodeRow(row []float64) (angle, throttle float64, err error) {
 	switch p.Cfg.Kind {
 	case Linear, Memory, RNN, Conv3D:
-		return clampOut(y.Data[0]), clampOut(y.Data[1]), nil
+		return clampOut(row[0]), clampOut(row[1]), nil
 	case Inferred:
-		angle = clampOut(y.Data[0])
+		angle = clampOut(row[0])
 		// DonkeyCar's inferred rule: full speed when pointing straight,
 		// backing off with steering magnitude. The square-root shaping
 		// brakes early on moderate steering, which is what lets the pilot
@@ -98,8 +135,8 @@ func (p *Pilot) Infer(s Sample) (angle, throttle float64, err error) {
 		return angle, throttle, nil
 	case Categorical:
 		ab, tb := p.Cfg.AngleBins, p.Cfg.ThrottleBins
-		ai := nn.ArgMax(y.Data[:ab])
-		ti := nn.ArgMax(y.Data[ab : ab+tb])
+		ai := nn.ArgMax(row[:ab])
+		ti := nn.ArgMax(row[ab : ab+tb])
 		return nn.Unbin(ai, -1, 1, ab), nn.Unbin(ti, 0, 1, tb), nil
 	}
 	return 0, 0, fmt.Errorf("pilot: unknown kind %q", p.Cfg.Kind)

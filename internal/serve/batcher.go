@@ -1,0 +1,244 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/obs"
+	"repro/internal/pilot"
+)
+
+// Errors surfaced by the admission and scheduling layer.
+var (
+	// ErrQueueFull is returned when the bounded admission queue sheds a
+	// request; the HTTP layer maps it to 429 + Retry-After.
+	ErrQueueFull = errors.New("serve: admission queue full")
+	// ErrShuttingDown is returned to requests still queued when the
+	// service closes.
+	ErrShuttingDown = errors.New("serve: shutting down")
+)
+
+// request is one queued prediction with its deadline context and reply
+// channel (buffered so a timed-out client never blocks the scheduler).
+type request struct {
+	sample   pilot.Sample
+	ctx      context.Context
+	enqueued time.Time
+	resp     chan response
+}
+
+type response struct {
+	angle, throttle float64
+	batch           int
+	err             error
+}
+
+// batcher is the per-model micro-batching scheduler: a bounded admission
+// queue feeding a single goroutine that collects requests into mini-batches
+// and flushes on MaxBatch or the BatchWindow deadline, whichever comes
+// first. One goroutine per model also serializes forward passes, which the
+// nn layers require (Forward mutates layer state).
+type batcher struct {
+	model string
+	reg   *Registry
+	cfg   Config
+	slow  func() time.Duration
+
+	queue chan *request
+	done  chan struct{}
+	wg    sync.WaitGroup
+
+	depth     *obs.Gauge
+	batchSize *obs.Histogram
+	latency   *obs.Histogram
+	requests  *obs.Counter
+	batches   *obs.Counter
+	shed      *obs.Counter
+	expired   *obs.Counter
+}
+
+// batchSizeBuckets bound the serve_batch_size histogram.
+var batchSizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64}
+
+func newBatcher(model string, reg *Registry, cfg Config, metrics *obs.Registry, slow func() time.Duration) *batcher {
+	lbl := obs.L("model", model)
+	b := &batcher{
+		model: model,
+		reg:   reg,
+		cfg:   cfg,
+		slow:  slow,
+		queue: make(chan *request, cfg.QueueDepth),
+		done:  make(chan struct{}),
+
+		depth:     metrics.Gauge("serve_queue_depth", lbl),
+		batchSize: metrics.Histogram("serve_batch_size", batchSizeBuckets, lbl),
+		latency:   metrics.Histogram("serve_request_seconds", obs.DefSecondsBuckets, lbl),
+		requests:  metrics.Counter("serve_requests_total", lbl),
+		batches:   metrics.Counter("serve_batches_total", lbl),
+		shed:      metrics.Counter("serve_shed_total", lbl),
+		expired:   metrics.Counter("serve_expired_total", lbl),
+	}
+	b.wg.Add(1)
+	go b.run()
+	return b
+}
+
+// submit enqueues a request without blocking; a full queue sheds.
+func (b *batcher) submit(r *request) error {
+	b.requests.Inc()
+	select {
+	case <-b.done:
+		return ErrShuttingDown
+	default:
+	}
+	select {
+	case b.queue <- r:
+		b.depth.Set(float64(len(b.queue)))
+		return nil
+	default:
+		b.shed.Inc()
+		return ErrQueueFull
+	}
+}
+
+// stop shuts the scheduler down and waits for it to drain: queued requests
+// are answered with ErrShuttingDown, the in-flight batch completes.
+func (b *batcher) stop() {
+	close(b.done)
+	b.wg.Wait()
+}
+
+// run is the scheduler loop.
+func (b *batcher) run() {
+	defer b.wg.Done()
+	for {
+		select {
+		case <-b.done:
+			b.drain()
+			return
+		case first := <-b.queue:
+			batch := b.collect(first)
+			b.exec(batch)
+		}
+	}
+}
+
+// collect gathers up to MaxBatch requests, waiting at most BatchWindow
+// after the first arrival. A zero window flushes whatever is already
+// queued without waiting.
+func (b *batcher) collect(first *request) []*request {
+	batch := []*request{first}
+	if b.cfg.BatchWindow <= 0 {
+		for len(batch) < b.cfg.MaxBatch {
+			select {
+			case r := <-b.queue:
+				batch = append(batch, r)
+			default:
+				b.depth.Set(float64(len(b.queue)))
+				return batch
+			}
+		}
+		b.depth.Set(float64(len(b.queue)))
+		return batch
+	}
+	timer := time.NewTimer(b.cfg.BatchWindow)
+	defer timer.Stop()
+	for len(batch) < b.cfg.MaxBatch {
+		select {
+		case r := <-b.queue:
+			batch = append(batch, r)
+		case <-timer.C:
+			b.depth.Set(float64(len(b.queue)))
+			return batch
+		case <-b.done:
+			b.depth.Set(float64(len(b.queue)))
+			return batch
+		}
+	}
+	b.depth.Set(float64(len(b.queue)))
+	return batch
+}
+
+// exec runs one mini-batch: expired requests are dropped, injected
+// slowness is applied, and the batched forward pass answers the rest.
+func (b *batcher) exec(batch []*request) {
+	live := batch[:0]
+	for _, r := range batch {
+		select {
+		case <-r.ctx.Done():
+			b.expired.Inc()
+			r.resp <- response{err: r.ctx.Err()}
+		default:
+			live = append(live, r)
+		}
+	}
+	if len(live) == 0 {
+		return
+	}
+	if b.slow != nil {
+		if d := b.slow(); d > 0 {
+			time.Sleep(d)
+		}
+	}
+	p, ok := b.reg.Pilot(b.model)
+	if !ok {
+		for _, r := range live {
+			r.resp <- response{err: errors.New("serve: model unregistered mid-flight")}
+		}
+		return
+	}
+	samples := make([]pilot.Sample, len(live))
+	for i, r := range live {
+		samples[i] = r.sample
+	}
+	out, err := p.InferBatch(samples)
+	now := time.Now()
+	b.batches.Inc()
+	b.batchSize.Observe(float64(len(live)))
+	for i, r := range live {
+		b.latency.Observe(now.Sub(r.enqueued).Seconds())
+		if err != nil {
+			r.resp <- response{err: err}
+			continue
+		}
+		r.resp <- response{angle: out[i][0], throttle: out[i][1], batch: len(live)}
+	}
+}
+
+// drain answers everything still queued after shutdown began.
+func (b *batcher) drain() {
+	for {
+		select {
+		case r := <-b.queue:
+			r.resp <- response{err: ErrShuttingDown}
+		default:
+			b.depth.Set(0)
+			return
+		}
+	}
+}
+
+// FaultSlowdown adapts a fault plan into a per-batch slowdown hook: while
+// the named link is in an outage window the batch stalls for outage×unit,
+// and degradation windows stall proportionally to their slow factor. Tests
+// advance the plan's virtual clock into a window and watch deadlines
+// expire and the queue shed — the serving-side analogue of the pipeline's
+// lossy-WAN runs.
+func FaultSlowdown(plan *faults.Plan, link string, unit time.Duration) func() time.Duration {
+	const outageFactor = 10
+	return func() time.Duration {
+		st := plan.LinkState(link)
+		switch {
+		case st.Down:
+			plan.RecordInjection("serve_outage")
+			return outageFactor * unit
+		case st.SlowFactor > 1:
+			plan.RecordInjection("serve_slowdown")
+			return time.Duration(float64(unit) * (st.SlowFactor - 1))
+		}
+		return 0
+	}
+}

@@ -1,0 +1,181 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/objstore"
+	"repro/internal/obs"
+	"repro/internal/pilot"
+)
+
+// Registry maps model names to pilots loaded from an object-store
+// container, the way the hybrid placement's cloud side publishes a teacher
+// and its distilled students. Each entry remembers the ETag it was loaded
+// from; PollOnce re-reads the store and hot-swaps any entry whose object
+// changed. Swaps are pointer-atomic under the registry lock: a batch that
+// grabbed the old pilot finishes on it (in-flight batches drain on the old
+// weights) while new batches see the new ones.
+type Registry struct {
+	store     *objstore.Store
+	container string
+
+	mu     sync.RWMutex
+	models map[string]*modelEntry
+
+	metrics *obs.Registry
+}
+
+type modelEntry struct {
+	object string
+	etag   string
+	pilot  *pilot.Pilot
+}
+
+// ModelInfo describes one registered model for the /models endpoint.
+type ModelInfo struct {
+	Name   string `json:"name"`
+	Object string `json:"object"`
+	Kind   string `json:"kind"`
+	Params int    `json:"params"`
+	ETag   string `json:"etag"`
+}
+
+// NewRegistry builds a registry over a store container. The container must
+// already exist (the module creates ContainerModels at startup).
+func NewRegistry(store *objstore.Store, container string) (*Registry, error) {
+	if store == nil {
+		return nil, fmt.Errorf("serve: nil object store")
+	}
+	if container == "" {
+		return nil, fmt.Errorf("serve: empty container name")
+	}
+	return &Registry{store: store, container: container, models: map[string]*modelEntry{}}, nil
+}
+
+// Instrument routes reload counts into reg.
+func (r *Registry) Instrument(reg *obs.Registry) {
+	r.mu.Lock()
+	r.metrics = reg
+	r.mu.Unlock()
+	reg.Help("serve_reloads_total", "model checkpoints hot-reloaded from the object store")
+	reg.Counter("serve_reloads_total")
+}
+
+// load fetches and decodes the named object as a pilot checkpoint.
+func (r *Registry) load(object string) (*pilot.Pilot, string, error) {
+	data, info, err := r.store.Get(r.container, object)
+	if err != nil {
+		return nil, "", fmt.Errorf("serve: fetch %s/%s: %w", r.container, object, err)
+	}
+	p, err := pilot.Load(bytes.NewReader(data))
+	if err != nil {
+		return nil, "", fmt.Errorf("serve: decode %s/%s: %w", r.container, object, err)
+	}
+	return p, info.ETag, nil
+}
+
+// Register names a checkpoint object and loads it immediately. Registering
+// an existing name replaces it.
+func (r *Registry) Register(name, object string) error {
+	if name == "" {
+		return fmt.Errorf("serve: empty model name")
+	}
+	p, etag, err := r.load(object)
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	r.models[name] = &modelEntry{object: object, etag: etag, pilot: p}
+	r.mu.Unlock()
+	return nil
+}
+
+// Pilot returns the current pilot for a name.
+func (r *Registry) Pilot(name string) (*pilot.Pilot, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.models[name]
+	if !ok {
+		return nil, false
+	}
+	return e.pilot, true
+}
+
+// Names lists registered model names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.models))
+	for n := range r.models {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Info returns the /models row for one name.
+func (r *Registry) Info(name string) (ModelInfo, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.models[name]
+	if !ok {
+		return ModelInfo{}, false
+	}
+	return ModelInfo{
+		Name:   name,
+		Object: e.object,
+		Kind:   string(e.pilot.Cfg.Kind),
+		Params: e.pilot.ParamCount(),
+		ETag:   e.etag,
+	}, true
+}
+
+// PollOnce checks every registered object's ETag and reloads the ones that
+// changed, returning how many models were swapped. A missing or corrupt
+// object leaves the currently served pilot in place and reports the error
+// (serving availability beats freshness).
+func (r *Registry) PollOnce() (int, error) {
+	r.mu.RLock()
+	type target struct{ name, object, etag string }
+	targets := make([]target, 0, len(r.models))
+	for n, e := range r.models {
+		targets = append(targets, target{n, e.object, e.etag})
+	}
+	metrics := r.metrics
+	r.mu.RUnlock()
+	sort.Slice(targets, func(i, j int) bool { return targets[i].name < targets[j].name })
+
+	reloaded := 0
+	var firstErr error
+	for _, t := range targets {
+		info, err := r.store.Head(r.container, t.object)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("serve: poll %s: %w", t.name, err)
+			}
+			continue
+		}
+		if info.ETag == t.etag {
+			continue
+		}
+		p, etag, err := r.load(t.object)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("serve: reload %s: %w", t.name, err)
+			}
+			continue
+		}
+		r.mu.Lock()
+		if e, ok := r.models[t.name]; ok && e.object == t.object {
+			e.pilot, e.etag = p, etag
+			reloaded++
+		}
+		r.mu.Unlock()
+		metrics.Counter("serve_reloads_total").Inc()
+		metrics.Counter("serve_reloads_total", obs.L("model", t.name)).Inc()
+	}
+	return reloaded, firstErr
+}

@@ -1,0 +1,389 @@
+// Package serve is the cloud-side inference endpoint of the continuum: a
+// concurrent, micro-batching prediction service over the pilot models. The
+// paper's hybrid placement (§3.3) already implies a shared cloud model that
+// many cars query; this package builds that endpoint as a real multi-tenant
+// service. Concurrent /predict requests are collected into mini-batches
+// (flush on MaxBatch or the BatchWindow deadline) so N clients pay one
+// batched forward pass instead of N single-sample passes; a bounded
+// admission queue sheds overload with 429 + Retry-After; per-request
+// deadlines propagate through context.Context; and a model registry serves
+// named pilots hot-reloaded from the object store by ETag polling.
+package serve
+
+import (
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/pilot"
+	"repro/internal/sim"
+)
+
+// Config tunes the batching scheduler and admission control.
+type Config struct {
+	// MaxBatch flushes a mini-batch at this many requests (1 disables
+	// batching: every request is its own forward pass).
+	MaxBatch int
+	// BatchWindow is how long the scheduler holds an open batch after its
+	// first request before flushing short. 0 flushes whatever is queued
+	// without waiting.
+	BatchWindow time.Duration
+	// QueueDepth bounds the per-model admission queue; requests beyond it
+	// are shed with 429.
+	QueueDepth int
+	// DefaultDeadline bounds a request that carries no X-Deadline-Ms
+	// header. Expired requests are dropped unexecuted.
+	DefaultDeadline time.Duration
+	// PollInterval paces registry ETag polling in Start (0 disables).
+	PollInterval time.Duration
+}
+
+// DefaultConfig returns serving parameters suited to the 20 Hz control
+// loops the cars run: a couple of milliseconds of batching latency buys an
+// order of magnitude in throughput.
+func DefaultConfig() Config {
+	return Config{
+		MaxBatch:        32,
+		BatchWindow:     2 * time.Millisecond,
+		QueueDepth:      256,
+		DefaultDeadline: 250 * time.Millisecond,
+		PollInterval:    2 * time.Second,
+	}
+}
+
+// Validate checks the serving parameters.
+func (c Config) Validate() error {
+	switch {
+	case c.MaxBatch < 1:
+		return fmt.Errorf("serve: MaxBatch must be >= 1")
+	case c.BatchWindow < 0:
+		return fmt.Errorf("serve: BatchWindow must be >= 0")
+	case c.QueueDepth < 1:
+		return fmt.Errorf("serve: QueueDepth must be >= 1")
+	case c.DefaultDeadline <= 0:
+		return fmt.Errorf("serve: DefaultDeadline must be positive")
+	case c.PollInterval < 0:
+		return fmt.Errorf("serve: PollInterval must be >= 0")
+	}
+	return nil
+}
+
+// Service is the HTTP inference endpoint: POST /predict, GET /models,
+// GET /healthz, GET /metrics. It is safe for concurrent use.
+type Service struct {
+	cfg     Config
+	reg     *Registry
+	metrics *obs.Registry
+	mux     *http.ServeMux
+
+	mu       sync.Mutex
+	batchers map[string]*batcher
+	slow     func() time.Duration
+	closed   bool
+}
+
+// New builds a service over a registry. metrics may be nil (instruments
+// become no-ops and /metrics serves an empty exposition).
+func New(cfg Config, reg *Registry, metrics *obs.Registry) (*Service, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if reg == nil {
+		return nil, fmt.Errorf("serve: nil registry")
+	}
+	s := &Service{
+		cfg:      cfg,
+		reg:      reg,
+		metrics:  metrics,
+		mux:      http.NewServeMux(),
+		batchers: map[string]*batcher{},
+	}
+	metrics.Help("serve_queue_depth", "requests waiting in the admission queue, by model")
+	metrics.Help("serve_batch_size", "requests per executed mini-batch, by model")
+	metrics.Help("serve_request_seconds", "enqueue-to-reply latency, by model")
+	metrics.Help("serve_requests_total", "prediction requests admitted or shed, by model")
+	metrics.Help("serve_batches_total", "mini-batches executed, by model")
+	metrics.Help("serve_shed_total", "requests shed by the bounded admission queue, by model")
+	metrics.Help("serve_expired_total", "requests whose deadline expired before execution, by model")
+	reg.Instrument(metrics)
+	s.mux.HandleFunc("/predict", s.handlePredict)
+	s.mux.HandleFunc("/models", s.handleModels)
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.Handle("/metrics", obs.Handler(metrics))
+	return s, nil
+}
+
+// SetSlowHook installs a per-batch slowdown consulted before every forward
+// pass (see FaultSlowdown). Call before serving traffic.
+func (s *Service) SetSlowHook(fn func() time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.slow = fn
+	for _, b := range s.batchers {
+		b.slow = fn
+	}
+}
+
+// Start runs the registry's ETag poll loop until ctx is canceled. It
+// returns immediately when polling is disabled.
+func (s *Service) Start(ctx context.Context) {
+	if s.cfg.PollInterval <= 0 {
+		return
+	}
+	go func() {
+		t := time.NewTicker(s.cfg.PollInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				s.reg.PollOnce()
+			}
+		}
+	}()
+}
+
+// Close stops every model's scheduler, draining queued requests.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	bs := make([]*batcher, 0, len(s.batchers))
+	for _, b := range s.batchers {
+		bs = append(bs, b)
+	}
+	s.mu.Unlock()
+	for _, b := range bs {
+		b.stop()
+	}
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Service) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// batcherFor returns (creating if needed) the scheduler for a registered
+// model name.
+func (s *Service) batcherFor(name string) (*batcher, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrShuttingDown
+	}
+	if b, ok := s.batchers[name]; ok {
+		return b, nil
+	}
+	if _, ok := s.reg.Pilot(name); !ok {
+		return nil, fmt.Errorf("serve: unknown model %q", name)
+	}
+	b := newBatcher(name, s.reg, s.cfg, s.metrics, s.slow)
+	s.batchers[name] = b
+	return b, nil
+}
+
+// predictRequest is the POST /predict body. Frames carry base64-encoded
+// raw interleaved pixels (W*H*C bytes each), most recent last; sequence
+// models take SeqLen frames, the memory model takes MemoryLen prev_cmds.
+type predictRequest struct {
+	Model    string       `json:"model"`
+	Width    int          `json:"width"`
+	Height   int          `json:"height"`
+	Channels int          `json:"channels"`
+	Frames   []string     `json:"frames"`
+	PrevCmds [][2]float64 `json:"prev_cmds,omitempty"`
+}
+
+// predictResponse is the POST /predict reply.
+type predictResponse struct {
+	Model     string  `json:"model"`
+	Angle     float64 `json:"angle"`
+	Throttle  float64 `json:"throttle"`
+	BatchSize int     `json:"batch_size"`
+	QueuedUS  int64   `json:"queued_us"`
+}
+
+// retryAfterSeconds is the backoff hint sent with 429 responses.
+const retryAfterSeconds = 1
+
+func (s *Service) handlePredict(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req predictRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	name := req.Model
+	if name == "" {
+		if names := s.reg.Names(); len(names) == 1 {
+			name = names[0]
+		} else {
+			http.Error(w, "model name required", http.StatusBadRequest)
+			return
+		}
+	}
+	p, ok := s.reg.Pilot(name)
+	if !ok {
+		http.Error(w, fmt.Sprintf("unknown model %q", name), http.StatusNotFound)
+		return
+	}
+	sample, err := decodeSample(p.Cfg, req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	b, err := s.batcherFor(name)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+
+	deadline := s.cfg.DefaultDeadline
+	if h := r.Header.Get("X-Deadline-Ms"); h != "" {
+		ms, err := strconv.Atoi(h)
+		if err != nil || ms <= 0 {
+			http.Error(w, "X-Deadline-Ms must be a positive integer", http.StatusBadRequest)
+			return
+		}
+		deadline = time.Duration(ms) * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), deadline)
+	defer cancel()
+
+	pred, err := s.predictOn(ctx, b, sample)
+	switch {
+	case err == nil:
+	case err == ErrQueueFull:
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+		http.Error(w, err.Error(), http.StatusTooManyRequests)
+		return
+	case err == ErrShuttingDown:
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	case err == context.DeadlineExceeded || err == context.Canceled:
+		http.Error(w, "deadline exceeded", http.StatusGatewayTimeout)
+		return
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(predictResponse{
+		Model:     name,
+		Angle:     pred.Angle,
+		Throttle:  pred.Throttle,
+		BatchSize: pred.BatchSize,
+		QueuedUS:  pred.Queued.Microseconds(),
+	})
+}
+
+// Prediction is the result of one batched inference.
+type Prediction struct {
+	Angle     float64       // steering command in [-1, 1]
+	Throttle  float64       // throttle command in [-1, 1]
+	BatchSize int           // how many requests shared the forward pass
+	Queued    time.Duration // submit-to-response wall time
+}
+
+// Predict submits one sample to the model's batching scheduler and waits
+// for the mini-batch it lands in to execute. It is the in-process
+// equivalent of POST /predict: ctx bounds the wait (wrap it with
+// context.WithTimeout for a deadline), ErrQueueFull reports admission
+// shedding, and ErrShuttingDown a closed service.
+func (s *Service) Predict(ctx context.Context, model string, sample pilot.Sample) (Prediction, error) {
+	b, err := s.batcherFor(model)
+	if err != nil {
+		return Prediction{}, err
+	}
+	return s.predictOn(ctx, b, sample)
+}
+
+func (s *Service) predictOn(ctx context.Context, b *batcher, sample pilot.Sample) (Prediction, error) {
+	rq := &request{sample: sample, ctx: ctx, enqueued: time.Now(), resp: make(chan response, 1)}
+	if err := b.submit(rq); err != nil {
+		return Prediction{}, err
+	}
+	select {
+	case resp := <-rq.resp:
+		if resp.err != nil {
+			return Prediction{}, resp.err
+		}
+		return Prediction{
+			Angle:     resp.angle,
+			Throttle:  resp.throttle,
+			BatchSize: resp.batch,
+			Queued:    time.Since(rq.enqueued),
+		}, nil
+	case <-ctx.Done():
+		return Prediction{}, ctx.Err()
+	}
+}
+
+// decodeSample validates the request geometry against the model's config
+// and decodes the base64 frames into a pilot sample.
+func decodeSample(cfg pilot.Config, req predictRequest) (pilot.Sample, error) {
+	if req.Width != cfg.Width || req.Height != cfg.Height || req.Channels != cfg.Channels {
+		return pilot.Sample{}, fmt.Errorf("frame geometry %dx%dx%d does not match model %dx%dx%d",
+			req.Width, req.Height, req.Channels, cfg.Width, cfg.Height, cfg.Channels)
+	}
+	if len(req.Frames) == 0 {
+		return pilot.Sample{}, fmt.Errorf("at least one frame required")
+	}
+	want := req.Width * req.Height * req.Channels
+	s := pilot.Sample{PrevCmds: req.PrevCmds}
+	for i, enc := range req.Frames {
+		pix, err := base64.StdEncoding.DecodeString(enc)
+		if err != nil {
+			return pilot.Sample{}, fmt.Errorf("frame %d: bad base64: %v", i, err)
+		}
+		if len(pix) != want {
+			return pilot.Sample{}, fmt.Errorf("frame %d: %d bytes, want %d", i, len(pix), want)
+		}
+		f, err := sim.NewFrame(req.Width, req.Height, req.Channels)
+		if err != nil {
+			return pilot.Sample{}, err
+		}
+		copy(f.Pix, pix)
+		s.Frames = append(s.Frames, f)
+	}
+	return s, nil
+}
+
+func (s *Service) handleModels(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	names := s.reg.Names()
+	infos := make([]ModelInfo, 0, len(names))
+	for _, n := range names {
+		if info, ok := s.reg.Info(n); ok {
+			infos = append(infos, info)
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(infos)
+}
+
+func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {
+	fmt.Fprintln(w, "ok")
+}
+
+// EncodeFrame encodes a frame's raw pixels for a predictRequest; clients
+// (the CLI, benchmarks) share it so the wire format has one definition.
+func EncodeFrame(f *sim.Frame) string {
+	return base64.StdEncoding.EncodeToString(f.Pix)
+}

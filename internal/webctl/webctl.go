@@ -7,10 +7,10 @@
 package webctl
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"image"
-	"image/color"
 	"image/png"
 	"net/http"
 	"sync"
@@ -20,12 +20,16 @@ import (
 
 // Server bridges HTTP clients to a WebController driver and the live car.
 // It is safe for concurrent use; the drive loop reads commands through the
-// embedded sim.WebController while HTTP handlers write them.
+// embedded sim.WebController while HTTP handlers write them, and publishes
+// frame and state snapshots back through UpdateFrame/UpdateState.
 type Server struct {
-	mu   sync.Mutex
-	ctl  *sim.WebController
-	car  *sim.Car
-	last *sim.Frame
+	mu       sync.Mutex
+	ctl      *sim.WebController
+	car      *sim.Car
+	last     *sim.Frame
+	encoded  []byte       // cached PNG of last; nil until first /video after a frame
+	state    sim.CarState // snapshot published by the drive loop
+	statePub bool         // true once UpdateState has been called
 
 	mux *http.ServeMux
 }
@@ -50,12 +54,39 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// UpdateFrame stores the latest camera frame for the /video endpoint; the
-// drive loop calls this each tick.
+// UpdateFrame stores the latest camera frame for the /video endpoint and
+// invalidates the cached PNG; the drive loop calls this each tick. Once
+// UpdateFrame returns, the server never touches the previously published
+// frame again, so a loop alternating between two render buffers may reuse
+// the older one.
 func (s *Server) UpdateFrame(f *sim.Frame) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.last = f
+	s.encoded = nil
+}
+
+// UpdateState publishes a snapshot of the car state for /state. The drive
+// loop calls this after each Step so HTTP readers never touch car.State
+// while the loop is writing it.
+func (s *Server) UpdateState(st sim.CarState) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.state = st
+	s.statePub = true
+}
+
+// snapshotState returns the state /state should report. Before the first
+// UpdateState it falls back to reading the car directly, which is only
+// safe while nothing is stepping it (e.g. command-only setups); a running
+// drive loop must publish through UpdateState.
+func (s *Server) snapshotState() sim.CarState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.statePub {
+		return s.state
+	}
+	return s.car.State
 }
 
 // driveRequest is the POST /drive body.
@@ -98,8 +129,8 @@ func (s *Server) handleMode(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad body: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	if req.ConstantThrottle > 1 {
-		http.Error(w, "constant_throttle must be <= 1", http.StatusBadRequest)
+	if req.ConstantThrottle > 1 || req.ConstantThrottle < -1 {
+		http.Error(w, "constant_throttle must be in [-1,1]", http.StatusBadRequest)
 		return
 	}
 	s.ctl.SetConstantThrottle(req.ConstantThrottle)
@@ -125,7 +156,7 @@ func (s *Server) handleState(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "no car attached", http.StatusNotFound)
 		return
 	}
-	st := s.car.State
+	st := s.snapshotState()
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(stateResponse{
 		X: st.X, Y: st.Y, Heading: st.Heading, Speed: st.Speed,
@@ -133,31 +164,62 @@ func (s *Server) handleState(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// videoEncoder trades compression for latency, like the tub's frame
+// writer: /video is a live preview, not an archive.
+var videoEncoder = png.Encoder{CompressionLevel: png.BestSpeed}
+
 func (s *Server) handleVideo(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		http.Error(w, "GET only", http.StatusMethodNotAllowed)
 		return
 	}
 	s.mu.Lock()
-	f := s.last
+	data, err := s.encodedFrameLocked()
 	s.mu.Unlock()
-	if f == nil {
-		http.Error(w, "no frame yet", http.StatusNotFound)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
 		return
 	}
-	img := image.NewRGBA(image.Rect(0, 0, f.W, f.H))
-	for y := 0; y < f.H; y++ {
-		for x := 0; x < f.W; x++ {
-			px := f.At(x, y)
-			if f.C == 3 {
-				img.Set(x, y, color.RGBA{px[0], px[1], px[2], 255})
-			} else {
-				img.Set(x, y, color.RGBA{px[0], px[0], px[0], 255})
-			}
-		}
-	}
 	w.Header().Set("Content-Type", "image/png")
-	png.Encode(w, img)
+	w.Write(data)
+}
+
+// encodedFrameLocked returns the current frame as PNG, encoding at most
+// once per published frame no matter how many viewers poll: the result is
+// cached until UpdateFrame invalidates it. Pixels move via the direct-Pix
+// bulk copies the tub uses (grayscale frames as 8-bit Gray, color as
+// NRGBA) instead of a per-pixel img.Set, which boxes a color.Color each
+// call. Callers must hold s.mu; encoding under the lock also keeps the
+// loop from swapping buffers mid-encode.
+func (s *Server) encodedFrameLocked() ([]byte, error) {
+	if s.encoded != nil {
+		return s.encoded, nil
+	}
+	f := s.last
+	if f == nil {
+		return nil, fmt.Errorf("no frame yet")
+	}
+	var img image.Image
+	if f.C == 1 {
+		g := image.NewGray(image.Rect(0, 0, f.W, f.H))
+		copy(g.Pix, f.Pix)
+		img = g
+	} else {
+		rgba := image.NewNRGBA(image.Rect(0, 0, f.W, f.H))
+		for i, o := 0, 0; i+2 < len(f.Pix); i, o = i+3, o+4 {
+			rgba.Pix[o] = f.Pix[i]
+			rgba.Pix[o+1] = f.Pix[i+1]
+			rgba.Pix[o+2] = f.Pix[i+2]
+			rgba.Pix[o+3] = 255
+		}
+		img = rgba
+	}
+	var buf bytes.Buffer
+	if err := videoEncoder.Encode(&buf, img); err != nil {
+		return nil, fmt.Errorf("encode frame: %v", err)
+	}
+	s.encoded = buf.Bytes()
+	return s.encoded, nil
 }
 
 func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {

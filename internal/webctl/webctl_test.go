@@ -284,3 +284,157 @@ func TestWebDrivenCar(t *testing.T) {
 		t.Error("web command did not move the car")
 	}
 }
+
+// TestModeBounds covers both validation bounds: before the fix, values
+// below -1 (an impossible actuator command) passed straight through.
+func TestModeBounds(t *testing.T) {
+	for name, tc := range map[string]struct {
+		body string
+		want int
+	}{
+		"above upper bound": {`{"constant_throttle":1.5}`, http.StatusBadRequest},
+		"upper bound":       {`{"constant_throttle":1}`, http.StatusNoContent},
+		"below lower bound": {`{"constant_throttle":-5}`, http.StatusBadRequest},
+		"lower bound":       {`{"constant_throttle":-1}`, http.StatusNoContent},
+		"disable":           {`{"constant_throttle":0}`, http.StatusNoContent},
+	} {
+		s, ctl, _ := testServer(t, false)
+		srv := httptest.NewServer(s)
+		resp, err := http.Post(srv.URL+"/mode", "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: status %d, want %d", name, resp.StatusCode, tc.want)
+		}
+		if tc.want == http.StatusBadRequest {
+			if _, throttle := ctl.Drive(sim.CarState{}); throttle != 0 {
+				t.Errorf("%s: rejected value still reached the controller (throttle %g)", name, throttle)
+			}
+		}
+		srv.Close()
+	}
+}
+
+// TestStateRaceWithDriveLoop is the -race regression test for the
+// handleState data race: a drive loop steps the car and publishes
+// snapshots while clients hammer /state. Before the fix the handler read
+// s.car.State directly, racing with car.Step.
+func TestStateRaceWithDriveLoop(t *testing.T) {
+	s, ctl, car := testServer(t, true)
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+	car.Reset(0, 0, 0)
+	ctl.Update(0.1, 0.8)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			steering, throttle := ctl.Drive(car.State)
+			car.Step(steering, throttle, 0.02)
+			s.UpdateState(car.State)
+		}
+	}()
+
+	deadline := time.Now().Add(100 * time.Millisecond)
+	var moved bool
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(srv.URL + "/state")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st struct {
+			Speed float64 `json:"speed"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if st.Speed > 0 {
+			moved = true
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if !moved {
+		t.Error("state snapshots never showed the car moving")
+	}
+}
+
+// TestVideoEncodesOncePerFrame checks the PNG cache: repeated viewers of
+// the same frame get byte-identical responses without re-encoding, and a
+// new frame invalidates the cache.
+func TestVideoEncodesOncePerFrame(t *testing.T) {
+	s, _, _ := testServer(t, false)
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	f1, err := sim.NewFrame(8, 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1.Set(1, 1, 200)
+	s.UpdateFrame(f1)
+
+	get := func() []byte {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/video")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		return buf.Bytes()
+	}
+
+	a := get()
+	if s.encoded == nil {
+		t.Fatal("no cached PNG after /video")
+	}
+	cached := s.encoded
+	b := get()
+	if !bytes.Equal(a, b) {
+		t.Error("same frame served different bytes")
+	}
+	// The cache object survived the second request (no re-encode).
+	s.mu.Lock()
+	same := len(s.encoded) > 0 && &s.encoded[0] == &cached[0]
+	s.mu.Unlock()
+	if !same {
+		t.Error("second viewer re-encoded the frame")
+	}
+
+	// Gray fast path round-trips pixel values.
+	img, err := png.Decode(bytes.NewReader(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, g, bl, _ := img.At(1, 1).RGBA()
+	if r>>8 != 200 || g>>8 != 200 || bl>>8 != 200 {
+		t.Errorf("pixel (1,1) = %v, want gray 200", img.At(1, 1))
+	}
+
+	f2, err := sim.NewFrame(8, 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2.Set(2, 2, 90)
+	s.UpdateFrame(f2)
+	c := get()
+	if bytes.Equal(a, c) {
+		t.Error("new frame served stale PNG")
+	}
+}

@@ -1,12 +1,12 @@
 #!/bin/sh
 # Reproducible benchmark runner: runs the paper-experiment benchmarks
-# (F1-F3, E1-E7) plus the GEMM kernel micro-benchmarks under pinned
-# GOMAXPROCS, and emits a machine-readable BENCH_pr3.json recording
-# ns/op, bytes/op and allocs/op per benchmark — one datapoint of the
-# repo's performance trajectory.
+# (F1-F3, E1-E7, E10) plus the GEMM kernel micro-benchmarks under pinned
+# GOMAXPROCS, and emits a machine-readable BENCH_pr4.json recording
+# ns/op, bytes/op, allocs/op and — for the serving rows — req/s per
+# benchmark — one datapoint of the repo's performance trajectory.
 #
 # Usage: ./scripts/bench.sh
-#   BENCH_OUT=path        output file (default BENCH_pr3.json)
+#   BENCH_OUT=path        output file (default BENCH_pr4.json)
 #   BENCH_GOMAXPROCS=n    pinned worker count (default 1, the contract
 #                         baseline: results are deterministic at any
 #                         fixed value, but timings only compare at the
@@ -19,7 +19,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-OUT=${BENCH_OUT:-BENCH_pr3.json}
+OUT=${BENCH_OUT:-BENCH_pr4.json}
 export GOMAXPROCS=${BENCH_GOMAXPROCS:-1}
 HEAVY_TIME=${BENCH_TIME_HEAVY:-2x}
 
@@ -36,6 +36,9 @@ go test -run '^$' -bench \
     '^(BenchmarkE2GPUSweep|BenchmarkE3Placement|BenchmarkE4DigitalTwin|BenchmarkE5Trovi|BenchmarkE6ZeroToReady|BenchmarkE7Reservations)$' \
     -benchmem . | tee -a "$raw"
 
+echo "==> serving benchmarks (E10)"
+go test -run '^$' -bench '^BenchmarkE10Serving$' . | tee -a "$raw"
+
 echo "==> GEMM kernel micro-benchmarks"
 go test -run '^$' -bench '^BenchmarkGEMM$' -benchmem \
     ./internal/nn/kerneltest/ | tee -a "$raw"
@@ -44,19 +47,22 @@ awk -v gomaxprocs="$GOMAXPROCS" '
 /^Benchmark/ {
     name = $1
     sub(/-[0-9]+$/, "", name)   # strip the GOMAXPROCS suffix
-    ns = ""; bytes = ""; allocs = ""
+    ns = ""; bytes = ""; allocs = ""; reqs = ""
     for (i = 2; i < NF; i++) {
         if ($(i+1) == "ns/op") ns = $i
         if ($(i+1) == "B/op") bytes = $i
         if ($(i+1) == "allocs/op") allocs = $i
+        if ($(i+1) == "req/s") reqs = $i
     }
     if (ns == "") next
     if (n++) printf ",\n"
-    printf "    \"%s\": {\"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+    printf "    \"%s\": {\"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s", \
         name, $2, ns, (bytes == "" ? 0 : bytes), (allocs == "" ? 0 : allocs)
+    if (reqs != "") printf ", \"req_per_s\": %s", reqs
+    printf "}"
 }
 BEGIN {
-    printf "{\n  \"pr\": 3,\n  \"gomaxprocs\": %s,\n  \"benchmarks\": {\n", gomaxprocs
+    printf "{\n  \"pr\": 4,\n  \"gomaxprocs\": %s,\n  \"benchmarks\": {\n", gomaxprocs
 }
 END { printf "\n  }\n}\n" }
 ' "$raw" > "$OUT"
