@@ -43,6 +43,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/edge"
 	"repro/internal/eval"
+	"repro/internal/faults"
+	"repro/internal/fed"
 	"repro/internal/netem"
 	"repro/internal/nn"
 	"repro/internal/objstore"
@@ -1086,4 +1088,104 @@ func BenchmarkPilotInference(b *testing.B) {
 			}
 		})
 	}
+}
+
+// e11Samples builds the federated fleet's synthetic driving set: frames
+// whose bright column encodes steering, at the small geometry the serving
+// benchmarks use, so local training stays CPU-cheap.
+func e11Samples(b *testing.B, cfg pilot.Config, n int) []pilot.Sample {
+	b.Helper()
+	recs := make([]sim.Record, n)
+	for i := 0; i < n; i++ {
+		f, err := sim.NewFrame(cfg.Width, cfg.Height, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		angle := math.Sin(float64(i) / 5)
+		col := int((angle + 1) / 2 * float64(cfg.Width-1))
+		for y := 0; y < cfg.Height; y++ {
+			f.Set(col, y, 255)
+		}
+		recs[i] = sim.Record{Index: i, Frame: f, Steering: angle, Throttle: 0.5,
+			Timestamp: benchEpoch.Add(time.Duration(i) * 50 * time.Millisecond)}
+	}
+	samples, err := pilot.SamplesFromRecords(cfg, recs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return samples
+}
+
+// e11Run executes one federated training run and reports the three
+// headline metrics: mean simulated round wall-clock (the staleness
+// policy's cost), total bytes on the WAN (the compression profile's
+// cost), and final validation loss (what either knob may degrade).
+func e11Run(b *testing.B, quorum int, compress, profile string) {
+	b.Helper()
+	pcfg := pilot.DefaultConfig(pilot.Linear, 24, 16, 1)
+	pcfg.ConvFilters1, pcfg.ConvFilters2, pcfg.DenseUnits = 4, 8, 16
+	samples := e11Samples(b, pcfg, 220)
+	val := samples[180:]
+
+	run := func() fed.Result {
+		cfg := fed.DefaultConfig()
+		cfg.Workers = 4
+		cfg.Rounds = 12
+		cfg.LocalEpochs = 3
+		cfg.BatchSize = 16
+		cfg.Quorum = quorum
+		cfg.Compress = compress
+		cfg.TopKFrac = 0.2
+		cfg.Seed = 11
+		cfg.RoundGap = 8 * time.Second
+		shards, err := fed.ShardSamples(samples[:180], cfg.Workers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		global, err := pilot.New(pcfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		deps := fed.Deps{Net: netem.NewNet(cfg.Seed), Hub: edge.NewHub(),
+			Store: objstore.New(), Start: benchEpoch}
+		if profile != "" {
+			plan, err := faults.NewPlan(profile, cfg.Seed, benchEpoch)
+			if err != nil {
+				b.Fatal(err)
+			}
+			deps.Plan = plan
+		}
+		r, err := fed.NewRun(cfg, deps, global, shards, val)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := r.Execute()
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res
+	}
+
+	var res fed.Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res = run()
+	}
+	b.ReportMetric(float64(res.MeanRoundWall)/float64(time.Millisecond), "round_ms")
+	b.ReportMetric(float64(res.TotalBytes), "bytes_on_wire")
+	b.ReportMetric(res.FinalValLoss, "final_valloss")
+}
+
+// BenchmarkE11Federated is the federated-fleet experiment: the staleness
+// policy pair (synchronous barrier vs 2-of-4 quorum) runs under the
+// lossy-wan straggler profile, where outage retries inflate the barrier's
+// round wall-clock but the quorum rides on its fastest workers; the
+// compression pair (raw float64 vs top-k sparsified float16) runs
+// fault-free, where top-k must cut bytes-on-wire >=3x without moving the
+// final validation loss.
+func BenchmarkE11Federated(b *testing.B) {
+	b.Run("sync/raw/lossy-wan", func(b *testing.B) { e11Run(b, 0, "none", "lossy-wan") })
+	b.Run("quorum/raw/lossy-wan", func(b *testing.B) { e11Run(b, 2, "none", "lossy-wan") })
+	b.Run("sync/raw/clean", func(b *testing.B) { e11Run(b, 0, "none", "") })
+	b.Run("sync/topk/clean", func(b *testing.B) { e11Run(b, 0, "topk", "") })
 }

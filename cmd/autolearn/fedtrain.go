@@ -1,0 +1,127 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/edge"
+	"repro/internal/faults"
+	"repro/internal/fed"
+	"repro/internal/netem"
+	"repro/internal/objstore"
+	"repro/internal/pilot"
+	"repro/internal/sim"
+	"repro/internal/track"
+)
+
+// cmdFedTrain drives the federated fleet: collect a tub's worth of
+// driving, shard it across N simulated edge workers, and run FedAvg
+// rounds over the emulated WAN, optionally under a fault profile and
+// delta compression.
+func cmdFedTrain(args []string) error {
+	fs := flag.NewFlagSet("fed-train", flag.ExitOnError)
+	workers := fs.Int("workers", 4, "edge workers in the fleet")
+	rounds := fs.Int("rounds", 5, "FedAvg rounds")
+	quorum := fs.Int("quorum", 0, "K-of-N quorum (0 = synchronous barrier)")
+	compress := fs.String("compress", "none", "delta compression: "+strings.Join(fed.Profiles(), "|"))
+	topKFrac := fs.Float64("topk", 0.2, "fraction of delta entries the topk profile keeps")
+	profile := fs.String("faults", "", "fault profile: "+strings.Join(faults.Profiles(), "|")+" (empty = fault-free)")
+	model := fs.String("model", "linear", "pilot kind")
+	trackName := fs.String("track", "default-oval", "track name")
+	ticks := fs.Int("ticks", 800, "ticks of driving to collect at 20 Hz")
+	epochs := fs.Int("epochs", 1, "local epochs per round")
+	batch := fs.Int("batch", 32, "local batch size")
+	seed := fs.Int64("seed", 1, "run seed (fleet speeds, faults, training)")
+	roundGap := fs.Duration("round-gap", 15*time.Second, "idle virtual time between rounds (lets fault windows progress)")
+	of := addObsFlags(fs)
+	fs.Parse(args)
+
+	cam := sim.SmallCameraConfig()
+	res, _, err := sessionOn(*trackName, cam, func(trk *track.Track, car *sim.Car) sim.Driver {
+		return sim.NewHumanDriver(sim.NewPurePursuit(trk, car.Cfg), *seed, 20)
+	}, *ticks)
+	if err != nil {
+		return err
+	}
+	pcfg := pilot.DefaultConfig(pilot.Kind(*model), cam.Width, cam.Height, cam.Channels)
+	samples, err := pilot.SamplesFromRecords(pcfg, res.Records)
+	if err != nil {
+		return err
+	}
+	nVal := len(samples) / 5
+	if nVal < 1 {
+		return fmt.Errorf("fed-train: only %d samples collected; raise -ticks", len(samples))
+	}
+	val := samples[len(samples)-nVal:]
+	shards, err := fed.ShardSamples(samples[:len(samples)-nVal], *workers)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("== fleet: %d workers, %d samples each (~), %d held out\n",
+		*workers, (len(samples)-nVal) / *workers, nVal)
+
+	cfg := fed.DefaultConfig()
+	cfg.Workers = *workers
+	cfg.Rounds = *rounds
+	cfg.Quorum = *quorum
+	cfg.LocalEpochs = *epochs
+	cfg.BatchSize = *batch
+	cfg.Seed = *seed
+	cfg.Compress = *compress
+	cfg.TopKFrac = *topKFrac
+	cfg.RoundGap = *roundGap
+
+	o := of.observer()
+	deps := fed.Deps{
+		Net:   netem.NewNet(*seed),
+		Hub:   edge.NewHub(),
+		Store: objstore.New(),
+		Obs:   o,
+		Start: epoch,
+	}
+	if *profile != "" {
+		plan, err := faults.NewPlan(*profile, *seed, epoch)
+		if err != nil {
+			return err
+		}
+		plan.Instrument(o.Metrics)
+		deps.Plan = plan
+		fmt.Printf("== fault profile %q (seed %d)\n", *profile, *seed)
+	}
+
+	global, err := pilot.New(pcfg)
+	if err != nil {
+		return err
+	}
+	run, err := fed.NewRun(cfg, deps, global, shards, val)
+	if err != nil {
+		return err
+	}
+	policy := "synchronous barrier"
+	if *quorum > 0 && *quorum < *workers {
+		policy = fmt.Sprintf("%d-of-%d quorum", *quorum, *workers)
+	}
+	fmt.Printf("== fed-train: %s, compress=%s, %d params\n", policy, *compress, global.ParamCount())
+
+	out, err := run.Execute()
+	if err != nil {
+		return err
+	}
+	for _, rr := range out.Rounds {
+		fmt.Printf("   round %d: %d aggregated, %d dropped, %d cut, wall %8v, %7.1f KB on wire, val loss %.4f\n",
+			rr.Round+1, len(rr.Participants), len(rr.Dropped), len(rr.Cut),
+			rr.Wall.Round(time.Millisecond), float64(rr.BytesOnWire())/1024, rr.ValLoss)
+	}
+	fmt.Printf("== final val loss %.4f, %.1f KB total on wire, mean round wall %v\n",
+		out.FinalValLoss, float64(out.TotalBytes)/1024, out.MeanRoundWall.Round(time.Millisecond))
+	if out.CheckpointContainer != "" {
+		fmt.Printf("== global checkpoint at %s/%s (ETag-pollable by serve)\n",
+			out.CheckpointContainer, out.CheckpointObject)
+	}
+	if deps.Plan != nil {
+		fmt.Printf("== faults: %s\n", deps.Plan.Summary())
+	}
+	return of.write(o)
+}

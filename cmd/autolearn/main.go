@@ -131,6 +131,8 @@ func main() {
 		err = cmdMerge(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
+	case "fed-train":
+		err = cmdFedTrain(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -161,6 +163,7 @@ commands:
   hybrid      distill a student and run the hybrid edge-cloud loop
   merge       combine several tubs into one (mix and match)
   serve       run the batched inference service over trained checkpoints
+  fed-train   run federated FedAvg rounds across a fleet of edge workers
 
 pipeline, models, and evaluate accept -trace FILE (JSONL span trace) and
 -metrics FILE (Prometheus text format) to export observability data.

@@ -1,0 +1,223 @@
+package fed
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Delta compression cuts bytes-on-wire for the weight exchange. Profiles
+// quantize for real — the decoded values the server aggregates carry the
+// quantization error — so the benchmark's val-loss column is honest, and
+// the "topk" profile keeps per-worker error-feedback residuals so the
+// sparsified tail is not lost, just deferred to a later round. All codecs
+// are pure functions of their input: same delta in, same bytes and same
+// decoded values out, on every run.
+
+// encoded is one worker-to-server (or server-to-worker) payload: the
+// bytes it would occupy on the wire and the values the receiver decodes.
+type encoded struct {
+	wireBytes int64
+	values    [][]float64
+}
+
+// codec is one compression profile. encodeDelta compresses an upload
+// (residual is the worker's error-feedback accumulator, updated in place;
+// nil disables feedback). broadcastBytes prices the downlink copy of a
+// model with n scalars, and broadcastValue is the worker-side decode of
+// one global weight.
+type codec interface {
+	name() string
+	encodeDelta(delta [][]float64, residual [][]float64) encoded
+	broadcastBytes(n int) int64
+	broadcastValue(v float64) float64
+}
+
+// newCodec resolves a profile name.
+func newCodec(profile string, topKFrac float64) (codec, error) {
+	switch profile {
+	case "", "none":
+		return rawCodec{}, nil
+	case "fp16":
+		return f16Codec{}, nil
+	case "topk":
+		if topKFrac == 0 {
+			topKFrac = 0.1
+		}
+		return topKCodec{frac: topKFrac}, nil
+	}
+	return nil, fmt.Errorf("fed: unknown compress profile %q (have none, fp16, topk)", profile)
+}
+
+// rawCodec ships float64 both ways: 8 bytes per scalar, no loss.
+type rawCodec struct{}
+
+func (rawCodec) name() string { return "none" }
+
+func (rawCodec) encodeDelta(delta [][]float64, residual [][]float64) encoded {
+	var n int64
+	out := make([][]float64, len(delta))
+	for i, t := range delta {
+		n += int64(len(t))
+		cp := make([]float64, len(t))
+		copy(cp, t)
+		out[i] = cp
+	}
+	return encoded{wireBytes: 8 * n, values: out}
+}
+
+func (rawCodec) broadcastBytes(n int) int64       { return 8 * int64(n) }
+func (rawCodec) broadcastValue(v float64) float64 { return v }
+
+// f16Codec ships the broadcast as float32 (4 bytes per scalar, ~7
+// significant digits — negligible for weights) and uploads as dense
+// float16 (2 bytes per scalar; deltas are small so half precision holds
+// their shape).
+type f16Codec struct{}
+
+func (f16Codec) name() string { return "fp16" }
+
+func (f16Codec) encodeDelta(delta [][]float64, residual [][]float64) encoded {
+	var n int64
+	out := make([][]float64, len(delta))
+	for i, t := range delta {
+		n += int64(len(t))
+		q := make([]float64, len(t))
+		for j, v := range t {
+			q[j] = f16Round(v)
+		}
+		out[i] = q
+	}
+	return encoded{wireBytes: 2 * n, values: out}
+}
+
+func (f16Codec) broadcastBytes(n int) int64       { return 4 * int64(n) }
+func (f16Codec) broadcastValue(v float64) float64 { return float64(float32(v)) }
+
+// topKCodec keeps only the top frac of entries per tensor by magnitude
+// (ties broken by index, so selection is deterministic), shipping each
+// survivor as a 4-byte index plus a float16 value; everything else stays
+// on the worker as error-feedback residual and rides along with the next
+// round's delta. Broadcast is float32, as in fp16.
+type topKCodec struct{ frac float64 }
+
+func (c topKCodec) name() string { return "topk" }
+
+func (c topKCodec) encodeDelta(delta [][]float64, residual [][]float64) encoded {
+	var wire int64
+	out := make([][]float64, len(delta))
+	for i, t := range delta {
+		vals := make([]float64, len(t))
+		copy(vals, t)
+		if residual != nil {
+			for j := range vals {
+				vals[j] += residual[i][j]
+			}
+		}
+		k := int(math.Ceil(c.frac * float64(len(vals))))
+		if k < 1 {
+			k = 1
+		}
+		if k > len(vals) {
+			k = len(vals)
+		}
+		idx := make([]int, len(vals))
+		for j := range idx {
+			idx[j] = j
+		}
+		sort.Slice(idx, func(a, b int) bool {
+			va, vb := math.Abs(vals[idx[a]]), math.Abs(vals[idx[b]])
+			if va != vb {
+				return va > vb
+			}
+			return idx[a] < idx[b]
+		})
+		q := make([]float64, len(vals))
+		for _, j := range idx[:k] {
+			q[j] = f16Round(vals[j])
+		}
+		if residual != nil {
+			for j := range vals {
+				residual[i][j] = vals[j] - q[j]
+			}
+		}
+		// 4-byte index + 2-byte half per kept entry, plus an 8-byte
+		// per-tensor header (tensor id + count).
+		wire += int64(k)*6 + 8
+		out[i] = q
+	}
+	return encoded{wireBytes: wire, values: out}
+}
+
+func (c topKCodec) broadcastBytes(n int) int64       { return 4 * int64(n) }
+func (c topKCodec) broadcastValue(v float64) float64 { return float64(float32(v)) }
+
+// f16Round quantizes v through IEEE 754 binary16 (round-to-nearest-even
+// via float32) and back to float64. Values beyond the half range saturate
+// to ±65504 rather than overflowing to Inf, since a weight delta must
+// stay finite.
+func f16Round(v float64) float64 {
+	h := toF16(float32(v))
+	return fromF16(h)
+}
+
+// toF16 converts a float32 to binary16 bits, rounding to nearest even and
+// saturating at the half-precision max.
+func toF16(f float32) uint16 {
+	b := math.Float32bits(f)
+	sign := uint16(b >> 16 & 0x8000)
+	exp := int32(b>>23&0xff) - 127 + 15
+	man := b & 0x7fffff
+	switch {
+	case exp >= 31:
+		if b&0x7fffffff > 0x7f800000 {
+			return sign | 0x7e00 // NaN
+		}
+		return sign | 0x7bff // saturate at 65504
+	case exp <= 0:
+		if exp < -10 {
+			return sign // underflows to zero
+		}
+		man |= 0x800000
+		shift := uint32(14 - exp)
+		half := uint16(man >> shift)
+		rem := man & (1<<shift - 1)
+		halfway := uint32(1) << (shift - 1)
+		if rem > halfway || (rem == halfway && half&1 == 1) {
+			half++
+		}
+		return sign | half
+	default:
+		half := sign | uint16(exp)<<10 | uint16(man>>13)
+		rem := man & 0x1fff
+		if rem > 0x1000 || (rem == 0x1000 && half&1 == 1) {
+			half++ // carry may roll into the exponent, which is correct
+			if half&0x7fff >= 0x7c00 {
+				return sign | 0x7bff // rounding crossed into Inf: saturate
+			}
+		}
+		return half
+	}
+}
+
+// fromF16 expands binary16 bits to float64, exactly (float64 has spare
+// precision for every half value).
+func fromF16(h uint16) float64 {
+	sign := 1.0
+	if h&0x8000 != 0 {
+		sign = -1
+	}
+	exp := int(h >> 10 & 0x1f)
+	man := float64(h & 0x3ff)
+	switch exp {
+	case 0:
+		return sign * math.Ldexp(man/1024, -14)
+	case 31:
+		if man != 0 {
+			return math.NaN()
+		}
+		return sign * math.Inf(1)
+	default:
+		return sign * math.Ldexp(1+man/1024, exp-15)
+	}
+}

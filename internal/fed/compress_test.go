@@ -1,0 +1,153 @@
+package fed
+
+import (
+	"math"
+	"testing"
+)
+
+func TestF16RoundTripExact(t *testing.T) {
+	// Every value exactly representable in binary16 must survive untouched.
+	exact := []float64{0, 1, -1, 0.5, 1.5, 2048, -2048, 65504, -65504,
+		6.103515625e-05 /* min normal */, 5.960464477539063e-08 /* min subnormal */}
+	for _, v := range exact {
+		if got := f16Round(v); got != v {
+			t.Fatalf("f16Round(%g) = %g, want exact", v, got)
+		}
+	}
+}
+
+func TestF16Saturates(t *testing.T) {
+	for _, v := range []float64{1e6, 65520, 7e4, math.MaxFloat64} {
+		if got := f16Round(v); got != 65504 {
+			t.Fatalf("f16Round(%g) = %g, want saturation at 65504", v, got)
+		}
+		if got := f16Round(-v); got != -65504 {
+			t.Fatalf("f16Round(%g) = %g, want -65504", -v, got)
+		}
+	}
+	if got := f16Round(1e-12); got != 0 {
+		t.Fatalf("f16Round(1e-12) = %g, want underflow to 0", got)
+	}
+}
+
+func TestF16RoundToNearestEven(t *testing.T) {
+	// 1 + 2^-11 is exactly halfway between 1 and 1+2^-10; even mantissa
+	// (1.0) wins. 1 + 3*2^-11 is halfway between 1+2^-10 and 1+2^-9; the
+	// even neighbor is 1+2^-9.
+	if got := f16Round(1 + math.Pow(2, -11)); got != 1 {
+		t.Fatalf("halfway-down case rounded to %g, want 1", got)
+	}
+	want := 1 + math.Pow(2, -9)
+	if got := f16Round(1 + 3*math.Pow(2, -11)); got != want {
+		t.Fatalf("halfway-up case rounded to %g, want %g", got, want)
+	}
+}
+
+func TestF16Monotone(t *testing.T) {
+	prev := math.Inf(-1)
+	for v := -70000.0; v <= 70000; v += 13.7 {
+		got := f16Round(v)
+		if got < prev {
+			t.Fatalf("f16Round not monotone at %g: %g < %g", v, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestCodecByteAccounting(t *testing.T) {
+	delta := [][]float64{make([]float64, 100), make([]float64, 60)}
+	for i := range delta[0] {
+		delta[0][i] = float64(i) * 0.01
+	}
+	for i := range delta[1] {
+		delta[1][i] = -float64(i) * 0.02
+	}
+
+	raw := rawCodec{}
+	if got := raw.encodeDelta(delta, nil).wireBytes; got != 8*160 {
+		t.Fatalf("raw upload %d bytes, want %d", got, 8*160)
+	}
+	if got := raw.broadcastBytes(160); got != 8*160 {
+		t.Fatalf("raw broadcast %d bytes, want %d", got, 8*160)
+	}
+
+	f16 := f16Codec{}
+	if got := f16.encodeDelta(delta, nil).wireBytes; got != 2*160 {
+		t.Fatalf("fp16 upload %d bytes, want %d", got, 2*160)
+	}
+	if got := f16.broadcastBytes(160); got != 4*160 {
+		t.Fatalf("fp16 broadcast %d bytes, want %d", got, 4*160)
+	}
+
+	topk := topKCodec{frac: 0.1}
+	// ceil(0.1*100)=10 and ceil(0.1*60)=6 entries at 6 bytes each, plus an
+	// 8-byte header per tensor.
+	want := int64(10*6+8) + int64(6*6+8)
+	if got := topk.encodeDelta(delta, nil).wireBytes; got != want {
+		t.Fatalf("topk upload %d bytes, want %d", got, want)
+	}
+}
+
+func TestTopKKeepsLargest(t *testing.T) {
+	delta := [][]float64{{0.001, -5, 0.002, 3, -0.003, 0.004, 0.0, 2, -0.005, 0.006}}
+	enc := topKCodec{frac: 0.3}.encodeDelta(delta, nil)
+	got := enc.values[0]
+	// ceil(0.3*10)=3 survivors: -5, 3, 2 (by magnitude); everything else 0.
+	for i, v := range got {
+		switch i {
+		case 1, 3, 7:
+			if v == 0 {
+				t.Fatalf("top entry %d zeroed: %v", i, got)
+			}
+		default:
+			if v != 0 {
+				t.Fatalf("non-top entry %d kept: %v", i, got)
+			}
+		}
+	}
+}
+
+func TestTopKErrorFeedback(t *testing.T) {
+	// Round 1 drops the small tail into the residual; round 2's delta of
+	// zeros must resurface it once it dominates.
+	residual := [][]float64{make([]float64, 4)}
+	round1 := [][]float64{{10, 0.5, 0.25, 0.125}}
+	enc1 := topKCodec{frac: 0.25}.encodeDelta(round1, residual)
+	if enc1.values[0][0] == 0 {
+		t.Fatal("largest entry dropped in round 1")
+	}
+	if residual[0][1] == 0 {
+		t.Fatal("dropped entry not kept as residual")
+	}
+
+	round2 := [][]float64{{0, 0, 0, 0}}
+	enc2 := topKCodec{frac: 0.25}.encodeDelta(round2, residual)
+	if enc2.values[0][1] == 0 {
+		t.Fatalf("residual 0.5 not resurfaced in round 2: %v", enc2.values[0])
+	}
+}
+
+func TestTopKDeterministic(t *testing.T) {
+	delta := [][]float64{{1, -1, 1, -1, 0.5, 0.5}}
+	a := topKCodec{frac: 0.5}.encodeDelta(delta, nil)
+	b := topKCodec{frac: 0.5}.encodeDelta(delta, nil)
+	for i := range a.values[0] {
+		if math.Float64bits(a.values[0][i]) != math.Float64bits(b.values[0][i]) {
+			t.Fatalf("tie-broken selection not deterministic at %d", i)
+		}
+	}
+	if a.wireBytes != b.wireBytes {
+		t.Fatal("wire bytes not deterministic")
+	}
+}
+
+func TestNewCodecRejectsUnknown(t *testing.T) {
+	if _, err := newCodec("gzip", 0); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+	for _, p := range Profiles() {
+		if _, err := newCodec(p, 0); err != nil {
+			t.Fatalf("profile %q rejected: %v", p, err)
+		}
+	}
+}

@@ -1,0 +1,446 @@
+// Package fed is the training half of the edge-to-cloud continuum: a
+// cloud-side parameter server coordinating a fleet of edge workers, each
+// training the same pilot architecture on a disjoint shard of tub data and
+// exchanging weight deltas over the emulated WAN. Rounds follow FedAvg —
+// broadcast the global weights, train locally, upload delta = local -
+// global, aggregate shard-weighted — with a configurable staleness policy:
+// a synchronous barrier over every live worker, or a K-of-N quorum that
+// cuts stragglers once the K fastest uploads have landed.
+//
+// The subsystem composes with the existing layers instead of bypassing
+// them: workers register as BYOD devices through edge.Hub and heartbeat on
+// the fault plan's clock (a silence window long enough for the sweep to
+// evict them drops them from the round instead of stalling the barrier);
+// every broadcast and upload is billed through netem under the plan's
+// retry policy (outage windows turn into real backoff-and-retry, and an
+// exhausted budget drops the worker); the global checkpoint lands in
+// objstore after every round where the serve Registry's ETag poller can
+// hot-reload it; and everything emits fed_* spans, counters, and
+// histograms through obs.
+//
+// Determinism is a hard requirement (the chaos tests diff whole runs):
+// network billing and aggregation run in worker-index order on the plan's
+// seeded RNGs, local training runs workers in parallel but each worker's
+// arithmetic is self-contained and seeded, and aggregation accumulates in
+// index order — so two same-seed runs produce bit-identical global
+// weights and identical fed_* counters.
+package fed
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/edge"
+	"repro/internal/faults"
+	"repro/internal/netem"
+	"repro/internal/objstore"
+	"repro/internal/obs"
+	"repro/internal/pilot"
+)
+
+// Config shapes one federated training run.
+type Config struct {
+	// Workers is the fleet size N (at least 1).
+	Workers int
+	// Rounds is how many FedAvg rounds to run.
+	Rounds int
+	// Quorum is the K of the K-of-N staleness policy: a round aggregates
+	// the K fastest uploads and cuts the rest. 0 (or >= Workers) selects
+	// the synchronous barrier over every live worker.
+	Quorum int
+	// LocalEpochs is how many epochs each worker trains per round.
+	LocalEpochs int
+	// BatchSize for local training.
+	BatchSize int
+	// Seed drives every random choice in the run: worker compute speeds,
+	// local-training shuffles, and the per-run RNG streams.
+	Seed int64
+	// Compress names the delta compression profile: "none" (raw float64
+	// both ways), "fp16" (float32 broadcast, dense float16 uploads), or
+	// "topk" (float32 broadcast, top-k sparsified float16 uploads with
+	// error feedback). See Profiles.
+	Compress string
+	// TopKFrac is the fraction of delta entries the "topk" profile keeps
+	// per tensor (0 selects the default 0.1).
+	TopKFrac float64
+	// Link is the WAN between workers and the parameter server; the zero
+	// value selects netem.CampusWAN (which is also the link the stock
+	// fault profiles schedule outages on).
+	Link netem.Link
+	// RoundGap is idle virtual time appended after each round (a fleet
+	// checking in on a schedule rather than back to back). It advances
+	// fault windows between rounds; 0 runs rounds back to back.
+	RoundGap time.Duration
+	// Container and Object name where the global checkpoint is written
+	// after every round. Empty Container disables checkpointing.
+	Container string
+	Object    string
+	// PerSampleCost is the simulated edge compute cost per sample per
+	// epoch (0 selects 2ms, Pi-class). Each worker also draws a fixed
+	// speed factor in [0.7, 1.3] from the run seed, so fleets are
+	// heterogeneous and quorum mode has honest stragglers to cut.
+	PerSampleCost time.Duration
+}
+
+// DefaultConfig returns a small fleet with the synchronous barrier and no
+// compression.
+func DefaultConfig() Config {
+	return Config{
+		Workers:     4,
+		Rounds:      5,
+		LocalEpochs: 1,
+		BatchSize:   32,
+		Seed:        1,
+		Compress:    "none",
+		Link:        netem.CampusWAN,
+		Container:   "autolearn-models",
+		Object:      "fed/global.ckpt",
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.Workers < 1:
+		return fmt.Errorf("fed: need at least 1 worker")
+	case c.Rounds < 1:
+		return fmt.Errorf("fed: need at least 1 round")
+	case c.Quorum < 0 || c.Quorum > c.Workers:
+		return fmt.Errorf("fed: quorum %d out of range [0, %d]", c.Quorum, c.Workers)
+	case c.LocalEpochs < 1:
+		return fmt.Errorf("fed: need at least 1 local epoch")
+	case c.BatchSize < 1:
+		return fmt.Errorf("fed: batch size must be positive")
+	case c.RoundGap < 0:
+		return fmt.Errorf("fed: negative round gap")
+	case c.TopKFrac < 0 || c.TopKFrac > 1:
+		return fmt.Errorf("fed: top-k fraction must be in [0, 1]")
+	}
+	if _, err := newCodec(c.Compress, c.TopKFrac); err != nil {
+		return err
+	}
+	return nil
+}
+
+// sync reports whether the run uses the synchronous barrier.
+func (c Config) sync() bool { return c.Quorum == 0 || c.Quorum >= c.Workers }
+
+// Profiles lists the accepted -compress profile names.
+func Profiles() []string { return []string{"none", "fp16", "topk"} }
+
+// Deps are the continuum substrates a run composes with. Net is required;
+// the rest are optional (nil Hub skips device registration, nil Store
+// skips checkpointing, nil Plan runs fault-free on a private clock).
+type Deps struct {
+	Net   *netem.Net
+	Hub   *edge.Hub
+	Store *objstore.Store
+	Plan  *faults.Plan
+	Obs   obs.Observer
+	// Start anchors the private clock when Plan is nil (Plan's own clock
+	// is used otherwise). The zero value is a fixed 2023 instant.
+	Start time.Time
+}
+
+// worker is one edge participant: its shard, its local pilot (re-seeded
+// from the broadcast every round), the base copy it diffs against, its
+// fixed compute speed, and its top-k error-feedback residual.
+type worker struct {
+	idx      int
+	deviceID string
+	name     string
+	shard    []pilot.Sample
+	local    *pilot.Pilot
+	base     *pilot.Pilot
+	speed    float64     // compute speed factor; higher is faster
+	residual [][]float64 // error feedback for sparsified uploads
+	// evicted marks a heartbeat eviction during the current round. A worker
+	// whose daemon went silent misses the round even if it re-onboards
+	// before the uploads are collected — its connection was lost mid-round.
+	evicted bool
+}
+
+// Run is one federated training run in progress.
+type Run struct {
+	Cfg    Config
+	Global *pilot.Pilot
+
+	workers []*worker
+	val     []pilot.Sample
+
+	net   *netem.Net
+	hub   *edge.Hub
+	store *objstore.Store
+	plan  *faults.Plan
+	clock *faults.Clock
+	obs   obs.Observer
+	codec codec
+
+	playback *heartbeatPlayback
+}
+
+// NewRun assembles a run: the global pilot (the parameter server's copy),
+// one worker per shard with a seeded compute speed, and — when a hub is
+// present — a registered, flashed, and booted BYOD device per worker.
+// When the fault plan scripts silence windows, the first workers take the
+// scripted device names so the plan's schedule lands on real fleet
+// members. shards must have Cfg.Workers entries; val is the held-out set
+// the server scores the global model on after each round.
+func NewRun(cfg Config, deps Deps, global *pilot.Pilot, shards [][]pilot.Sample, val []pilot.Sample) (*Run, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if deps.Net == nil {
+		return nil, fmt.Errorf("fed: nil network")
+	}
+	if global == nil {
+		return nil, fmt.Errorf("fed: nil global pilot")
+	}
+	if len(shards) != cfg.Workers {
+		return nil, fmt.Errorf("fed: %d shards for %d workers", len(shards), cfg.Workers)
+	}
+	if cfg.Link == (netem.Link{}) {
+		cfg.Link = netem.CampusWAN
+	}
+	if cfg.PerSampleCost == 0 {
+		cfg.PerSampleCost = 2 * time.Millisecond
+	}
+	if cfg.TopKFrac == 0 {
+		cfg.TopKFrac = 0.1
+	}
+	cdc, err := newCodec(cfg.Compress, cfg.TopKFrac)
+	if err != nil {
+		return nil, err
+	}
+	clock := deps.Start
+	if clock.IsZero() {
+		clock = time.Date(2023, 9, 1, 9, 0, 0, 0, time.UTC)
+	}
+	r := &Run{
+		Cfg:    cfg,
+		Global: global,
+		val:    val,
+		net:    deps.Net,
+		hub:    deps.Hub,
+		store:  deps.Store,
+		plan:   deps.Plan,
+		obs:    deps.Obs,
+		codec:  cdc,
+	}
+	if deps.Plan != nil {
+		r.clock = deps.Plan.Clock
+		deps.Net.SetFaults(deps.Plan)
+	} else {
+		r.clock = faults.NewClock(clock)
+	}
+
+	var scripted []string
+	if deps.Plan != nil {
+		scripted = deps.Plan.ScriptDevices()
+	}
+	speedRNG := rand.New(rand.NewSource(cfg.Seed ^ 0xfed))
+	for i := 0; i < cfg.Workers; i++ {
+		if len(shards[i]) == 0 {
+			return nil, fmt.Errorf("fed: worker %d has an empty shard", i)
+		}
+		w := &worker{
+			idx:   i,
+			shard: shards[i],
+			speed: 0.7 + 0.6*speedRNG.Float64(),
+		}
+		w.name = fmt.Sprintf("fed-worker-%d", i)
+		if i < len(scripted) {
+			w.name = scripted[i]
+		}
+		w.local, err = pilot.New(global.Cfg)
+		if err != nil {
+			return nil, fmt.Errorf("fed: worker %d pilot: %w", i, err)
+		}
+		w.base, err = pilot.New(global.Cfg)
+		if err != nil {
+			return nil, fmt.Errorf("fed: worker %d base pilot: %w", i, err)
+		}
+		if deps.Hub != nil {
+			d, err := deps.Hub.RegisterDevice(w.name, "fed-fleet")
+			if err != nil {
+				return nil, err
+			}
+			if _, err := deps.Hub.FlashImage(d.ID); err != nil {
+				return nil, err
+			}
+			if _, err := deps.Hub.Boot(d.ID); err != nil {
+				return nil, err
+			}
+			w.deviceID = d.ID
+		}
+		r.workers = append(r.workers, w)
+	}
+	if r.store != nil && cfg.Container != "" {
+		if err := r.store.CreateContainer(cfg.Container); err != nil && !errors.Is(err, objstore.ErrExists) {
+			return nil, err
+		}
+	}
+	if r.hub != nil && r.plan != nil {
+		r.playback = newHeartbeatPlayback(r.plan, r.hub, r.workers)
+		r.clock.OnAdvance(r.playback.catchUp)
+	}
+	r.instrument()
+	return r, nil
+}
+
+// ShardSamples splits samples into n contiguous, disjoint shards — the
+// non-IID flavor of federation where each device only ever saw its own
+// stretch of driving. Every shard gets at least len/n samples; the first
+// len%n shards take one extra.
+func ShardSamples(samples []pilot.Sample, n int) ([][]pilot.Sample, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("fed: need at least 1 shard")
+	}
+	if len(samples) < n {
+		return nil, fmt.Errorf("fed: %d samples cannot fill %d shards", len(samples), n)
+	}
+	out := make([][]pilot.Sample, n)
+	base, extra := len(samples)/n, len(samples)%n
+	at := 0
+	for i := 0; i < n; i++ {
+		sz := base
+		if i < extra {
+			sz++
+		}
+		out[i] = samples[at : at+sz]
+		at += sz
+	}
+	return out, nil
+}
+
+// now returns the run's current virtual time.
+func (r *Run) now() time.Time { return r.clock.Now() }
+
+// live reports whether the worker's device is currently connected (a run
+// without a hub treats every worker as live).
+func (r *Run) live(w *worker) bool {
+	if r.hub == nil || w.deviceID == "" {
+		return true
+	}
+	d, err := r.hub.Device(w.deviceID)
+	return err == nil && d.Status == edge.StatusConnected
+}
+
+// transfer bills size bytes over the run's WAN link, under the fault
+// plan's retry policy when one is attached. It returns the total virtual
+// time the operation consumed, including backoff waits; the clock has
+// already advanced by it. A retryable failure that exhausts the policy
+// budget is reported as (elapsed, err) with faults.Retryable(err) true —
+// the caller drops the worker instead of stalling the round.
+func (r *Run) transfer(op string, size int64) (time.Duration, error) {
+	if r.plan == nil {
+		tr, err := r.net.Transfer(r.Cfg.Link, size)
+		if err != nil {
+			return 0, err
+		}
+		r.clock.Advance(tr.Duration)
+		return tr.Duration, nil
+	}
+	before := r.clock.Now()
+	err := r.plan.Do(op, func(int) (time.Duration, error) {
+		tr, err := r.net.Transfer(r.Cfg.Link, size)
+		if err != nil {
+			return 0, err
+		}
+		return tr.Duration, nil
+	})
+	return r.clock.Now().Sub(before), err
+}
+
+// heartbeatPlayback drives the worker fleet's device daemons as virtual
+// time passes: every HeartbeatEvery each worker checks in unless its
+// scripted silence window is open, and every SweepEvery the control plane
+// sweeps — which is what actually evicts a silent worker mid-round. A
+// previously evicted device whose window has passed re-onboards through
+// the flash-and-boot reconnect path, rejoining the next round.
+type heartbeatPlayback struct {
+	plan    *faults.Plan
+	hub     *edge.Hub
+	workers []*worker
+	sem     chan struct{} // 1-token semaphore; reentrant Advance skips
+	beat    time.Time
+	sweep   time.Time
+}
+
+func newHeartbeatPlayback(plan *faults.Plan, hub *edge.Hub, workers []*worker) *heartbeatPlayback {
+	return &heartbeatPlayback{
+		plan:    plan,
+		hub:     hub,
+		workers: workers,
+		sem:     make(chan struct{}, 1),
+		beat:    plan.Clock.Now().Add(plan.HeartbeatEvery),
+		sweep:   plan.Clock.Now().Add(plan.SweepEvery),
+	}
+}
+
+// catchUp replays every heartbeat round and sweep due up to now in
+// chronological order. The semaphore turns a reentrant Advance during
+// playback into a skip instead of a deadlock (the token holder finishes
+// the backlog).
+func (hp *heartbeatPlayback) catchUp(now time.Time) {
+	select {
+	case hp.sem <- struct{}{}:
+	default:
+		return
+	}
+	defer func() { <-hp.sem }()
+	for !hp.beat.After(now) || !hp.sweep.After(now) {
+		if !hp.beat.After(now) && !hp.beat.After(hp.sweep) {
+			hp.beatRound(hp.beat)
+			hp.beat = hp.beat.Add(hp.plan.HeartbeatEvery)
+		} else {
+			hp.hub.SweepHeartbeats(hp.sweep)
+			hp.markEvicted()
+			hp.sweep = hp.sweep.Add(hp.plan.SweepEvery)
+		}
+	}
+}
+
+// markEvicted flags workers whose devices a sweep just took offline, so
+// the round in progress knows they lost their connection even if they
+// re-onboard before the uploads are collected.
+func (hp *heartbeatPlayback) markEvicted() {
+	for _, w := range hp.workers {
+		if w.deviceID == "" {
+			continue
+		}
+		if d, err := hp.hub.Device(w.deviceID); err == nil && d.Status == edge.StatusOffline {
+			w.evicted = true
+		}
+	}
+}
+
+// beatRound lets every worker device act at time t: a scripted-silent one
+// skips its check-in (the injected fault), a healthy one heartbeats, and
+// an evicted one whose silence has passed re-onboards first.
+func (hp *heartbeatPlayback) beatRound(t time.Time) {
+	for _, w := range hp.workers {
+		if w.deviceID == "" {
+			continue
+		}
+		if hp.plan.DeviceSilent(w.name, t) {
+			hp.plan.RecordInjection("heartbeat_gap")
+			continue
+		}
+		d, err := hp.hub.Device(w.deviceID)
+		if err != nil {
+			continue
+		}
+		if d.Status == edge.StatusOffline {
+			if _, err := hp.hub.FlashImage(w.deviceID); err != nil {
+				continue
+			}
+			if _, err := hp.hub.Boot(w.deviceID); err != nil {
+				continue
+			}
+		}
+		_ = hp.hub.Heartbeat(w.deviceID, t)
+	}
+}

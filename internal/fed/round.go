@@ -1,0 +1,450 @@
+package fed
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/nn"
+	"repro/internal/obs"
+)
+
+// RoundResult reports one completed FedAvg round.
+type RoundResult struct {
+	Round        int
+	Participants []int // worker indexes whose deltas were aggregated
+	Dropped      []int // offline or retry-budget-exhausted this round
+	Cut          []int // arrived after the quorum filled (stragglers)
+	// Wall is the round's simulated wall-clock under the staleness
+	// policy: the slowest aggregated worker's end-to-end time (broadcast
+	// + local epochs + upload, including retry backoff). The barrier
+	// waits for every live worker; the quorum only for the K fastest.
+	Wall           time.Duration
+	BroadcastBytes int64
+	UploadBytes    int64
+	ValLoss        float64
+}
+
+// BytesOnWire is the round's total WAN traffic.
+func (rr RoundResult) BytesOnWire() int64 { return rr.BroadcastBytes + rr.UploadBytes }
+
+// Result is a whole run.
+type Result struct {
+	Rounds       []RoundResult
+	FinalValLoss float64
+	TotalBytes   int64
+	// MeanRoundWall averages the per-round simulated wall-clock.
+	MeanRoundWall time.Duration
+	// Checkpoint names the objstore location of the final global model
+	// (empty when checkpointing is disabled).
+	CheckpointContainer, CheckpointObject string
+}
+
+// instrument pre-registers the fed_* series so scrapes before the first
+// round still see them. Everything is nil-safe.
+func (r *Run) instrument() {
+	reg := r.obs.Metrics
+	reg.Help("fed_rounds_total", "federated rounds completed")
+	reg.Help("fed_deltas_applied_total", "worker deltas aggregated into the global model")
+	reg.Help("fed_workers_dropped_total", "workers dropped from a round (offline or retry budget exhausted), by reason")
+	reg.Help("fed_stragglers_cut_total", "uploads discarded because the quorum had already filled")
+	reg.Help("fed_quorum_misses_total", "rounds that aggregated fewer workers than the configured quorum")
+	reg.Help("fed_bytes_on_wire_total", "weight-exchange bytes billed over the WAN, by direction")
+	reg.Help("fed_round_seconds", "simulated round wall-clock under the staleness policy")
+	reg.Help("fed_worker_seconds", "per-worker end-to-end round time (broadcast+train+upload)")
+	reg.Help("fed_val_loss", "global-model validation loss after the latest round")
+	reg.Help("fed_checkpoints_total", "global checkpoints written to the object store")
+	reg.Counter("fed_rounds_total")
+	reg.Counter("fed_deltas_applied_total")
+	reg.Counter("fed_workers_dropped_total")
+	reg.Counter("fed_stragglers_cut_total")
+	reg.Counter("fed_quorum_misses_total")
+	reg.Counter("fed_checkpoints_total")
+}
+
+// wstate is one worker's progress through a round.
+type wstate struct {
+	w       *worker
+	elapsed time.Duration // end-to-end virtual time this round
+	enc     encoded       // decoded upload the server received
+	ok      bool
+	reason  string // why the worker is out, when !ok
+}
+
+// Execute runs every configured round and returns the run report. The
+// global pilot ends holding the final aggregated weights.
+func (r *Run) Execute() (Result, error) {
+	span := r.obs.Tracer.Start("fed-train")
+	span.SetAttr("workers", r.Cfg.Workers)
+	span.SetAttr("rounds", r.Cfg.Rounds)
+	span.SetAttr("quorum", r.Cfg.Quorum)
+	span.SetAttr("compress", r.codec.name())
+	var res Result
+	var wallSum time.Duration
+	for i := 0; i < r.Cfg.Rounds; i++ {
+		rr, err := r.round(i, span)
+		if err != nil {
+			span.EndErr(err)
+			return res, err
+		}
+		res.Rounds = append(res.Rounds, rr)
+		res.TotalBytes += rr.BytesOnWire()
+		res.FinalValLoss = rr.ValLoss
+		wallSum += rr.Wall
+		if r.Cfg.RoundGap > 0 {
+			r.clock.Advance(r.Cfg.RoundGap)
+		}
+	}
+	if n := len(res.Rounds); n > 0 {
+		res.MeanRoundWall = wallSum / time.Duration(n)
+	}
+	if r.store != nil && r.Cfg.Container != "" {
+		res.CheckpointContainer, res.CheckpointObject = r.Cfg.Container, r.Cfg.Object
+	}
+	span.SetAttr("final_val_loss", res.FinalValLoss)
+	span.SetAttr("bytes_on_wire", res.TotalBytes)
+	span.End()
+	return res, nil
+}
+
+// round executes one FedAvg round: broadcast (sequential, billed),
+// parallel local training, upload (sequential, billed), staleness policy,
+// shard-weighted aggregation, checkpoint, validation.
+func (r *Run) round(idx int, parent *obs.Span) (RoundResult, error) {
+	reg := r.obs.Metrics
+	span := parent.Child("fed-round")
+	span.SetAttr("round", idx)
+	rr := RoundResult{Round: idx, ValLoss: -1}
+	states := make([]*wstate, len(r.workers))
+	for i, w := range r.workers {
+		w.evicted = false
+		states[i] = &wstate{w: w, ok: true}
+	}
+
+	// Broadcast: the server pushes the (possibly down-quantized) global
+	// weights to each live worker, one billed WAN transfer each, in
+	// worker-index order so netem's seeded draws replay identically.
+	paramCount := r.Global.ParamCount()
+	bcastBytes := r.codec.broadcastBytes(paramCount)
+	globalVals := r.broadcastSnapshot()
+	for _, st := range states {
+		if !r.live(st.w) {
+			r.drop(st, &rr, "offline")
+			continue
+		}
+		d, err := r.transfer("fed_broadcast", bcastBytes)
+		if err != nil {
+			if !faults.Retryable(err) {
+				span.EndErr(err)
+				return rr, err
+			}
+			r.drop(st, &rr, "link")
+			continue
+		}
+		st.elapsed = d
+		rr.BroadcastBytes += bcastBytes
+		reg.Counter("fed_bytes_on_wire_total", obs.L("dir", "broadcast")).Add(float64(bcastBytes))
+		if err := st.w.setWeights(globalVals); err != nil {
+			span.EndErr(err)
+			return rr, err
+		}
+	}
+
+	// Local training: every broadcast-reachable worker runs its local
+	// epochs concurrently. Each worker's arithmetic is self-contained
+	// (own model, own seeded RNG streams), so scheduling cannot change
+	// the result; the simulated cost is charged per worker afterwards.
+	var wg sync.WaitGroup
+	trainErrs := make([]error, len(states))
+	for i, st := range states {
+		if !st.ok {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, st *wstate) {
+			defer wg.Done()
+			cfg := nn.TrainConfig{
+				Epochs:    r.Cfg.LocalEpochs,
+				BatchSize: r.Cfg.BatchSize,
+				Seed:      r.Cfg.Seed + int64(idx)*1000 + int64(st.w.idx)*7 + 13,
+				ClipGrad:  5,
+			}
+			_, err := st.w.local.Train(st.w.shard, cfg)
+			trainErrs[i] = err
+		}(i, st)
+	}
+	wg.Wait()
+	var maxTrain time.Duration
+	for i, st := range states {
+		if !st.ok {
+			continue
+		}
+		if trainErrs[i] != nil {
+			span.EndErr(trainErrs[i])
+			return rr, fmt.Errorf("fed: worker %d round %d: %w", st.w.idx, idx, trainErrs[i])
+		}
+		cost := r.trainCost(st.w)
+		st.elapsed += cost
+		if cost > maxTrain {
+			maxTrain = cost
+		}
+	}
+	// The fleet trains in parallel in simulated time: the clock moves by
+	// the slowest worker's epochs, letting heartbeat windows and fault
+	// schedules progress through the round.
+	r.clock.Advance(maxTrain)
+
+	// Upload: each worker exports delta = local - base, compresses it,
+	// and ships it; the retry policy turns outages into backoff, and an
+	// exhausted budget drops the worker instead of stalling the barrier.
+	for _, st := range states {
+		if !st.ok {
+			continue
+		}
+		// A worker whose daemon went silent during training was swept out
+		// of the fleet; it has nothing trustworthy to upload this round.
+		if st.w.evicted || !r.live(st.w) {
+			r.drop(st, &rr, "offline")
+			continue
+		}
+		delta, err := nn.DeltaFrom(st.w.local.Model(), st.w.base.Model())
+		if err != nil {
+			span.EndErr(err)
+			return rr, err
+		}
+		vals := make([][]float64, len(delta.Tensors))
+		for i, t := range delta.Tensors {
+			vals[i] = t.Data
+		}
+		st.enc = r.codec.encodeDelta(vals, st.w.residualFor(r.codec, vals))
+		d, err := r.transfer("fed_upload", st.enc.wireBytes)
+		st.elapsed += d
+		if err != nil {
+			if !faults.Retryable(err) {
+				span.EndErr(err)
+				return rr, err
+			}
+			st.w.reclaimResidual(st.enc)
+			r.drop(st, &rr, "link")
+			continue
+		}
+		rr.UploadBytes += st.enc.wireBytes
+		reg.Counter("fed_bytes_on_wire_total", obs.L("dir", "upload")).Add(float64(st.enc.wireBytes))
+		// The upload itself advances the clock, so the sweep can evict a
+		// worker while its own transfer is in flight; that upload does not
+		// count either.
+		if st.w.evicted || !r.live(st.w) {
+			st.w.reclaimResidual(st.enc)
+			r.drop(st, &rr, "offline")
+		}
+	}
+
+	// Staleness policy: the barrier takes every survivor; the quorum
+	// takes the K fastest and cuts the rest.
+	var arrived []*wstate
+	for _, st := range states {
+		if st.ok {
+			arrived = append(arrived, st)
+			reg.Histogram("fed_worker_seconds", obs.DefSecondsBuckets,
+				obs.L("worker", st.w.name)).ObserveDuration(st.elapsed)
+		}
+	}
+	sort.Slice(arrived, func(a, b int) bool {
+		if arrived[a].elapsed != arrived[b].elapsed {
+			return arrived[a].elapsed < arrived[b].elapsed
+		}
+		return arrived[a].w.idx < arrived[b].w.idx
+	})
+	selected := arrived
+	if !r.Cfg.sync() {
+		if len(arrived) < r.Cfg.Quorum {
+			reg.Counter("fed_quorum_misses_total").Inc()
+		} else {
+			selected = arrived[:r.Cfg.Quorum]
+			for _, st := range arrived[r.Cfg.Quorum:] {
+				st.w.reclaimResidual(st.enc)
+				rr.Cut = append(rr.Cut, st.w.idx)
+			}
+			reg.Counter("fed_stragglers_cut_total").Add(float64(len(rr.Cut)))
+		}
+	}
+	for _, st := range selected {
+		rr.Participants = append(rr.Participants, st.w.idx)
+		if st.elapsed > rr.Wall {
+			rr.Wall = st.elapsed
+		}
+	}
+	sort.Ints(rr.Participants)
+	sort.Ints(rr.Cut)
+
+	// Aggregate: global += sum_i (n_i / n_total) * delta_i, accumulated
+	// in worker-index order so the float sums replay bit-for-bit.
+	if len(selected) > 0 {
+		if err := r.aggregate(selected); err != nil {
+			span.EndErr(err)
+			return rr, err
+		}
+		reg.Counter("fed_deltas_applied_total").Add(float64(len(selected)))
+	}
+
+	if err := r.checkpoint(idx); err != nil {
+		span.EndErr(err)
+		return rr, err
+	}
+	if len(r.val) > 0 {
+		vl, err := r.Global.Validate(r.val, r.Cfg.BatchSize)
+		if err != nil {
+			span.EndErr(err)
+			return rr, err
+		}
+		rr.ValLoss = vl
+		reg.Gauge("fed_val_loss").Set(vl)
+	}
+
+	reg.Counter("fed_rounds_total").Inc()
+	reg.Histogram("fed_round_seconds", obs.DefSecondsBuckets).ObserveDuration(rr.Wall)
+	span.SetAttr("participants", len(rr.Participants))
+	span.SetAttr("dropped", len(rr.Dropped))
+	span.SetAttr("cut", len(rr.Cut))
+	span.SetAttr("bytes_on_wire", rr.BytesOnWire())
+	span.SetSimDuration("round_wall", rr.Wall)
+	span.End()
+	return rr, nil
+}
+
+// drop records a worker leaving the current round.
+func (r *Run) drop(st *wstate, rr *RoundResult, reason string) {
+	st.ok = false
+	st.reason = reason
+	rr.Dropped = append(rr.Dropped, st.w.idx)
+	sort.Ints(rr.Dropped)
+	r.obs.Metrics.Counter("fed_workers_dropped_total").Inc()
+	r.obs.Metrics.Counter("fed_workers_dropped_total", obs.L("reason", reason)).Inc()
+}
+
+// broadcastSnapshot captures the global weights as each worker will
+// decode them (identical for every worker, so the fleet stays in lockstep
+// even under down-quantized broadcasts).
+func (r *Run) broadcastSnapshot() [][]float64 {
+	params := r.Global.Model().Params()
+	out := make([][]float64, len(params))
+	for i, p := range params {
+		vals := make([]float64, len(p.W.Data))
+		for j, v := range p.W.Data {
+			vals[j] = r.codec.broadcastValue(v)
+		}
+		out[i] = vals
+	}
+	return out
+}
+
+// setWeights installs the broadcast weights into both the worker's
+// trainable copy and the base copy it diffs against after training.
+func (w *worker) setWeights(vals [][]float64) error {
+	for _, m := range []nn.Model{w.local.Model(), w.base.Model()} {
+		params := m.Params()
+		if len(params) != len(vals) {
+			return fmt.Errorf("fed: broadcast has %d tensors, worker model %d", len(vals), len(params))
+		}
+		for i, p := range params {
+			copy(p.W.Data, vals[i])
+			p.Grad.Zero()
+		}
+	}
+	return nil
+}
+
+// residualFor returns the worker's error-feedback accumulator for codecs
+// that sparsify (allocated to match the delta's shape on first use), or
+// nil for codecs that ship everything.
+func (w *worker) residualFor(c codec, delta [][]float64) [][]float64 {
+	if _, ok := c.(topKCodec); !ok {
+		return nil
+	}
+	if w.residual == nil {
+		w.residual = make([][]float64, len(delta))
+		for i, t := range delta {
+			w.residual[i] = make([]float64, len(t))
+		}
+	}
+	return w.residual
+}
+
+// reclaimResidual returns an upload that never made it into the global
+// model to the worker's error-feedback accumulator, so a dropped or cut
+// round defers the update instead of losing it.
+func (w *worker) reclaimResidual(enc encoded) {
+	if w.residual == nil {
+		return
+	}
+	for i, t := range enc.values {
+		for j, v := range t {
+			w.residual[i][j] += v
+		}
+	}
+}
+
+// trainCost is the simulated edge compute time for one worker's local
+// epochs (samples x epochs x per-sample cost, scaled by the worker's
+// fixed speed factor).
+func (r *Run) trainCost(w *worker) time.Duration {
+	work := float64(len(w.shard)*r.Cfg.LocalEpochs) * float64(r.Cfg.PerSampleCost)
+	return time.Duration(work / w.speed)
+}
+
+// aggregate applies the shard-weighted FedAvg update to the global model.
+func (r *Run) aggregate(selected []*wstate) error {
+	byIdx := append([]*wstate(nil), selected...)
+	sort.Slice(byIdx, func(a, b int) bool { return byIdx[a].w.idx < byIdx[b].w.idx })
+	total := 0
+	for _, st := range byIdx {
+		total += len(st.w.shard)
+	}
+	params := r.Global.Model().Params()
+	avg := &nn.WeightDelta{Tensors: make([]*nn.Tensor, len(params))}
+	for i, p := range params {
+		avg.Tensors[i] = nn.NewTensor(p.W.Shape...)
+	}
+	for _, st := range byIdx {
+		weight := float64(len(st.w.shard)) / float64(total)
+		for i, t := range st.enc.values {
+			dst := avg.Tensors[i].Data
+			for j, v := range t {
+				dst[j] += weight * v
+			}
+		}
+	}
+	return nn.ApplyDelta(r.Global.Model(), avg)
+}
+
+// checkpoint writes the global model to the object store (under the retry
+// policy when a fault plan injects transient store errors), where the
+// serving registry's ETag poll picks it up.
+func (r *Run) checkpoint(round int) error {
+	if r.store == nil || r.Cfg.Container == "" {
+		return nil
+	}
+	var buf bytes.Buffer
+	if err := r.Global.Save(&buf); err != nil {
+		return err
+	}
+	meta := map[string]string{"fed-round": fmt.Sprint(round)}
+	put := func() error {
+		_, err := r.store.Put(r.Cfg.Container, r.Cfg.Object, buf.Bytes(), meta)
+		return err
+	}
+	if r.plan == nil {
+		if err := put(); err != nil {
+			return err
+		}
+	} else if err := r.plan.Do("fed_checkpoint", func(int) (time.Duration, error) {
+		return 0, put()
+	}); err != nil {
+		return err
+	}
+	r.obs.Metrics.Counter("fed_checkpoints_total").Inc()
+	return nil
+}

@@ -1,0 +1,126 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// deltaTestModel builds a small dense stack with a fixed seed.
+func deltaTestModel(seed int64) Model {
+	rng := rand.New(rand.NewSource(seed))
+	return NewSequential(NewDense(6, 8, rng), &ReLU{}, NewDense(8, 2, rng))
+}
+
+// bitsEqual compares two models' weights bit-for-bit and reports the first
+// mismatch.
+func bitsEqual(t *testing.T, got, want Model) {
+	t.Helper()
+	gp, wp := got.Params(), want.Params()
+	if len(gp) != len(wp) {
+		t.Fatalf("param count %d vs %d", len(gp), len(wp))
+	}
+	for i := range gp {
+		for j := range gp[i].W.Data {
+			g, w := gp[i].W.Data[j], wp[i].W.Data[j]
+			if math.Float64bits(g) != math.Float64bits(w) {
+				t.Fatalf("param %d index %d: got %x (%g), want %x (%g)",
+					i, j, math.Float64bits(g), g, math.Float64bits(w), w)
+			}
+		}
+	}
+}
+
+// TestDeltaRoundTripBitIdentical proves apply(export(a, b), b) == a
+// bitwise, including scalars deliberately chosen so that plain float64
+// subtract-then-add drifts (cancellation across binades, opposite signs,
+// denormals) — the cases the fixup list exists for.
+func TestDeltaRoundTripBitIdentical(t *testing.T) {
+	a := deltaTestModel(1)
+	b := deltaTestModel(2)
+
+	// Plant adversarial pairs: each (av, bv) is a case where b + (a-b) is
+	// not guaranteed to round back to a.
+	adversarial := [][2]float64{
+		{0.3, -0.1},
+		{1e16, 1},
+		{1 + math.Pow(2, -52), math.Pow(2, -60)},
+		{3e-310, -2.5e-308}, // subnormal territory
+		{-7.1, 7.0999999999999996},
+		{0, -0.0},
+	}
+	ap, bp := a.Params(), b.Params()
+	for k, pair := range adversarial {
+		ap[0].W.Data[k] = pair[0]
+		bp[0].W.Data[k] = pair[1]
+	}
+
+	d, err := DeltaFrom(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ApplyDelta(b, d); err != nil {
+		t.Fatal(err)
+	}
+	bitsEqual(t, b, a)
+}
+
+// TestDeltaRoundTripTrained runs the realistic path: b is an init, a is
+// the same init after training-like perturbations; the round trip must
+// still be exact.
+func TestDeltaRoundTripTrained(t *testing.T) {
+	a := deltaTestModel(7)
+	b := deltaTestModel(7)
+	rng := rand.New(rand.NewSource(99))
+	for _, p := range a.Params() {
+		for j := range p.W.Data {
+			p.W.Data[j] += 0.05 * rng.NormFloat64()
+		}
+	}
+	d, err := DeltaFrom(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ApplyDelta(b, d); err != nil {
+		t.Fatal(err)
+	}
+	bitsEqual(t, b, a)
+}
+
+// TestDeltaShapeMismatch checks both helpers reject mismatched
+// architectures instead of corrupting weights.
+func TestDeltaShapeMismatch(t *testing.T) {
+	a := deltaTestModel(1)
+	rng := rand.New(rand.NewSource(3))
+	other := NewSequential(NewDense(6, 4, rng), NewDense(4, 2, rng))
+	if _, err := DeltaFrom(a, other); err == nil {
+		t.Fatal("DeltaFrom accepted mismatched architectures")
+	}
+	d, err := DeltaFrom(a, deltaTestModel(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ApplyDelta(other, d); err == nil {
+		t.Fatal("ApplyDelta accepted mismatched architectures")
+	}
+}
+
+// TestDeltaScale checks scaling multiplies entries and clears fixups.
+func TestDeltaScale(t *testing.T) {
+	a, b := deltaTestModel(1), deltaTestModel(2)
+	d, err := DeltaFrom(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := d.Tensors[0].Data[1]
+	d.Scale(0.5)
+	if got := d.Tensors[0].Data[1]; got != before*0.5 {
+		t.Fatalf("scaled entry %g, want %g", got, before*0.5)
+	}
+	if d.Fixups != nil {
+		t.Fatal("Scale kept fixups; a scaled delta has no exact endpoint")
+	}
+	if d.MaxAbsDelta() <= 0 {
+		t.Fatal("MaxAbsDelta returned non-positive for a nonzero delta")
+	}
+}

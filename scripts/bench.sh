@@ -1,12 +1,14 @@
 #!/bin/sh
 # Reproducible benchmark runner: runs the paper-experiment benchmarks
-# (F1-F3, E1-E7, E10) plus the GEMM kernel micro-benchmarks under pinned
-# GOMAXPROCS, and emits a machine-readable BENCH_pr4.json recording
-# ns/op, bytes/op, allocs/op and — for the serving rows — req/s per
+# (F1-F3, E1-E7, E10-E11) plus the GEMM kernel micro-benchmarks under
+# pinned GOMAXPROCS, and emits a machine-readable BENCH_pr5.json recording
+# ns/op, bytes/op, allocs/op and — for the serving rows — req/s, and for
+# the federated rows — simulated round wall-clock (round_ms), WAN bytes
+# (bytes_on_wire), and final validation loss (final_valloss) per
 # benchmark — one datapoint of the repo's performance trajectory.
 #
 # Usage: ./scripts/bench.sh
-#   BENCH_OUT=path        output file (default BENCH_pr4.json)
+#   BENCH_OUT=path        output file (default BENCH_pr5.json)
 #   BENCH_GOMAXPROCS=n    pinned worker count (default 1, the contract
 #                         baseline: results are deterministic at any
 #                         fixed value, but timings only compare at the
@@ -19,7 +21,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-OUT=${BENCH_OUT:-BENCH_pr4.json}
+OUT=${BENCH_OUT:-BENCH_pr5.json}
 export GOMAXPROCS=${BENCH_GOMAXPROCS:-1}
 HEAVY_TIME=${BENCH_TIME_HEAVY:-2x}
 
@@ -39,6 +41,9 @@ go test -run '^$' -bench \
 echo "==> serving benchmarks (E10)"
 go test -run '^$' -bench '^BenchmarkE10Serving$' . | tee -a "$raw"
 
+echo "==> federated benchmarks (E11)"
+go test -run '^$' -bench '^BenchmarkE11Federated$' -benchtime 1x . | tee -a "$raw"
+
 echo "==> GEMM kernel micro-benchmarks"
 go test -run '^$' -bench '^BenchmarkGEMM$' -benchmem \
     ./internal/nn/kerneltest/ | tee -a "$raw"
@@ -48,21 +53,28 @@ awk -v gomaxprocs="$GOMAXPROCS" '
     name = $1
     sub(/-[0-9]+$/, "", name)   # strip the GOMAXPROCS suffix
     ns = ""; bytes = ""; allocs = ""; reqs = ""
+    roundms = ""; wire = ""; valloss = ""
     for (i = 2; i < NF; i++) {
         if ($(i+1) == "ns/op") ns = $i
         if ($(i+1) == "B/op") bytes = $i
         if ($(i+1) == "allocs/op") allocs = $i
         if ($(i+1) == "req/s") reqs = $i
+        if ($(i+1) == "round_ms") roundms = $i
+        if ($(i+1) == "bytes_on_wire") wire = $i
+        if ($(i+1) == "final_valloss") valloss = $i
     }
     if (ns == "") next
     if (n++) printf ",\n"
     printf "    \"%s\": {\"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s", \
         name, $2, ns, (bytes == "" ? 0 : bytes), (allocs == "" ? 0 : allocs)
     if (reqs != "") printf ", \"req_per_s\": %s", reqs
+    if (roundms != "") printf ", \"round_ms\": %s", roundms
+    if (wire != "") printf ", \"bytes_on_wire\": %s", wire
+    if (valloss != "") printf ", \"final_valloss\": %s", valloss
     printf "}"
 }
 BEGIN {
-    printf "{\n  \"pr\": 4,\n  \"gomaxprocs\": %s,\n  \"benchmarks\": {\n", gomaxprocs
+    printf "{\n  \"pr\": 5,\n  \"gomaxprocs\": %s,\n  \"benchmarks\": {\n", gomaxprocs
 }
 END { printf "\n  }\n}\n" }
 ' "$raw" > "$OUT"

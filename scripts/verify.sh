@@ -63,6 +63,61 @@ if [ -z "${SKIP_BENCH_GUARD:-}" ] && [ -f BENCH_pr3.json ]; then
     rm -f "$bout"
 fi
 
+if [ -z "${SKIP_BENCH_GUARD:-}" ] && [ -f BENCH_pr5.json ]; then
+    echo "==> federated regression guard vs BENCH_pr5.json (SKIP_BENCH_GUARD=1 to skip)"
+    fout=$(mktemp)
+    GOMAXPROCS=1 go test -run '^$' -bench '^BenchmarkE11Federated$' \
+        -benchtime 1x . >"$fout" 2>&1 || { cat "$fout" >&2; exit 1; }
+    # round_ms is simulated wall-clock, so it is deterministic on any
+    # machine: drifting past the limit means federated behavior changed.
+    for variant in sync/raw/lossy-wan quorum/raw/lossy-wan sync/topk/clean; do
+        name="BenchmarkE11Federated/$variant"
+        base=$(awk -v n="\"$name\"" '
+            index($0, n": {") { sub(".*\"round_ms\": ", ""); sub("[,}].*", ""); print }
+        ' BENCH_pr5.json)
+        new=$(awk -v n="$name" '$1 ~ "^"n {
+            for (i = 2; i < NF; i++) if ($(i+1) == "round_ms") print $i
+        }' "$fout")
+        if [ -z "$base" ] || [ -z "$new" ]; then
+            echo "federated guard: missing $name round_ms (base='$base' new='$new')" >&2
+            exit 1
+        fi
+        if awk -v n="$new" -v b="$base" 'BEGIN { exit !(n > b * 1.25) }'; then
+            echo "federated guard: $name round_ms regressed >25%: $new vs baseline $base" >&2
+            exit 1
+        fi
+        echo "    $name: round_ms $new (baseline $base, limit +25%)"
+    done
+    # The headline acceptance numbers must keep holding: quorum beats the
+    # barrier under the straggler profile, and top-k stays >=3x cheaper.
+    awk '
+        $1 ~ "^BenchmarkE11Federated/sync/raw/lossy-wan" {
+            for (i = 2; i < NF; i++) if ($(i+1) == "round_ms") syncms = $i
+        }
+        $1 ~ "^BenchmarkE11Federated/quorum/raw/lossy-wan" {
+            for (i = 2; i < NF; i++) if ($(i+1) == "round_ms") qms = $i
+        }
+        $1 ~ "^BenchmarkE11Federated/sync/raw/clean" {
+            for (i = 2; i < NF; i++) if ($(i+1) == "bytes_on_wire") rawb = $i
+        }
+        $1 ~ "^BenchmarkE11Federated/sync/topk/clean" {
+            for (i = 2; i < NF; i++) if ($(i+1) == "bytes_on_wire") topkb = $i
+        }
+        END {
+            if (syncms == "" || qms == "" || rawb == "" || topkb == "") {
+                print "federated guard: missing E11 metrics" > "/dev/stderr"; exit 1
+            }
+            if (qms + 0 >= syncms + 0) {
+                print "federated guard: quorum round_ms " qms " not faster than sync " syncms > "/dev/stderr"; exit 1
+            }
+            if (rawb + 0 < 3 * topkb) {
+                print "federated guard: topk bytes " topkb " not >=3x smaller than raw " rawb > "/dev/stderr"; exit 1
+            }
+        }
+    ' "$fout"
+    rm -f "$fout"
+fi
+
 echo "==> gofmt -l ."
 unformatted=$(gofmt -l .)
 if [ -n "$unformatted" ]; then
