@@ -11,7 +11,9 @@ import (
 	"repro/internal/fed"
 	"repro/internal/netem"
 	"repro/internal/objstore"
+	"repro/internal/obs"
 	"repro/internal/pilot"
+	"repro/internal/serve"
 	"repro/internal/sim"
 	"repro/internal/track"
 )
@@ -91,6 +93,28 @@ func cmdFedTrain(args []string) error {
 		fmt.Printf("== fault profile %q (seed %d)\n", *profile, *seed)
 	}
 
+	// The serving side rides along in the same trace: after the first
+	// round registers the global checkpoint, every later round's ETag poll
+	// hot-swaps it, so the exported trace runs end to end from worker
+	// train through WAN upload and aggregation into the serving reload.
+	var reloads int
+	if cfg.Container != "" {
+		sreg, err := serve.NewRegistry(deps.Store, cfg.Container)
+		if err != nil {
+			return err
+		}
+		sreg.Instrument(o.Metrics)
+		sreg.SetTracer(o.Tracer)
+		deps.AfterRound = func(round int, sc obs.SpanContext) error {
+			if round == 0 {
+				return sreg.RegisterCtx(sc, "fed-global", cfg.Object)
+			}
+			n, err := sreg.PollOnceCtx(sc)
+			reloads += n
+			return err
+		}
+	}
+
 	global, err := pilot.New(pcfg)
 	if err != nil {
 		return err
@@ -117,8 +141,8 @@ func cmdFedTrain(args []string) error {
 	fmt.Printf("== final val loss %.4f, %.1f KB total on wire, mean round wall %v\n",
 		out.FinalValLoss, float64(out.TotalBytes)/1024, out.MeanRoundWall.Round(time.Millisecond))
 	if out.CheckpointContainer != "" {
-		fmt.Printf("== global checkpoint at %s/%s (ETag-pollable by serve)\n",
-			out.CheckpointContainer, out.CheckpointObject)
+		fmt.Printf("== global checkpoint at %s/%s (served as fed-global, %d hot reloads)\n",
+			out.CheckpointContainer, out.CheckpointObject, reloads)
 	}
 	if deps.Plan != nil {
 		fmt.Printf("== faults: %s\n", deps.Plan.Summary())

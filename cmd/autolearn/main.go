@@ -18,6 +18,7 @@
 //	autolearn zero      [-image-mb 800]
 //	autolearn placement [-params 150000]
 //	autolearn serve     -models name=FILE[,name=FILE...] [-addr :8899] [-max-batch 32] [-batch-window 2ms]
+//	autolearn obs       report -trace FILE
 package main
 
 import (
@@ -133,6 +134,8 @@ func main() {
 		err = cmdServe(os.Args[2:])
 	case "fed-train":
 		err = cmdFedTrain(os.Args[2:])
+	case "obs":
+		err = cmdObs(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -164,6 +167,8 @@ commands:
   merge       combine several tubs into one (mix and match)
   serve       run the batched inference service over trained checkpoints
   fed-train   run federated FedAvg rounds across a fleet of edge workers
+  obs         observability utilities: obs report -trace FILE summarizes
+              a JSONL trace (per-stage timings, tree, critical path)
 
 pipeline, models, and evaluate accept -trace FILE (JSONL span trace) and
 -metrics FILE (Prometheus text format) to export observability data.

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/obs"
+)
+
+// cmdObs dispatches the observability subcommands; "report" summarizes a
+// JSONL trace file into per-stage timings and the critical path, for CI
+// and post-mortems.
+func cmdObs(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("obs: usage: autolearn obs report -trace FILE")
+	}
+	switch args[0] {
+	case "report":
+		return cmdObsReport(args[1:])
+	default:
+		return fmt.Errorf("obs: unknown subcommand %q (want report)", args[0])
+	}
+}
+
+func cmdObsReport(args []string) error {
+	fs := flag.NewFlagSet("obs report", flag.ExitOnError)
+	trace := fs.String("trace", "", "JSONL trace file (required; written by -trace on pipeline/fed-train)")
+	fs.Parse(args)
+	if *trace == "" {
+		return fmt.Errorf("obs report: -trace is required")
+	}
+	f, err := os.Open(*trace)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	recs, err := obs.ReadTraceJSONL(f)
+	if err != nil {
+		return fmt.Errorf("obs report: %s: %w", *trace, err)
+	}
+	if len(recs) == 0 {
+		return fmt.Errorf("obs report: %s holds no spans", *trace)
+	}
+	return obs.WriteTraceReport(os.Stdout, recs)
+}

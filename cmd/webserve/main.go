@@ -44,10 +44,11 @@ func main() {
 // app is the assembled simulation + web layer, separated from the
 // listener so tests can drive the loop and handlers directly.
 type app struct {
-	srv  *webctl.Server
-	reg  *obs.Registry
-	mux  *http.ServeMux
-	loop func(ctx context.Context)
+	srv    *webctl.Server
+	reg    *obs.Registry
+	tracer *obs.Tracer
+	mux    *http.ServeMux
+	loop   func(ctx context.Context)
 }
 
 func build(trackName string, hz float64) (*app, error) {
@@ -79,6 +80,8 @@ func build(trackName string, hz float64) (*app, error) {
 	srv.UpdateState(car.State)
 
 	reg := obs.NewRegistry()
+	tracer := obs.NewTracer()
+	srv.SetObserver(obs.Observer{Tracer: tracer, Metrics: reg})
 	reg.Help("webserve_frames_total", "camera frames rendered by the drive loop")
 	reg.Help("webserve_loop_hz", "configured drive loop rate")
 	reg.Help("webserve_tick_seconds", "wall-clock cost of one physics+render tick")
@@ -125,7 +128,8 @@ func build(trackName string, hz float64) (*app, error) {
 	mux := http.NewServeMux()
 	mux.Handle("/", srv)
 	mux.Handle("/metrics", obs.Handler(reg))
-	return &app{srv: srv, reg: reg, mux: mux, loop: loop}, nil
+	mux.Handle("/debug/obs", obs.DebugHandler(obs.Observer{Tracer: tracer, Metrics: reg}))
+	return &app{srv: srv, reg: reg, tracer: tracer, mux: mux, loop: loop}, nil
 }
 
 // run serves until ctx is canceled, then shuts the HTTP server down
@@ -144,7 +148,7 @@ func run(ctx context.Context, addr, trackName string, hz float64) error {
 	hs := &http.Server{Handler: a.mux}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
-	log.Printf("web controller on %s (track %s); POST /drive, GET /state, GET /video, GET /metrics",
+	log.Printf("web controller on %s (track %s); POST /drive, GET /state, GET /video, GET /metrics, GET /debug/obs",
 		ln.Addr(), trackName)
 	select {
 	case <-ctx.Done():

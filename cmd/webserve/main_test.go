@@ -144,6 +144,88 @@ func TestEndpointsAgainstRunningLoop(t *testing.T) {
 	}
 }
 
+// TestObservabilityEndpoints pins the telemetry surface: /metrics and
+// /debug/obs serve the right content types, are GET-only, and a /drive
+// command carrying a trace context shows up on the dashboard.
+func TestObservabilityEndpoints(t *testing.T) {
+	a, err := build("default-oval", 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(a.mux)
+	defer srv.Close()
+
+	// A traced drive command: the server must continue the client's trace.
+	root := a.tracer.Start("pilot-loop")
+	req, err := http.NewRequest(http.MethodPost, srv.URL+"/drive",
+		strings.NewReader(`{"angle":0.1,"throttle":0.4}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	root.Context().Inject(req.Header)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("/drive status %d", resp.StatusCode)
+	}
+	root.End()
+
+	get := func(path string) (int, string, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, resp.Header.Get("Content-Type"), buf.String()
+	}
+
+	code, ct, body := get("/metrics")
+	if code != http.StatusOK || !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("/metrics = (%d, %q), want (200, text/plain)", code, ct)
+	}
+	if !strings.Contains(body, `webctl_commands_total{endpoint="drive"} 1`) {
+		t.Errorf("/metrics missing the drive command counter:\n%s", body)
+	}
+	// The registry is quiescent, so back-to-back scrapes must be identical.
+	if _, _, again := get("/metrics"); again != body {
+		t.Error("/metrics body changed between identical scrapes")
+	}
+
+	code, ct, body = get("/debug/obs")
+	if code != http.StatusOK || !strings.HasPrefix(ct, "text/html") {
+		t.Errorf("/debug/obs = (%d, %q), want (200, text/html)", code, ct)
+	}
+	for _, want := range []string{"webctl_drive", root.TraceID, "webserve_loop_hz"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/debug/obs missing %q", want)
+		}
+	}
+	code, ct, body = get("/debug/obs?format=json")
+	if code != http.StatusOK || !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("/debug/obs?format=json = (%d, %q), want (200, application/json)", code, ct)
+	}
+	if _, _, again := get("/debug/obs?format=json"); again != body {
+		t.Error("/debug/obs JSON changed between identical requests")
+	}
+
+	for _, path := range []string{"/metrics", "/debug/obs"} {
+		resp, err := http.Post(srv.URL+path, "text/plain", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("POST %s status %d, want 405", path, resp.StatusCode)
+		}
+	}
+}
+
 // TestRunShutsDownOnCancel exercises the graceful-shutdown path main wires
 // to SIGINT: cancelation must make run return promptly and cleanly.
 func TestRunShutsDownOnCancel(t *testing.T) {

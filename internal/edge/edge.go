@@ -90,7 +90,9 @@ type Hub struct {
 	// ImagePullRate is container-image bytes per second onto the device.
 	ImagePullRate float64
 
-	metrics *obs.Registry
+	metrics    *obs.Registry
+	tracer     *obs.Tracer
+	traceScope obs.SpanContext // ambient round context for sweep spans
 }
 
 // Instrument routes control-plane metrics into reg: a heartbeat-liveness
@@ -107,6 +109,24 @@ func (h *Hub) Instrument(reg *obs.Registry) {
 	h.metrics = reg
 	reg.Counter("edge_sweep_evictions_total")
 	h.publishLocked()
+}
+
+// SetTracer attaches a tracer so heartbeat sweeps can emit spans. Nil
+// detaches.
+func (h *Hub) SetTracer(tr *obs.Tracer) {
+	h.mu.Lock()
+	h.tracer = tr
+	h.mu.Unlock()
+}
+
+// SetTraceScope installs the ambient trace context that clock-driven
+// activity (heartbeat sweeps fired from virtual-time playback, which has
+// no caller to thread a context through) parents its spans under. A fed
+// round sets its round span here; the zero context clears the scope.
+func (h *Hub) SetTraceScope(sc obs.SpanContext) {
+	h.mu.Lock()
+	h.traceScope = sc
+	h.mu.Unlock()
 }
 
 // publishLocked refreshes the liveness and container gauges; callers hold

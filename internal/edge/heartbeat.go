@@ -3,6 +3,7 @@ package edge
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"time"
 )
 
@@ -73,6 +74,15 @@ func (h *Hub) SweepHeartbeats(now time.Time) []string {
 	if len(dropped) > 0 {
 		h.metrics.Counter("edge_sweep_evictions_total").Add(float64(len(dropped)))
 		h.publishLocked()
+		// Sweeps fire from clock playback, so the trace context arrives
+		// ambiently (SetTraceScope) rather than as an argument; only
+		// eviction sweeps are interesting enough to record.
+		if h.tracer != nil && h.traceScope.Valid() {
+			span := h.tracer.StartWith("edge_sweep", h.traceScope)
+			span.SetAttr("evicted", len(dropped))
+			span.SetAttr("devices", strings.Join(dropped, ","))
+			span.End()
+		}
 	}
 	return dropped
 }

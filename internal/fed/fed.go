@@ -142,6 +142,11 @@ type Deps struct {
 	// Start anchors the private clock when Plan is nil (Plan's own clock
 	// is used otherwise). The zero value is a fixed 2023 instant.
 	Start time.Time
+	// AfterRound, when set, runs at the end of every round inside the
+	// round's trace scope — the hook cmd/autolearn uses to hot-reload the
+	// serving registry from the fresh checkpoint without fed importing
+	// serve. A non-nil error aborts the run.
+	AfterRound func(round int, sc obs.SpanContext) error
 }
 
 // worker is one edge participant: its shard, its local pilot (re-seeded
@@ -170,13 +175,14 @@ type Run struct {
 	workers []*worker
 	val     []pilot.Sample
 
-	net   *netem.Net
-	hub   *edge.Hub
-	store *objstore.Store
-	plan  *faults.Plan
-	clock *faults.Clock
-	obs   obs.Observer
-	codec codec
+	net        *netem.Net
+	hub        *edge.Hub
+	store      *objstore.Store
+	plan       *faults.Plan
+	clock      *faults.Clock
+	obs        obs.Observer
+	codec      codec
+	afterRound func(round int, sc obs.SpanContext) error
 
 	playback *heartbeatPlayback
 }
@@ -219,21 +225,36 @@ func NewRun(cfg Config, deps Deps, global *pilot.Pilot, shards [][]pilot.Sample,
 		clock = time.Date(2023, 9, 1, 9, 0, 0, 0, time.UTC)
 	}
 	r := &Run{
-		Cfg:    cfg,
-		Global: global,
-		val:    val,
-		net:    deps.Net,
-		hub:    deps.Hub,
-		store:  deps.Store,
-		plan:   deps.Plan,
-		obs:    deps.Obs,
-		codec:  cdc,
+		Cfg:        cfg,
+		Global:     global,
+		val:        val,
+		net:        deps.Net,
+		hub:        deps.Hub,
+		store:      deps.Store,
+		plan:       deps.Plan,
+		obs:        deps.Obs,
+		codec:      cdc,
+		afterRound: deps.AfterRound,
 	}
 	if deps.Plan != nil {
 		r.clock = deps.Plan.Clock
 		deps.Net.SetFaults(deps.Plan)
 	} else {
 		r.clock = faults.NewClock(clock)
+	}
+	// The run lives entirely in virtual time, so its spans should too:
+	// re-clock the tracer onto the run's clock and hand it to every
+	// substrate a round's trace flows through. With deterministic span IDs
+	// this is what makes two same-seed runs export byte-identical traces.
+	if deps.Obs.Tracer != nil {
+		deps.Obs.Tracer.SetClock(r.clock.Now)
+		deps.Net.SetTracer(deps.Obs.Tracer)
+		if deps.Hub != nil {
+			deps.Hub.SetTracer(deps.Obs.Tracer)
+		}
+		if deps.Store != nil {
+			deps.Store.SetTracer(deps.Obs.Tracer)
+		}
 	}
 
 	var scripted []string
@@ -334,9 +355,12 @@ func (r *Run) live(w *worker) bool {
 // already advanced by it. A retryable failure that exhausts the policy
 // budget is reported as (elapsed, err) with faults.Retryable(err) true —
 // the caller drops the worker instead of stalling the round.
-func (r *Run) transfer(op string, size int64) (time.Duration, error) {
+// The trace context rides along so each WAN attempt (including the
+// retries a fault plan injects) emits its own netem_transfer span under
+// the caller's stage span.
+func (r *Run) transfer(sc obs.SpanContext, op string, size int64) (time.Duration, error) {
 	if r.plan == nil {
-		tr, err := r.net.Transfer(r.Cfg.Link, size)
+		tr, err := r.net.TransferCtx(sc, r.Cfg.Link, size)
 		if err != nil {
 			return 0, err
 		}
@@ -345,7 +369,7 @@ func (r *Run) transfer(op string, size int64) (time.Duration, error) {
 	}
 	before := r.clock.Now()
 	err := r.plan.Do(op, func(int) (time.Duration, error) {
-		tr, err := r.net.Transfer(r.Cfg.Link, size)
+		tr, err := r.net.TransferCtx(sc, r.Cfg.Link, size)
 		if err != nil {
 			return 0, err
 		}

@@ -117,6 +117,13 @@ func (r *Run) round(idx int, parent *obs.Span) (RoundResult, error) {
 	reg := r.obs.Metrics
 	span := parent.Child("fed-round")
 	span.SetAttr("round", idx)
+	sc := span.Context()
+	// Clock-driven activity during this round (heartbeat sweeps) parents
+	// its spans under the round via the hub's ambient scope.
+	if r.hub != nil {
+		r.hub.SetTraceScope(sc)
+		defer r.hub.SetTraceScope(obs.SpanContext{})
+	}
 	rr := RoundResult{Round: idx, ValLoss: -1}
 	states := make([]*wstate, len(r.workers))
 	for i, w := range r.workers {
@@ -135,8 +142,12 @@ func (r *Run) round(idx int, parent *obs.Span) (RoundResult, error) {
 			r.drop(st, &rr, "offline")
 			continue
 		}
-		d, err := r.transfer("fed_broadcast", bcastBytes)
+		bsp := span.Child("fed_broadcast")
+		bsp.SetAttr("worker", st.w.name)
+		bsp.SetAttr("bytes", bcastBytes)
+		d, err := r.transfer(bsp.Context(), "fed_broadcast", bcastBytes)
 		if err != nil {
+			bsp.EndErr(err)
 			if !faults.Retryable(err) {
 				span.EndErr(err)
 				return rr, err
@@ -145,6 +156,8 @@ func (r *Run) round(idx int, parent *obs.Span) (RoundResult, error) {
 			continue
 		}
 		st.elapsed = d
+		bsp.SetSimDuration("broadcast", d)
+		bsp.End()
 		rr.BroadcastBytes += bcastBytes
 		reg.Counter("fed_bytes_on_wire_total", obs.L("dir", "broadcast")).Add(float64(bcastBytes))
 		if err := st.w.setWeights(globalVals); err != nil {
@@ -177,7 +190,12 @@ func (r *Run) round(idx int, parent *obs.Span) (RoundResult, error) {
 		}(i, st)
 	}
 	wg.Wait()
+	// Train spans are opened sequentially (index order) after the parallel
+	// work so span IDs and timestamps stay deterministic; each carries its
+	// worker's simulated cost, while the wall interval of all of them is
+	// the round's single fleet-wide advance below.
 	var maxTrain time.Duration
+	trainSpans := make([]*obs.Span, len(states))
 	for i, st := range states {
 		if !st.ok {
 			continue
@@ -191,11 +209,19 @@ func (r *Run) round(idx int, parent *obs.Span) (RoundResult, error) {
 		if cost > maxTrain {
 			maxTrain = cost
 		}
+		tsp := span.Child("fed_local_train")
+		tsp.SetAttr("worker", st.w.name)
+		tsp.SetAttr("samples", len(st.w.shard))
+		tsp.SetSimDuration("train", cost)
+		trainSpans[i] = tsp
 	}
 	// The fleet trains in parallel in simulated time: the clock moves by
 	// the slowest worker's epochs, letting heartbeat windows and fault
 	// schedules progress through the round.
 	r.clock.Advance(maxTrain)
+	for _, tsp := range trainSpans {
+		tsp.End()
+	}
 
 	// Upload: each worker exports delta = local - base, compresses it,
 	// and ships it; the retry policy turns outages into backoff, and an
@@ -220,9 +246,13 @@ func (r *Run) round(idx int, parent *obs.Span) (RoundResult, error) {
 			vals[i] = t.Data
 		}
 		st.enc = r.codec.encodeDelta(vals, st.w.residualFor(r.codec, vals))
-		d, err := r.transfer("fed_upload", st.enc.wireBytes)
+		usp := span.Child("fed_upload")
+		usp.SetAttr("worker", st.w.name)
+		usp.SetAttr("bytes", st.enc.wireBytes)
+		d, err := r.transfer(usp.Context(), "fed_upload", st.enc.wireBytes)
 		st.elapsed += d
 		if err != nil {
+			usp.EndErr(err)
 			if !faults.Retryable(err) {
 				span.EndErr(err)
 				return rr, err
@@ -231,6 +261,8 @@ func (r *Run) round(idx int, parent *obs.Span) (RoundResult, error) {
 			r.drop(st, &rr, "link")
 			continue
 		}
+		usp.SetSimDuration("upload", d)
+		usp.End()
 		rr.UploadBytes += st.enc.wireBytes
 		reg.Counter("fed_bytes_on_wire_total", obs.L("dir", "upload")).Add(float64(st.enc.wireBytes))
 		// The upload itself advances the clock, so the sweep can evict a
@@ -249,7 +281,7 @@ func (r *Run) round(idx int, parent *obs.Span) (RoundResult, error) {
 		if st.ok {
 			arrived = append(arrived, st)
 			reg.Histogram("fed_worker_seconds", obs.DefSecondsBuckets,
-				obs.L("worker", st.w.name)).ObserveDuration(st.elapsed)
+				obs.L("worker", st.w.name)).ObserveDurationExemplar(st.elapsed, span.Context().TraceID)
 		}
 	}
 	sort.Slice(arrived, func(a, b int) bool {
@@ -283,29 +315,44 @@ func (r *Run) round(idx int, parent *obs.Span) (RoundResult, error) {
 	// Aggregate: global += sum_i (n_i / n_total) * delta_i, accumulated
 	// in worker-index order so the float sums replay bit-for-bit.
 	if len(selected) > 0 {
+		asp := span.Child("fed_aggregate")
+		asp.SetAttr("participants", len(selected))
 		if err := r.aggregate(selected); err != nil {
+			asp.EndErr(err)
 			span.EndErr(err)
 			return rr, err
 		}
+		asp.End()
 		reg.Counter("fed_deltas_applied_total").Add(float64(len(selected)))
 	}
 
-	if err := r.checkpoint(idx); err != nil {
+	if err := r.checkpoint(idx, span); err != nil {
 		span.EndErr(err)
 		return rr, err
 	}
 	if len(r.val) > 0 {
+		vsp := span.Child("fed_validate")
 		vl, err := r.Global.Validate(r.val, r.Cfg.BatchSize)
 		if err != nil {
+			vsp.EndErr(err)
 			span.EndErr(err)
 			return rr, err
 		}
+		vsp.SetAttr("val_loss", vl)
+		vsp.End()
 		rr.ValLoss = vl
 		reg.Gauge("fed_val_loss").Set(vl)
 	}
+	if r.afterRound != nil {
+		if err := r.afterRound(idx, sc); err != nil {
+			span.EndErr(err)
+			return rr, fmt.Errorf("fed: after-round hook round %d: %w", idx, err)
+		}
+	}
 
 	reg.Counter("fed_rounds_total").Inc()
-	reg.Histogram("fed_round_seconds", obs.DefSecondsBuckets).ObserveDuration(rr.Wall)
+	reg.Histogram("fed_round_seconds", obs.DefSecondsBuckets).
+		ObserveDurationExemplar(rr.Wall, span.Context().TraceID)
 	span.SetAttr("participants", len(rr.Participants))
 	span.SetAttr("dropped", len(rr.Dropped))
 	span.SetAttr("cut", len(rr.Cut))
@@ -422,29 +469,37 @@ func (r *Run) aggregate(selected []*wstate) error {
 
 // checkpoint writes the global model to the object store (under the retry
 // policy when a fault plan injects transient store errors), where the
-// serving registry's ETag poll picks it up.
-func (r *Run) checkpoint(round int) error {
+// serving registry's ETag poll picks it up. Each store attempt emits an
+// objstore_put span under the round's fed_checkpoint span.
+func (r *Run) checkpoint(round int, parent *obs.Span) error {
 	if r.store == nil || r.Cfg.Container == "" {
 		return nil
 	}
+	csp := parent.Child("fed_checkpoint")
+	csp.SetAttr("round", round)
+	err := r.writeCheckpoint(round, csp.Context())
+	csp.EndErr(err)
+	if err != nil {
+		return err
+	}
+	r.obs.Metrics.Counter("fed_checkpoints_total").Inc()
+	return nil
+}
+
+func (r *Run) writeCheckpoint(round int, sc obs.SpanContext) error {
 	var buf bytes.Buffer
 	if err := r.Global.Save(&buf); err != nil {
 		return err
 	}
 	meta := map[string]string{"fed-round": fmt.Sprint(round)}
 	put := func() error {
-		_, err := r.store.Put(r.Cfg.Container, r.Cfg.Object, buf.Bytes(), meta)
+		_, err := r.store.PutTraced(sc, r.Cfg.Container, r.Cfg.Object, buf.Bytes(), meta)
 		return err
 	}
 	if r.plan == nil {
-		if err := put(); err != nil {
-			return err
-		}
-	} else if err := r.plan.Do("fed_checkpoint", func(int) (time.Duration, error) {
-		return 0, put()
-	}); err != nil {
-		return err
+		return put()
 	}
-	r.obs.Metrics.Counter("fed_checkpoints_total").Inc()
-	return nil
+	return r.plan.Do("fed_checkpoint", func(int) (time.Duration, error) {
+		return 0, put()
+	})
 }

@@ -1,0 +1,110 @@
+package fed
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// traceRun executes a small lossy-wan run and returns its exported trace.
+func traceRun(t *testing.T, seed int64) ([]obs.TraceSpanRec, []byte) {
+	t.Helper()
+	cfg := testCfg()
+	deps := testDeps(t, "lossy-wan", seed)
+	r := newTestRun(t, cfg, deps, 45)
+	if _, err := r.Execute(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := deps.Obs.Tracer.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := obs.ReadTraceJSONL(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return recs, buf.Bytes()
+}
+
+// TestRoundTraceLinks asserts the round's cross-subsystem story: one
+// trace from fed-train down through worker train, WAN transfers,
+// aggregation, and the objstore checkpoint, with intact parent links.
+func TestRoundTraceLinks(t *testing.T) {
+	recs, _ := traceRun(t, 1)
+
+	byID := map[string]obs.TraceSpanRec{}
+	for _, rec := range recs {
+		byID[rec.ID] = rec
+	}
+	var rootTrace string
+	byName := map[string][]obs.TraceSpanRec{}
+	for _, rec := range recs {
+		byName[rec.Name] = append(byName[rec.Name], rec)
+		if rec.Name == "fed-train" {
+			rootTrace = rec.Trace
+		}
+	}
+	if rootTrace == "" {
+		t.Fatal("no fed-train root span")
+	}
+	for _, name := range []string{"fed-round", "fed_broadcast", "fed_local_train",
+		"fed_upload", "fed_aggregate", "fed_checkpoint", "fed_validate",
+		"netem_transfer", "objstore_put"} {
+		if len(byName[name]) == 0 {
+			t.Errorf("no %q spans in trace", name)
+		}
+	}
+	// Every span belongs to the single run trace with a resolvable parent.
+	for _, rec := range recs {
+		if rec.Trace != rootTrace {
+			t.Errorf("span %s (%s) in trace %s, want %s", rec.ID, rec.Name, rec.Trace, rootTrace)
+		}
+		if rec.Name == "fed-train" {
+			continue
+		}
+		p, ok := byID[rec.Parent]
+		if !ok {
+			t.Errorf("span %s (%s) has unknown parent %q", rec.ID, rec.Name, rec.Parent)
+			continue
+		}
+		switch rec.Name {
+		case "fed-round":
+			if p.Name != "fed-train" {
+				t.Errorf("fed-round parent = %s, want fed-train", p.Name)
+			}
+		case "netem_transfer":
+			if p.Name != "fed_broadcast" && p.Name != "fed_upload" {
+				t.Errorf("netem_transfer parent = %s, want fed_broadcast|fed_upload", p.Name)
+			}
+		case "objstore_put":
+			if p.Name != "fed_checkpoint" {
+				t.Errorf("objstore_put parent = %s, want fed_checkpoint", p.Name)
+			}
+		case "edge_sweep":
+			if p.Name != "fed-round" {
+				t.Errorf("edge_sweep parent = %s, want fed-round", p.Name)
+			}
+		}
+	}
+	// The lossy-wan profile injects outages, so retried stages must show
+	// more transfer attempts than successful stage spans.
+	if got, want := len(byName["netem_transfer"]),
+		len(byName["fed_broadcast"])+len(byName["fed_upload"]); got < want {
+		t.Errorf("netem_transfer spans = %d, want >= %d (one per attempt)", got, want)
+	}
+}
+
+// TestTraceByteIdenticalRuns is the acceptance check that two same-seed
+// runs — spans finishing on whatever schedule the Go scheduler picks —
+// export byte-identical trace files.
+func TestTraceByteIdenticalRuns(t *testing.T) {
+	_, a := traceRun(t, 1)
+	_, b := traceRun(t, 1)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same-seed runs exported different trace bytes")
+	}
+	if len(a) == 0 {
+		t.Fatal("trace export is empty")
+	}
+}

@@ -89,6 +89,7 @@ type Net struct {
 	rpcs      int
 
 	metrics *obs.Registry
+	tracer  *obs.Tracer
 	faults  *faults.Plan
 }
 
@@ -108,6 +109,14 @@ func (n *Net) Instrument(reg *obs.Registry) {
 	reg.Help("netem_transfer_seconds", "simulated bulk-transfer duration per link")
 	reg.Help("netem_rpc_seconds", "simulated RPC round-trip duration per link")
 	reg.Help("netem_retransmits_total", "packets retransmitted on lossy links")
+}
+
+// SetTracer attaches a tracer: TransferCtx/RTTCtx then emit one span per
+// attempt under the caller's propagated context. Nil detaches.
+func (n *Net) SetTracer(tr *obs.Tracer) {
+	n.mu.Lock()
+	n.tracer = tr
+	n.mu.Unlock()
 }
 
 // SetFaults attaches a fault plan: links consult its outage and
@@ -180,6 +189,32 @@ type TransferResult struct {
 // rsync") of size bytes over the link: serialization time plus propagation,
 // with lost packets retransmitted.
 func (n *Net) Transfer(l Link, size int64) (TransferResult, error) {
+	return n.transfer(l, size, "")
+}
+
+// TransferCtx is Transfer continuing a propagated trace: it emits one
+// "netem_transfer" span per call (so a retry loop shows each attempt) and
+// tags the duration histogram with the trace as an exemplar.
+func (n *Net) TransferCtx(sc obs.SpanContext, l Link, size int64) (TransferResult, error) {
+	n.mu.Lock()
+	tr := n.tracer
+	n.mu.Unlock()
+	if tr == nil || !sc.Valid() {
+		return n.transfer(l, size, sc.TraceID)
+	}
+	span := tr.StartWith("netem_transfer", sc)
+	span.SetAttr("link", l.Name)
+	span.SetAttr("bytes", size)
+	res, err := n.transfer(l, size, sc.TraceID)
+	if err == nil {
+		span.SetAttr("retransmits", res.Retransmits)
+		span.SetSimDuration("transfer", res.Duration)
+	}
+	span.EndErr(err)
+	return res, err
+}
+
+func (n *Net) transfer(l Link, size int64, traceID string) (TransferResult, error) {
 	if err := l.Validate(); err != nil {
 		return TransferResult{}, err
 	}
@@ -222,7 +257,8 @@ func (n *Net) Transfer(l Link, size int64) (TransferResult, error) {
 	link := obs.L("link", l.Name)
 	reg.Counter("netem_transfer_bytes_total", link).Add(float64(size))
 	reg.Counter("netem_retransmits_total", link).Add(float64(retrans))
-	reg.Histogram("netem_transfer_seconds", obs.DefSecondsBuckets, link).ObserveDuration(dur)
+	reg.Histogram("netem_transfer_seconds", obs.DefSecondsBuckets, link).
+		ObserveDurationExemplar(dur, traceID)
 	tp := 0.0
 	if dur > 0 {
 		tp = float64(size) / dur.Seconds()
@@ -233,6 +269,30 @@ func (n *Net) Transfer(l Link, size int64) (TransferResult, error) {
 // RTT models a small request/response exchange (an inference RPC): one
 // round trip plus serialization of both payloads, retrying on loss.
 func (n *Net) RTT(l Link, reqBytes, respBytes int) (time.Duration, error) {
+	return n.rtt(l, reqBytes, respBytes, "")
+}
+
+// RTTCtx is RTT continuing a propagated trace with a "netem_rpc" span and
+// a duration exemplar.
+func (n *Net) RTTCtx(sc obs.SpanContext, l Link, reqBytes, respBytes int) (time.Duration, error) {
+	n.mu.Lock()
+	tr := n.tracer
+	n.mu.Unlock()
+	if tr == nil || !sc.Valid() {
+		return n.rtt(l, reqBytes, respBytes, sc.TraceID)
+	}
+	span := tr.StartWith("netem_rpc", sc)
+	span.SetAttr("link", l.Name)
+	span.SetAttr("bytes", reqBytes+respBytes)
+	d, err := n.rtt(l, reqBytes, respBytes, sc.TraceID)
+	if err == nil {
+		span.SetSimDuration("rpc", d)
+	}
+	span.EndErr(err)
+	return d, err
+}
+
+func (n *Net) rtt(l Link, reqBytes, respBytes int, traceID string) (time.Duration, error) {
 	if err := l.Validate(); err != nil {
 		return 0, err
 	}
@@ -256,7 +316,8 @@ func (n *Net) RTT(l Link, reqBytes, respBytes int) (time.Duration, error) {
 	n.mu.Unlock()
 	link := obs.L("link", l.Name)
 	reg.Counter("netem_transfer_bytes_total", link).Add(float64(reqBytes + respBytes))
-	reg.Histogram("netem_rpc_seconds", obs.DefSecondsBuckets, link).ObserveDuration(d)
+	reg.Histogram("netem_rpc_seconds", obs.DefSecondsBuckets, link).
+		ObserveDurationExemplar(d, traceID)
 	return d, nil
 }
 

@@ -14,6 +14,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Errors returned by store operations.
@@ -44,6 +46,7 @@ type Store struct {
 	containers map[string]map[string]*object
 	clock      func() time.Time
 	faultHook  func(op, container, name string) error
+	obsTracer  *obs.Tracer
 }
 
 // New creates an empty store. The clock may be overridden for

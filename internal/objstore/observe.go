@@ -1,0 +1,59 @@
+package objstore
+
+import (
+	"repro/internal/obs"
+)
+
+// This file is the store's tracing shim: the store itself stays free of
+// observability state except for one optional tracer, and callers that
+// carry a trace context use the *Traced variants so a checkpoint write or
+// model fetch shows up as a span inside the round or request that caused
+// it.
+
+// SetTracer attaches a tracer to the store for the *Traced operations.
+// Nil detaches.
+func (s *Store) SetTracer(tr *obs.Tracer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.obsTracer = tr
+}
+
+func (s *Store) tracer() *obs.Tracer {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.obsTracer
+}
+
+// PutTraced is Put continuing a propagated trace with an "objstore_put"
+// span recording the container, object, and payload size.
+func (s *Store) PutTraced(sc obs.SpanContext, container, name string, data []byte, meta map[string]string) (ObjectInfo, error) {
+	tr := s.tracer()
+	if tr == nil || !sc.Valid() {
+		return s.Put(container, name, data, meta)
+	}
+	span := tr.StartWith("objstore_put", sc)
+	span.SetAttr("container", container)
+	span.SetAttr("object", name)
+	span.SetAttr("bytes", len(data))
+	info, err := s.Put(container, name, data, meta)
+	span.EndErr(err)
+	return info, err
+}
+
+// GetTraced is Get continuing a propagated trace with an "objstore_get"
+// span.
+func (s *Store) GetTraced(sc obs.SpanContext, container, name string) ([]byte, ObjectInfo, error) {
+	tr := s.tracer()
+	if tr == nil || !sc.Valid() {
+		return s.Get(container, name)
+	}
+	span := tr.StartWith("objstore_get", sc)
+	span.SetAttr("container", container)
+	span.SetAttr("object", name)
+	data, info, err := s.Get(container, name)
+	if err == nil {
+		span.SetAttr("bytes", len(data))
+	}
+	span.EndErr(err)
+	return data, info, err
+}

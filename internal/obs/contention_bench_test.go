@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// This file benchmarks the sharded lock-striped registry against a
+// faithful copy of the pre-sharding implementation (single registry
+// mutex, per-instrument mutexes, sort.Slice+fmt series keys), preserved
+// below as the "mutex" variant. The interesting row is g8: eight
+// goroutines hammering the same hot series through registry lookups,
+// the coordinator-side access pattern of a 10k-worker fleet.
+
+type oldCounter struct {
+	mu sync.Mutex
+	v  float64
+}
+
+func (c *oldCounter) Inc() {
+	c.mu.Lock()
+	c.v++
+	c.mu.Unlock()
+}
+
+type oldHistogram struct {
+	mu     sync.Mutex
+	bounds []float64
+	counts []uint64
+	sum    float64
+	count  uint64
+}
+
+func (h *oldHistogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	idx := len(h.bounds)
+	for i, b := range h.bounds {
+		if v <= b {
+			idx = i
+			break
+		}
+	}
+	h.counts[idx]++
+	h.sum += v
+	h.count++
+}
+
+type oldRegistry struct {
+	mu         sync.Mutex
+	counters   map[string]*oldCounter
+	histograms map[string]*oldHistogram
+}
+
+func newOldRegistry() *oldRegistry {
+	return &oldRegistry{
+		counters:   map[string]*oldCounter{},
+		histograms: map[string]*oldHistogram{},
+	}
+}
+
+func oldSeriesKey(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Key, l.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func (r *oldRegistry) Counter(name string, labels ...Label) *oldCounter {
+	key := oldSeriesKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[key]
+	if !ok {
+		c = &oldCounter{}
+		r.counters[key] = c
+	}
+	return c
+}
+
+func (r *oldRegistry) Histogram(name string, bounds []float64, labels ...Label) *oldHistogram {
+	key := oldSeriesKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[key]
+	if !ok {
+		bs := append([]float64(nil), bounds...)
+		sort.Float64s(bs)
+		h = &oldHistogram{bounds: bs, counts: make([]uint64, len(bs)+1)}
+		r.histograms[key] = h
+	}
+	return h
+}
+
+// contend runs b.N ops split across g goroutines, each op being the hot
+// coordinator mix: one unlabeled counter bump plus one labeled histogram
+// observation, both through registry lookups (the realistic pattern —
+// call sites rarely cache instruments).
+func contend(b *testing.B, g int, op func(i int)) {
+	b.ReportAllocs()
+	var wg sync.WaitGroup
+	per := b.N / g
+	b.ResetTimer()
+	for w := 0; w < g; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				op(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func BenchmarkRegistryContention(b *testing.B) {
+	for _, g := range []int{1, 4, 8} {
+		g := g
+		b.Run(fmt.Sprintf("mutex/g%d", g), func(b *testing.B) {
+			r := newOldRegistry()
+			contend(b, g, func(i int) {
+				r.Counter("fed_ops_total").Inc()
+				r.Histogram("fed_op_seconds", DefSecondsBuckets,
+					L("stage", "upload")).Observe(float64(i%100) / 100)
+			})
+		})
+		b.Run(fmt.Sprintf("sharded/g%d", g), func(b *testing.B) {
+			r := NewRegistry()
+			contend(b, g, func(i int) {
+				r.Counter("fed_ops_total").Inc()
+				r.Histogram("fed_op_seconds", DefSecondsBuckets,
+					L("stage", "upload")).Observe(float64(i%100) / 100)
+			})
+		})
+	}
+}

@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{1, 2, 4, 8})
+	// 10 observations uniformly into the (1,2] bucket, 10 into (4,8].
+	for i := 0; i < 10; i++ {
+		h.Observe(1.5)
+		h.Observe(6)
+	}
+	// rank(p50)=10 → exactly fills the (1,2] bucket → its upper bound.
+	if got := h.Quantile(0.5); got != 2 {
+		t.Errorf("p50 = %v, want 2", got)
+	}
+	// rank(p90)=18 → 8/10 into the (4,8] bucket → 4 + 0.8*4.
+	if got := h.Quantile(0.9); math.Abs(got-7.2) > 1e-9 {
+		t.Errorf("p90 = %v, want 7.2", got)
+	}
+	// Values past the last bound clamp to it.
+	h2 := r.Histogram("lat2", []float64{1, 2})
+	h2.Observe(100)
+	if got := h2.Quantile(0.99); got != 2 {
+		t.Errorf("+Inf-bucket p99 = %v, want last bound 2", got)
+	}
+	// Empty and nil histograms are 0.
+	if got := r.Histogram("lat3", []float64{1}).Quantile(0.5); got != 0 {
+		t.Errorf("empty p50 = %v, want 0", got)
+	}
+	var nilH *Histogram
+	if got := nilH.Quantile(0.5); got != 0 {
+		t.Errorf("nil p50 = %v, want 0", got)
+	}
+	// Snapshot surfaces the same estimates.
+	q := r.Snapshot().HistQuantiles["lat"]
+	if q.P50 != 2 || math.Abs(q.P90-7.2) > 1e-9 {
+		t.Errorf("snapshot quantiles = %+v", q)
+	}
+}
+
+func TestHistogramExemplars(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{1, 10})
+	h.ObserveExemplar(0.5, "tfast")
+	h.ObserveExemplar(5, "tslow")
+	h.ObserveExemplar(3, "tslow2") // same bucket: last write wins
+	h.Observe(0.7)                 // untagged: leaves exemplar alone
+	ex := h.Exemplars()
+	if len(ex) != 3 {
+		t.Fatalf("exemplar slots = %d, want 3", len(ex))
+	}
+	if ex[0].TraceID != "tfast" || ex[0].Value != 0.5 {
+		t.Errorf("bucket 0 exemplar = %+v", ex[0])
+	}
+	if ex[1].TraceID != "tslow2" || ex[1].Value != 3 {
+		t.Errorf("bucket 1 exemplar = %+v", ex[1])
+	}
+	if got := slowestExemplar(h); got != "tslow2" {
+		t.Errorf("slowestExemplar = %q, want tslow2", got)
+	}
+	if h.Count() != 4 {
+		t.Errorf("count = %d, want 4", h.Count())
+	}
+}
+
+func TestMetricsHandlerMethods(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits").Inc()
+	srv := httptest.NewServer(Handler(r))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+
+	resp, err = http.Post(srv.URL, "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /metrics = %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestDebugHandler(t *testing.T) {
+	o := Observer{Tracer: NewTracerWithClock(fixedClock(time.Millisecond)), Metrics: NewRegistry()}
+	o.Metrics.Counter("fed_rounds_total").Add(3)
+	o.Metrics.Gauge("edge_devices_live").Set(5)
+	root := o.Tracer.Start("fed-round")
+	h := o.Metrics.Histogram("fed_round_seconds", []float64{1, 10})
+	h.ObserveExemplar(4, root.TraceID)
+	root.Child("upload").End()
+	root.End()
+
+	srv := httptest.NewServer(DebugHandler(o))
+	defer srv.Close()
+
+	get := func(url string) (*http.Response, string) {
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, err := resp.Body.Read(buf)
+			sb.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		resp.Body.Close()
+		return resp, sb.String()
+	}
+
+	resp, body := get(srv.URL)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/obs = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
+		t.Errorf("content type = %q", ct)
+	}
+	for _, want := range []string{"fed_rounds_total", "edge_devices_live",
+		"fed_round_seconds", "fed-round", "upload", root.TraceID} {
+		if !strings.Contains(body, want) {
+			t.Errorf("dashboard missing %q", want)
+		}
+	}
+
+	// JSON view is deterministic across requests.
+	resp, body1 := get(srv.URL + "?format=json")
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("json content type = %q", ct)
+	}
+	_, body2 := get(srv.URL + "?format=json")
+	if body1 != body2 {
+		t.Error("json debug body not deterministic")
+	}
+	for _, want := range []string{`"schema": 1`, `"p90"`, `"exemplar": "` + root.TraceID + `"`} {
+		if !strings.Contains(body1, want) {
+			t.Errorf("json debug missing %q:\n%s", want, body1)
+		}
+	}
+
+	// POST is rejected.
+	pr, err := http.Post(srv.URL, "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr.Body.Close()
+	if pr.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /debug/obs = %d, want 405", pr.StatusCode)
+	}
+}

@@ -6,31 +6,65 @@ import (
 	"math"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
+
+// numShards is the lock-stripe width of the registry. 16 keeps the
+// per-shard maps small while making it unlikely that two hot series
+// contend on the same lock; series→shard assignment is a stable hash of
+// the canonical series key, so exposition order never depends on it.
+const numShards = 16
+
+// registryShard is one stripe of the registry: its own lock and its own
+// slice of the series namespace. Lookups take the read lock (the steady
+// state once a series exists); only first-creation takes the write lock.
+type registryShard struct {
+	mu         sync.RWMutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
 
 // Registry holds named metrics. Metrics are get-or-create: asking for the
 // same name and label set twice returns the same instrument, so layers can
 // be instrumented independently and still share series. A nil *Registry
 // returns nil instruments, which are themselves no-ops.
+//
+// Internally the registry is lock-striped across numShards shards and the
+// instruments themselves update via atomics, so a fleet of goroutines
+// hammering hot counters contends on nothing but the cache line of the
+// counter itself. Exposition (WriteProm, Snapshot) gathers across shards
+// and is byte-identical to the old single-mutex layout.
 type Registry struct {
-	mu         sync.Mutex
-	counters   map[string]*Counter
-	gauges     map[string]*Gauge
-	histograms map[string]*Histogram
-	help       map[string]string // metric name -> HELP text
+	shards [numShards]registryShard
+
+	helpMu sync.Mutex
+	help   map[string]string // metric name -> HELP text
 }
 
 // NewRegistry builds an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{
-		counters:   map[string]*Counter{},
-		gauges:     map[string]*Gauge{},
-		histograms: map[string]*Histogram{},
-		help:       map[string]string{},
+	r := &Registry{help: map[string]string{}}
+	for i := range r.shards {
+		r.shards[i].counters = map[string]*Counter{}
+		r.shards[i].gauges = map[string]*Gauge{}
+		r.shards[i].histograms = map[string]*Histogram{}
 	}
+	return r
+}
+
+// shardOf hashes a series key onto a stripe (FNV-1a).
+func shardOf(key string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return h % numShards
 }
 
 // Label is one key=value dimension on a metric series.
@@ -41,31 +75,63 @@ type Label struct {
 // L is shorthand for building a label.
 func L(key, value string) Label { return Label{Key: key, Value: value} }
 
-// seriesKey canonicalizes name+labels: labels sorted by key.
+// seriesKey canonicalizes name+labels: labels sorted by key. This sits on
+// the hot path of every labeled-instrument lookup, so it avoids
+// sort.Slice (closure allocation) and fmt (interface boxing): label sets
+// are tiny, so an insertion sort over a stack copy plus
+// strconv.AppendQuote — which produces exactly fmt's %q bytes — builds
+// the same key with a single allocation for the final string.
 func seriesKey(name string, labels []Label) string {
 	if len(labels) == 0 {
 		return name
 	}
-	ls := append([]Label(nil), labels...)
-	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
-	var b strings.Builder
-	b.WriteString(name)
-	b.WriteByte('{')
+	var arr [8]Label
+	var ls []Label
+	if len(labels) <= len(arr) {
+		ls = arr[:len(labels)]
+		copy(ls, labels)
+	} else {
+		ls = append([]Label(nil), labels...)
+	}
+	for i := 1; i < len(ls); i++ {
+		for j := i; j > 0 && ls[j].Key < ls[j-1].Key; j-- {
+			ls[j], ls[j-1] = ls[j-1], ls[j]
+		}
+	}
+	n := len(name) + 2
+	for _, l := range ls {
+		n += len(l.Key) + len(l.Value) + 4
+	}
+	buf := make([]byte, 0, n)
+	buf = append(buf, name...)
+	buf = append(buf, '{')
 	for i, l := range ls {
 		if i > 0 {
-			b.WriteByte(',')
+			buf = append(buf, ',')
 		}
-		fmt.Fprintf(&b, "%s=%q", l.Key, l.Value)
+		buf = append(buf, l.Key...)
+		buf = append(buf, '=')
+		buf = strconv.AppendQuote(buf, l.Value)
 	}
-	b.WriteByte('}')
-	return b.String()
+	buf = append(buf, '}')
+	return string(buf)
 }
 
-// Counter is a monotonically increasing value.
+// addFloatBits atomically adds delta to a float64 stored as uint64 bits.
+func addFloatBits(bits *atomic.Uint64, delta float64) {
+	for {
+		old := bits.Load()
+		if bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+delta)) {
+			return
+		}
+	}
+}
+
+// Counter is a monotonically increasing value. Updates are lock-free
+// (CAS on the float bits).
 type Counter struct {
-	mu  sync.Mutex
-	v   float64
-	key string
+	bits atomic.Uint64
+	key  string
 }
 
 // Add increases the counter; negative deltas are ignored.
@@ -73,9 +139,7 @@ func (c *Counter) Add(delta float64) {
 	if c == nil || delta < 0 {
 		return
 	}
-	c.mu.Lock()
-	c.v += delta
-	c.mu.Unlock()
+	addFloatBits(&c.bits, delta)
 }
 
 // Inc adds 1.
@@ -86,16 +150,13 @@ func (c *Counter) Value() float64 {
 	if c == nil {
 		return 0
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.v
+	return math.Float64frombits(c.bits.Load())
 }
 
-// Gauge is a value that can go up and down.
+// Gauge is a value that can go up and down. Updates are lock-free.
 type Gauge struct {
-	mu  sync.Mutex
-	v   float64
-	key string
+	bits atomic.Uint64
+	key  string
 }
 
 // Set stores the gauge value.
@@ -103,9 +164,7 @@ func (g *Gauge) Set(v float64) {
 	if g == nil {
 		return
 	}
-	g.mu.Lock()
-	g.v = v
-	g.mu.Unlock()
+	g.bits.Store(math.Float64bits(v))
 }
 
 // Add moves the gauge by delta (either sign).
@@ -113,9 +172,7 @@ func (g *Gauge) Add(delta float64) {
 	if g == nil {
 		return
 	}
-	g.mu.Lock()
-	g.v += delta
-	g.mu.Unlock()
+	addFloatBits(&g.bits, delta)
 }
 
 // Value reads the gauge (0 for nil).
@@ -123,21 +180,27 @@ func (g *Gauge) Value() float64 {
 	if g == nil {
 		return 0
 	}
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.v
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Exemplar ties a histogram bucket back to the trace that landed in it,
+// so a slow bucket points at a concrete run to inspect.
+type Exemplar struct {
+	TraceID string
+	Value   float64
 }
 
 // Histogram counts observations into fixed cumulative buckets, Prometheus
 // style: counts[i] is the number of observations <= Bounds[i], with an
-// implicit +Inf bucket holding everything else.
+// implicit +Inf bucket holding everything else. Observations are
+// lock-free: per-bucket atomic counts, CAS-summed total.
 type Histogram struct {
-	mu     sync.Mutex
-	bounds []float64
-	counts []uint64 // len(bounds)+1; last is +Inf
-	sum    float64
-	count  uint64
-	key    string
+	bounds    []float64
+	counts    []atomic.Uint64 // len(bounds)+1; last is +Inf
+	sumBits   atomic.Uint64
+	count     atomic.Uint64
+	exemplars []atomic.Pointer[Exemplar] // parallel to counts; last trace per bucket
+	key       string
 }
 
 // DefSecondsBuckets spans microseconds to hours, suiting both real epoch
@@ -151,36 +214,50 @@ var DefBytesBuckets = []float64{
 	1 << 10, 16 << 10, 256 << 10, 1 << 20, 16 << 20, 256 << 20, 1 << 30,
 }
 
+// bucketIdx returns the index of the bucket v falls into.
+func (h *Histogram) bucketIdx(v float64) int {
+	for i, b := range h.bounds {
+		if v <= b {
+			return i
+		}
+	}
+	return len(h.bounds)
+}
+
 // Observe records one value.
-func (h *Histogram) Observe(v float64) {
+func (h *Histogram) Observe(v float64) { h.ObserveExemplar(v, "") }
+
+// ObserveExemplar records one value and, when traceID is non-empty, tags
+// the bucket it landed in with that trace — the exemplar a dashboard
+// surfaces next to a suspicious bucket.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
 	if h == nil || math.IsNaN(v) {
 		return
 	}
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	idx := len(h.bounds)
-	for i, b := range h.bounds {
-		if v <= b {
-			idx = i
-			break
-		}
+	idx := h.bucketIdx(v)
+	h.counts[idx].Add(1)
+	addFloatBits(&h.sumBits, v)
+	h.count.Add(1)
+	if traceID != "" {
+		h.exemplars[idx].Store(&Exemplar{TraceID: traceID, Value: v})
 	}
-	h.counts[idx]++
-	h.sum += v
-	h.count++
 }
 
 // ObserveDuration records a duration in seconds.
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// ObserveDurationExemplar records a duration in seconds with a trace
+// exemplar.
+func (h *Histogram) ObserveDurationExemplar(d time.Duration, traceID string) {
+	h.ObserveExemplar(d.Seconds(), traceID)
+}
 
 // Count returns the number of observations (0 for nil).
 func (h *Histogram) Count() uint64 {
 	if h == nil {
 		return 0
 	}
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.count
+	return h.count.Load()
 }
 
 // Sum returns the sum of observed values (0 for nil).
@@ -188,9 +265,63 @@ func (h *Histogram) Sum() float64 {
 	if h == nil {
 		return 0
 	}
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.sum
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Quantile estimates the q-th quantile (0 < q < 1) from the bucket
+// counts by linear interpolation within the containing bucket — the same
+// estimate Prometheus's histogram_quantile computes, so it is exactly as
+// deterministic as the bucket counts. Values in the first bucket
+// interpolate from 0; ranks landing in the +Inf bucket return the
+// largest finite bound. Returns 0 when empty or nil.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i, b := range h.bounds {
+		c := float64(h.counts[i].Load())
+		if c > 0 && cum+c >= rank {
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			frac := (rank - cum) / c
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			return lo + (b-lo)*frac
+		}
+		cum += c
+	}
+	if len(h.bounds) > 0 {
+		return h.bounds[len(h.bounds)-1]
+	}
+	return 0
+}
+
+// Exemplars returns a copy of the per-bucket exemplars (zero-value
+// entries where no traced observation has landed). Index i corresponds
+// to the bucket with bound Bounds[i]; the final entry is +Inf.
+func (h *Histogram) Exemplars() []Exemplar {
+	if h == nil {
+		return nil
+	}
+	out := make([]Exemplar, len(h.exemplars))
+	for i := range h.exemplars {
+		if e := h.exemplars[i].Load(); e != nil {
+			out[i] = *e
+		}
+	}
+	return out
 }
 
 // Counter returns (creating if needed) the counter for name+labels.
@@ -199,12 +330,18 @@ func (r *Registry) Counter(name string, labels ...Label) *Counter {
 		return nil
 	}
 	key := seriesKey(name, labels)
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	c, ok := r.counters[key]
-	if !ok {
+	sh := &r.shards[shardOf(key)]
+	sh.mu.RLock()
+	c := sh.counters[key]
+	sh.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if c = sh.counters[key]; c == nil {
 		c = &Counter{key: key}
-		r.counters[key] = c
+		sh.counters[key] = c
 	}
 	return c
 }
@@ -215,12 +352,18 @@ func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
 		return nil
 	}
 	key := seriesKey(name, labels)
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	g, ok := r.gauges[key]
-	if !ok {
+	sh := &r.shards[shardOf(key)]
+	sh.mu.RLock()
+	g := sh.gauges[key]
+	sh.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if g = sh.gauges[key]; g == nil {
 		g = &Gauge{key: key}
-		r.gauges[key] = g
+		sh.gauges[key] = g
 	}
 	return g
 }
@@ -234,14 +377,25 @@ func (r *Registry) Histogram(name string, bounds []float64, labels ...Label) *Hi
 		return nil
 	}
 	key := seriesKey(name, labels)
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	h, ok := r.histograms[key]
-	if !ok {
+	sh := &r.shards[shardOf(key)]
+	sh.mu.RLock()
+	h := sh.histograms[key]
+	sh.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if h = sh.histograms[key]; h == nil {
 		bs := append([]float64(nil), bounds...)
 		sort.Float64s(bs)
-		h = &Histogram{key: key, bounds: bs, counts: make([]uint64, len(bs)+1)}
-		r.histograms[key] = h
+		h = &Histogram{
+			key:       key,
+			bounds:    bs,
+			counts:    make([]atomic.Uint64, len(bs)+1),
+			exemplars: make([]atomic.Pointer[Exemplar], len(bs)+1),
+		}
+		sh.histograms[key] = h
 	}
 	return h
 }
@@ -252,9 +406,31 @@ func (r *Registry) Help(name, text string) {
 	if r == nil {
 		return
 	}
-	r.mu.Lock()
+	r.helpMu.Lock()
 	r.help[name] = text
-	r.mu.Unlock()
+	r.helpMu.Unlock()
+}
+
+// gather snapshots the instrument maps across every shard.
+func (r *Registry) gather() (counters map[string]*Counter, gauges map[string]*Gauge, histograms map[string]*Histogram) {
+	counters = map[string]*Counter{}
+	gauges = map[string]*Gauge{}
+	histograms = map[string]*Histogram{}
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.RLock()
+		for k, v := range sh.counters {
+			counters[k] = v
+		}
+		for k, v := range sh.gauges {
+			gauges[k] = v
+		}
+		for k, v := range sh.histograms {
+			histograms[k] = v
+		}
+		sh.mu.RUnlock()
+	}
+	return counters, gauges, histograms
 }
 
 // baseName strips a series key back to its metric name.
@@ -290,44 +466,35 @@ func formatValue(v float64) string {
 }
 
 // WriteProm writes the registry in the Prometheus text exposition format,
-// deterministically ordered (metric name, then series key).
+// deterministically ordered (metric name, then series key). The output
+// bytes are independent of the shard layout: series are gathered across
+// shards and sorted exactly as the single-mutex registry sorted them.
 func (r *Registry) WriteProm(w io.Writer) error {
 	if r == nil {
 		return nil
 	}
-	r.mu.Lock()
+	counters, gauges, histograms := r.gather()
+	r.helpMu.Lock()
+	help := make(map[string]string, len(r.help))
+	for k, v := range r.help {
+		help[k] = v
+	}
+	r.helpMu.Unlock()
+
 	type series struct {
 		key  string
 		kind string // counter | gauge | histogram
 	}
 	var all []series
-	for k := range r.counters {
+	for k := range counters {
 		all = append(all, series{k, "counter"})
 	}
-	for k := range r.gauges {
+	for k := range gauges {
 		all = append(all, series{k, "gauge"})
 	}
-	for k := range r.histograms {
+	for k := range histograms {
 		all = append(all, series{k, "histogram"})
 	}
-	help := make(map[string]string, len(r.help))
-	for k, v := range r.help {
-		help[k] = v
-	}
-	counters := make(map[string]*Counter, len(r.counters))
-	for k, v := range r.counters {
-		counters[k] = v
-	}
-	gauges := make(map[string]*Gauge, len(r.gauges))
-	for k, v := range r.gauges {
-		gauges[k] = v
-	}
-	histograms := make(map[string]*Histogram, len(r.histograms))
-	for k, v := range r.histograms {
-		histograms[k] = v
-	}
-	r.mu.Unlock()
-
 	sort.Slice(all, func(i, j int) bool {
 		ni, nj := baseName(all[i].key), baseName(all[j].key)
 		if ni != nj {
@@ -361,67 +528,58 @@ func (r *Registry) WriteProm(w io.Writer) error {
 		case "histogram":
 			h := histograms[s.key]
 			part := labelPart(s.key)
-			h.mu.Lock()
 			var cum uint64
 			for i, b := range h.bounds {
-				cum += h.counts[i]
+				cum += h.counts[i].Load()
 				le := mergeLabels(part, fmt.Sprintf("le=%q", formatValue(b)))
 				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, le, cum); err != nil {
-					h.mu.Unlock()
 					return err
 				}
 			}
-			cum += h.counts[len(h.bounds)]
+			cum += h.counts[len(h.bounds)].Load()
 			le := mergeLabels(part, `le="+Inf"`)
 			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, le, cum); err != nil {
-				h.mu.Unlock()
 				return err
 			}
 			if _, err := fmt.Fprintf(w, "%s_sum%s %s\n%s_count%s %d\n",
-				name, part, formatValue(h.sum), name, part, h.count); err != nil {
-				h.mu.Unlock()
+				name, part, formatValue(h.Sum()), name, part, cum); err != nil {
 				return err
 			}
-			h.mu.Unlock()
 		}
 	}
 	return nil
 }
 
+// QuantileSet is the standard latency summary derived from a histogram's
+// buckets.
+type QuantileSet struct {
+	P50, P90, P99 float64
+}
+
 // Snapshot is a point-in-time copy of every series, for tests.
 type Snapshot struct {
-	Counters   map[string]float64
-	Gauges     map[string]float64
-	HistCounts map[string]uint64
-	HistSums   map[string]float64
+	Counters      map[string]float64
+	Gauges        map[string]float64
+	HistCounts    map[string]uint64
+	HistSums      map[string]float64
+	HistQuantiles map[string]QuantileSet
 }
 
 // Snapshot copies the registry's current values keyed by canonical series
-// key (name plus sorted labels).
+// key (name plus sorted labels). Histograms additionally carry
+// bucket-interpolated p50/p90/p99 estimates in HistQuantiles.
 func (r *Registry) Snapshot() Snapshot {
 	snap := Snapshot{
-		Counters:   map[string]float64{},
-		Gauges:     map[string]float64{},
-		HistCounts: map[string]uint64{},
-		HistSums:   map[string]float64{},
+		Counters:      map[string]float64{},
+		Gauges:        map[string]float64{},
+		HistCounts:    map[string]uint64{},
+		HistSums:      map[string]float64{},
+		HistQuantiles: map[string]QuantileSet{},
 	}
 	if r == nil {
 		return snap
 	}
-	r.mu.Lock()
-	counters := make(map[string]*Counter, len(r.counters))
-	for k, v := range r.counters {
-		counters[k] = v
-	}
-	gauges := make(map[string]*Gauge, len(r.gauges))
-	for k, v := range r.gauges {
-		gauges[k] = v
-	}
-	histograms := make(map[string]*Histogram, len(r.histograms))
-	for k, v := range r.histograms {
-		histograms[k] = v
-	}
-	r.mu.Unlock()
+	counters, gauges, histograms := r.gather()
 	for k, c := range counters {
 		snap.Counters[k] = c.Value()
 	}
@@ -431,13 +589,21 @@ func (r *Registry) Snapshot() Snapshot {
 	for k, h := range histograms {
 		snap.HistCounts[k] = h.Count()
 		snap.HistSums[k] = h.Sum()
+		snap.HistQuantiles[k] = QuantileSet{
+			P50: h.Quantile(0.5), P90: h.Quantile(0.9), P99: h.Quantile(0.99),
+		}
 	}
 	return snap
 }
 
-// Handler serves the registry as a Prometheus-format /metrics endpoint.
+// Handler serves the registry as a Prometheus-format /metrics endpoint
+// (GET only; other methods get 405).
 func Handler(r *Registry) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = r.WriteProm(w)
 	})

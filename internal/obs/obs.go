@@ -1,7 +1,11 @@
 // Package obs is the reproduction's zero-dependency observability layer:
-// hierarchical spans with JSONL trace export, and a concurrency-safe
-// metrics registry (counters, gauges, fixed-bucket histograms) with a
-// Prometheus-style text exposition writer.
+// hierarchical spans with deterministic trace/span IDs, cross-subsystem
+// context propagation (SpanContext, in-process or via the X-Trace-Context
+// header) and sorted JSONL trace export, plus a lock-striped,
+// atomic-update metrics registry (counters, gauges, fixed-bucket
+// histograms with quantile estimates and trace exemplars) with a
+// Prometheus-style text exposition writer, a /debug/obs dashboard
+// handler, and an offline trace-report renderer.
 //
 // The package exists because the paper's pipeline (Fig. 1: collect →
 // clean → train → evaluate) is meant to be *inspected* by students, and

@@ -45,13 +45,23 @@ func TestSpanHierarchyAndJSONL(t *testing.T) {
 	if len(recs) != 2 {
 		t.Fatalf("JSONL lines = %d, want 2", len(recs))
 	}
-	// collect ended first.
-	child, parent := recs[0], recs[1]
-	if child["name"] != "collect" || parent["name"] != "pipeline" {
-		t.Fatalf("unexpected span order: %v then %v", child["name"], parent["name"])
+	// Export is sorted by start time: the root started first.
+	parent, child := recs[0], recs[1]
+	if parent["name"] != "pipeline" || child["name"] != "collect" {
+		t.Fatalf("unexpected span order: %v then %v", parent["name"], child["name"])
 	}
 	if child["parent"] != parent["id"] {
 		t.Errorf("child parent = %v, want %v", child["parent"], parent["id"])
+	}
+	if parent["v"].(float64) != TraceSchemaVersion {
+		t.Errorf("schema version = %v, want %d", parent["v"], TraceSchemaVersion)
+	}
+	if parent["trace"] == "" || parent["trace"] != child["trace"] {
+		t.Errorf("trace IDs: parent %v child %v, want equal and non-empty",
+			parent["trace"], child["trace"])
+	}
+	if _, hasParent := parent["parent"]; hasParent {
+		t.Errorf("root span should omit parent, got %v", parent["parent"])
 	}
 	attrs := child["attrs"].(map[string]any)
 	if attrs["records"].(float64) != 42 {

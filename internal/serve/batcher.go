@@ -26,6 +26,7 @@ var (
 type request struct {
 	sample   pilot.Sample
 	ctx      context.Context
+	sc       obs.SpanContext // propagated trace, {} when the caller has none
 	enqueued time.Time
 	resp     chan response
 }
@@ -42,10 +43,11 @@ type response struct {
 // first. One goroutine per model also serializes forward passes, which the
 // nn layers require (Forward mutates layer state).
 type batcher struct {
-	model string
-	reg   *Registry
-	cfg   Config
-	slow  func() time.Duration
+	model  string
+	reg    *Registry
+	cfg    Config
+	slow   func() time.Duration
+	tracer func() *obs.Tracer
 
 	queue chan *request
 	done  chan struct{}
@@ -63,15 +65,19 @@ type batcher struct {
 // batchSizeBuckets bound the serve_batch_size histogram.
 var batchSizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64}
 
-func newBatcher(model string, reg *Registry, cfg Config, metrics *obs.Registry, slow func() time.Duration) *batcher {
+func newBatcher(model string, reg *Registry, cfg Config, metrics *obs.Registry, slow func() time.Duration, tracer func() *obs.Tracer) *batcher {
 	lbl := obs.L("model", model)
+	if tracer == nil {
+		tracer = func() *obs.Tracer { return nil }
+	}
 	b := &batcher{
-		model: model,
-		reg:   reg,
-		cfg:   cfg,
-		slow:  slow,
-		queue: make(chan *request, cfg.QueueDepth),
-		done:  make(chan struct{}),
+		model:  model,
+		reg:    reg,
+		cfg:    cfg,
+		slow:   slow,
+		tracer: tracer,
+		queue:  make(chan *request, cfg.QueueDepth),
+		done:   make(chan struct{}),
 
 		depth:     metrics.Gauge("serve_queue_depth", lbl),
 		batchSize: metrics.Histogram("serve_batch_size", batchSizeBuckets, lbl),
@@ -178,6 +184,19 @@ func (b *batcher) exec(batch []*request) {
 	if len(live) == 0 {
 		return
 	}
+	// A mini-batch serves many traces but is one operation; attribute the
+	// serve_batch span to the first traced request it answers.
+	var bsp *obs.Span
+	if tr := b.tracer(); tr != nil {
+		for _, r := range live {
+			if r.sc.Valid() {
+				bsp = tr.StartWith("serve_batch", r.sc)
+				bsp.SetAttr("model", b.model)
+				bsp.SetAttr("batch_size", len(live))
+				break
+			}
+		}
+	}
 	if b.slow != nil {
 		if d := b.slow(); d > 0 {
 			time.Sleep(d)
@@ -185,9 +204,11 @@ func (b *batcher) exec(batch []*request) {
 	}
 	p, ok := b.reg.Pilot(b.model)
 	if !ok {
+		err := errors.New("serve: model unregistered mid-flight")
 		for _, r := range live {
-			r.resp <- response{err: errors.New("serve: model unregistered mid-flight")}
+			r.resp <- response{err: err}
 		}
+		bsp.EndErr(err)
 		return
 	}
 	samples := make([]pilot.Sample, len(live))
@@ -196,10 +217,13 @@ func (b *batcher) exec(batch []*request) {
 	}
 	out, err := p.InferBatch(samples)
 	now := time.Now()
+	// End before replying: once a caller unblocks, its trace must already
+	// contain the finished batch span.
+	bsp.EndErr(err)
 	b.batches.Inc()
 	b.batchSize.Observe(float64(len(live)))
 	for i, r := range live {
-		b.latency.Observe(now.Sub(r.enqueued).Seconds())
+		b.latency.ObserveExemplar(now.Sub(r.enqueued).Seconds(), r.sc.TraceID)
 		if err != nil {
 			r.resp <- response{err: err}
 			continue

@@ -24,6 +24,7 @@ type Registry struct {
 
 	mu     sync.RWMutex
 	models map[string]*modelEntry
+	tracer *obs.Tracer
 
 	metrics *obs.Registry
 }
@@ -64,9 +65,35 @@ func (r *Registry) Instrument(reg *obs.Registry) {
 	reg.Counter("serve_reloads_total")
 }
 
-// load fetches and decodes the named object as a pilot checkpoint.
-func (r *Registry) load(object string) (*pilot.Pilot, string, error) {
-	data, info, err := r.store.Get(r.container, object)
+// SetTracer attaches a tracer so RegisterCtx and PollOnceCtx can emit
+// serve_register / serve_reload spans under a propagated trace. Nil
+// detaches.
+func (r *Registry) SetTracer(tr *obs.Tracer) {
+	r.mu.Lock()
+	r.tracer = tr
+	r.mu.Unlock()
+}
+
+func (r *Registry) getTracer() *obs.Tracer {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.tracer
+}
+
+// childCtx picks the context downstream work should continue under: the
+// local span when one was opened, otherwise the propagated one.
+func childCtx(span *obs.Span, sc obs.SpanContext) obs.SpanContext {
+	if span != nil {
+		return span.Context()
+	}
+	return sc
+}
+
+// load fetches and decodes the named object as a pilot checkpoint. The
+// store fetch continues sc (the object store emits its own child span when
+// it has a tracer attached).
+func (r *Registry) load(sc obs.SpanContext, object string) (*pilot.Pilot, string, error) {
+	data, info, err := r.store.GetTraced(sc, r.container, object)
 	if err != nil {
 		return nil, "", fmt.Errorf("serve: fetch %s/%s: %w", r.container, object, err)
 	}
@@ -80,16 +107,31 @@ func (r *Registry) load(object string) (*pilot.Pilot, string, error) {
 // Register names a checkpoint object and loads it immediately. Registering
 // an existing name replaces it.
 func (r *Registry) Register(name, object string) error {
+	return r.RegisterCtx(obs.SpanContext{}, name, object)
+}
+
+// RegisterCtx is Register continuing a propagated trace: the initial model
+// load appears as a "serve_register" span (with the store fetch nested
+// under it) inside whatever round or request caused the registration.
+func (r *Registry) RegisterCtx(sc obs.SpanContext, name, object string) error {
 	if name == "" {
 		return fmt.Errorf("serve: empty model name")
 	}
-	p, etag, err := r.load(object)
+	var span *obs.Span
+	if tr := r.getTracer(); tr != nil && sc.Valid() {
+		span = tr.StartWith("serve_register", sc)
+		span.SetAttr("model", name)
+		span.SetAttr("object", object)
+	}
+	p, etag, err := r.load(childCtx(span, sc), object)
 	if err != nil {
+		span.EndErr(err)
 		return err
 	}
 	r.mu.Lock()
 	r.models[name] = &modelEntry{object: object, etag: etag, pilot: p}
 	r.mu.Unlock()
+	span.End()
 	return nil
 }
 
@@ -138,6 +180,14 @@ func (r *Registry) Info(name string) (ModelInfo, bool) {
 // object leaves the currently served pilot in place and reports the error
 // (serving availability beats freshness).
 func (r *Registry) PollOnce() (int, error) {
+	return r.PollOnceCtx(obs.SpanContext{})
+}
+
+// PollOnceCtx is PollOnce continuing a propagated trace: every reload
+// attempt (an ETag actually changed) appears as a "serve_reload" span, so a
+// federated round's checkpoint shows up in the trace flowing straight into
+// the serving side hot-swapping it.
+func (r *Registry) PollOnceCtx(sc obs.SpanContext) (int, error) {
 	r.mu.RLock()
 	type target struct{ name, object, etag string }
 	targets := make([]target, 0, len(r.models))
@@ -145,6 +195,7 @@ func (r *Registry) PollOnce() (int, error) {
 		targets = append(targets, target{n, e.object, e.etag})
 	}
 	metrics := r.metrics
+	tr := r.tracer
 	r.mu.RUnlock()
 	sort.Slice(targets, func(i, j int) bool { return targets[i].name < targets[j].name })
 
@@ -161,8 +212,14 @@ func (r *Registry) PollOnce() (int, error) {
 		if info.ETag == t.etag {
 			continue
 		}
-		p, etag, err := r.load(t.object)
+		var span *obs.Span
+		if tr != nil && sc.Valid() {
+			span = tr.StartWith("serve_reload", sc)
+			span.SetAttr("model", t.name)
+		}
+		p, etag, err := r.load(childCtx(span, sc), t.object)
 		if err != nil {
+			span.EndErr(err)
 			if firstErr == nil {
 				firstErr = fmt.Errorf("serve: reload %s: %w", t.name, err)
 			}
@@ -176,6 +233,8 @@ func (r *Registry) PollOnce() (int, error) {
 		r.mu.Unlock()
 		metrics.Counter("serve_reloads_total").Inc()
 		metrics.Counter("serve_reloads_total", obs.L("model", t.name)).Inc()
+		span.SetAttr("etag", etag)
+		span.End()
 	}
 	return reloaded, firstErr
 }

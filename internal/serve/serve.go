@@ -85,6 +85,7 @@ type Service struct {
 	mu       sync.Mutex
 	batchers map[string]*batcher
 	slow     func() time.Duration
+	tracer   *obs.Tracer
 	closed   bool
 }
 
@@ -116,7 +117,27 @@ func New(cfg Config, reg *Registry, metrics *obs.Registry) (*Service, error) {
 	s.mux.HandleFunc("/models", s.handleModels)
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.Handle("/metrics", obs.Handler(metrics))
+	s.mux.Handle("/debug/obs", obs.DynamicDebugHandler(func() obs.Observer {
+		return obs.Observer{Tracer: s.getTracer(), Metrics: s.metrics}
+	}))
 	return s, nil
+}
+
+// SetTracer attaches a tracer: /predict then opens a serve_request span
+// continuing any X-Trace-Context the client sent, batches emit
+// serve_batch spans, and the registry's hot reloads trace through it.
+// Nil detaches.
+func (s *Service) SetTracer(tr *obs.Tracer) {
+	s.mu.Lock()
+	s.tracer = tr
+	s.mu.Unlock()
+	s.reg.SetTracer(tr)
+}
+
+func (s *Service) getTracer() *obs.Tracer {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tracer
 }
 
 // SetSlowHook installs a per-batch slowdown consulted before every forward
@@ -187,7 +208,7 @@ func (s *Service) batcherFor(name string) (*batcher, error) {
 	if _, ok := s.reg.Pilot(name); !ok {
 		return nil, fmt.Errorf("serve: unknown model %q", name)
 	}
-	b := newBatcher(name, s.reg, s.cfg, s.metrics, s.slow)
+	b := newBatcher(name, s.reg, s.cfg, s.metrics, s.slow, s.getTracer)
 	s.batchers[name] = b
 	return b, nil
 }
@@ -263,20 +284,40 @@ func (s *Service) handlePredict(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), deadline)
 	defer cancel()
 
-	pred, err := s.predictOn(ctx, b, sample)
+	// Continue the caller's trace when it sent one; requests without an
+	// X-Trace-Context stay untraced so a long-lived server only retains
+	// spans for traffic someone is actually following.
+	sc := obs.ContextFromRequest(r)
+	var span *obs.Span
+	if tr := s.getTracer(); tr != nil && sc.Valid() {
+		span = tr.StartWith("serve_request", sc)
+		span.SetAttr("model", name)
+		sc = span.Context()
+	}
+	finish := func(status int, err error) {
+		span.SetAttr("status", status)
+		span.EndErr(err)
+	}
+
+	pred, err := s.predictOn(ctx, b, sample, sc)
 	switch {
 	case err == nil:
+		finish(http.StatusOK, nil)
 	case err == ErrQueueFull:
+		finish(http.StatusTooManyRequests, err)
 		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
 		http.Error(w, err.Error(), http.StatusTooManyRequests)
 		return
 	case err == ErrShuttingDown:
+		finish(http.StatusServiceUnavailable, err)
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 		return
 	case err == context.DeadlineExceeded || err == context.Canceled:
+		finish(http.StatusGatewayTimeout, err)
 		http.Error(w, "deadline exceeded", http.StatusGatewayTimeout)
 		return
 	default:
+		finish(http.StatusInternalServerError, err)
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
@@ -304,15 +345,22 @@ type Prediction struct {
 // context.WithTimeout for a deadline), ErrQueueFull reports admission
 // shedding, and ErrShuttingDown a closed service.
 func (s *Service) Predict(ctx context.Context, model string, sample pilot.Sample) (Prediction, error) {
+	return s.PredictCtx(ctx, obs.SpanContext{}, model, sample)
+}
+
+// PredictCtx is Predict continuing a propagated trace: the mini-batch the
+// sample lands in emits a serve_batch span under sc and the latency
+// histogram is tagged with the trace as an exemplar.
+func (s *Service) PredictCtx(ctx context.Context, sc obs.SpanContext, model string, sample pilot.Sample) (Prediction, error) {
 	b, err := s.batcherFor(model)
 	if err != nil {
 		return Prediction{}, err
 	}
-	return s.predictOn(ctx, b, sample)
+	return s.predictOn(ctx, b, sample, sc)
 }
 
-func (s *Service) predictOn(ctx context.Context, b *batcher, sample pilot.Sample) (Prediction, error) {
-	rq := &request{sample: sample, ctx: ctx, enqueued: time.Now(), resp: make(chan response, 1)}
+func (s *Service) predictOn(ctx context.Context, b *batcher, sample pilot.Sample, sc obs.SpanContext) (Prediction, error) {
+	rq := &request{sample: sample, ctx: ctx, sc: sc, enqueued: time.Now(), resp: make(chan response, 1)}
 	if err := b.submit(rq); err != nil {
 		return Prediction{}, err
 	}

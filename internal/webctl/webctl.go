@@ -15,6 +15,7 @@ import (
 	"net/http"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -30,6 +31,7 @@ type Server struct {
 	encoded  []byte       // cached PNG of last; nil until first /video after a frame
 	state    sim.CarState // snapshot published by the drive loop
 	statePub bool         // true once UpdateState has been called
+	obs      obs.Observer
 
 	mux *http.ServeMux
 }
@@ -47,6 +49,24 @@ func New(ctl *sim.WebController, car *sim.Car) (*Server, error) {
 	s.mux.HandleFunc("/mode", s.handleMode)
 	s.mux.HandleFunc("/", s.handleIndex)
 	return s, nil
+}
+
+// SetObserver attaches metrics and tracing: /drive and /mode count
+// commands, and a /drive carrying an X-Trace-Context header emits a
+// webctl_drive span continuing the caller's trace. Call before serving.
+func (s *Server) SetObserver(o obs.Observer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.obs = o
+	if o.Metrics != nil {
+		o.Metrics.Help("webctl_commands_total", "web controller commands accepted, by endpoint")
+	}
+}
+
+func (s *Server) observer() obs.Observer {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.obs
 }
 
 // ServeHTTP implements http.Handler.
@@ -109,7 +129,18 @@ func (s *Server) handleDrive(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "angle and throttle must be in [-1,1]", http.StatusBadRequest)
 		return
 	}
+	o := s.observer()
+	var span *obs.Span
+	if sc := obs.ContextFromRequest(r); sc.Valid() && o.Tracer != nil {
+		span = o.Tracer.StartWith("webctl_drive", sc)
+		span.SetAttr("angle", req.Angle)
+		span.SetAttr("throttle", req.Throttle)
+	}
 	s.ctl.Update(req.Angle, req.Throttle)
+	span.End()
+	if o.Metrics != nil {
+		o.Metrics.Counter("webctl_commands_total", obs.L("endpoint", "drive")).Inc()
+	}
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -134,6 +165,9 @@ func (s *Server) handleMode(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.ctl.SetConstantThrottle(req.ConstantThrottle)
+	if o := s.observer(); o.Metrics != nil {
+		o.Metrics.Counter("webctl_commands_total", obs.L("endpoint", "mode")).Inc()
+	}
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -231,5 +265,5 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprint(w, `<!doctype html><title>AutoLearn web controller</title>
 <h1>AutoLearn web controller</h1>
 <p>POST /drive {"angle":a,"throttle":t} · POST /mode {"constant_throttle":t}
-· GET /state · GET /video</p>`)
+· GET /state · GET /video · <a href="/debug/obs">/debug/obs</a></p>`)
 }

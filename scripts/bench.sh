@@ -8,7 +8,7 @@
 # benchmark — one datapoint of the repo's performance trajectory.
 #
 # Usage: ./scripts/bench.sh
-#   BENCH_OUT=path        output file (default BENCH_pr5.json)
+#   BENCH_OUT=path        output file (default BENCH_pr6.json)
 #   BENCH_GOMAXPROCS=n    pinned worker count (default 1, the contract
 #                         baseline: results are deterministic at any
 #                         fixed value, but timings only compare at the
@@ -21,7 +21,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-OUT=${BENCH_OUT:-BENCH_pr5.json}
+OUT=${BENCH_OUT:-BENCH_pr6.json}
 export GOMAXPROCS=${BENCH_GOMAXPROCS:-1}
 HEAVY_TIME=${BENCH_TIME_HEAVY:-2x}
 
@@ -47,6 +47,21 @@ go test -run '^$' -bench '^BenchmarkE11Federated$' -benchtime 1x . | tee -a "$ra
 echo "==> GEMM kernel micro-benchmarks"
 go test -run '^$' -bench '^BenchmarkGEMM$' -benchmem \
     ./internal/nn/kerneltest/ | tee -a "$raw"
+
+# The registry contention benchmark needs real parallelism to mean
+# anything, so it pins its own GOMAXPROCS=8 regardless of the global
+# setting (the goroutine count is the g* suffix, not GOMAXPROCS).
+echo "==> metrics registry contention (GOMAXPROCS=8)"
+GOMAXPROCS=8 go test -run '^$' -bench '^BenchmarkRegistryContention$' \
+    -benchmem ./internal/obs/ | tee -a "$raw"
+
+# POSIX sh has no pipefail, so a crashing benchmark binary exits 0
+# through the tee pipelines above; refuse to emit JSON from a transcript
+# that records a failure.
+if grep -q '^FAIL' "$raw"; then
+    echo "bench: a benchmark run failed; not writing $OUT" >&2
+    exit 1
+fi
 
 awk -v gomaxprocs="$GOMAXPROCS" '
 /^Benchmark/ {
@@ -74,7 +89,7 @@ awk -v gomaxprocs="$GOMAXPROCS" '
     printf "}"
 }
 BEGIN {
-    printf "{\n  \"pr\": 5,\n  \"gomaxprocs\": %s,\n  \"benchmarks\": {\n", gomaxprocs
+    printf "{\n  \"pr\": 6,\n  \"gomaxprocs\": %s,\n  \"benchmarks\": {\n", gomaxprocs
 }
 END { printf "\n  }\n}\n" }
 ' "$raw" > "$OUT"

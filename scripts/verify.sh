@@ -1,6 +1,8 @@
 #!/bin/sh
 # Full pre-merge verification: vet, build, race-enabled tests, a
-# fault-profile pipeline smoke run, and gofmt.
+# fault-profile pipeline smoke run, a metrics-cardinality lint, a
+# cross-subsystem trace smoke (byte-identical same-seed exports), the
+# registry contention guard, and gofmt.
 # Run from the repo root: ./scripts/verify.sh
 set -eu
 
@@ -33,7 +35,66 @@ if [ -z "$fallbacks" ] || [ "$fallbacks" -eq 0 ]; then
     echo "hybrid_fallbacks_total missing or zero under lossy-wan (got '${fallbacks:-absent}')" >&2
     exit 1
 fi
+
+# Metrics-cardinality lint: a label key whose value set keeps growing
+# (request IDs, timestamps, raw durations) would blow up any real TSDB.
+# Every label on every series in the smoke run must stay under 32
+# distinct values; put unbounded data in trace span attrs instead.
+echo "==> metrics cardinality lint (<32 values per label)"
+awk '
+    /^[a-zA-Z_][a-zA-Z0-9_]*\{/ {
+        name = $0; sub(/\{.*/, "", name)
+        labels = $0; sub(/^[^{]*\{/, "", labels); sub(/\}.*/, "", labels)
+        n = split(labels, parts, /",/)
+        for (i = 1; i <= n; i++) {
+            kv = parts[i]
+            eq = index(kv, "=")
+            if (eq == 0) continue
+            key = substr(kv, 1, eq - 1)
+            val = substr(kv, eq + 1)
+            series = name "/" key
+            if (!((series SUBSEP val) in seen)) {
+                seen[series, val] = 1
+                count[series]++
+            }
+        }
+    }
+    END {
+        bad = 0
+        for (s in count) {
+            if (count[s] >= 32) {
+                print "cardinality lint: " s " has " count[s] " distinct values" > "/dev/stderr"
+                bad = 1
+            }
+        }
+        exit bad
+    }
+' "$metrics"
 rm -f "$metrics" "$out"
+
+echo "==> fed-train trace smoke (cross-subsystem spans, byte-identical runs)"
+t1=$(mktemp) t2=$(mktemp) rout=$(mktemp)
+go run ./cmd/autolearn fed-train -workers 3 -rounds 2 -ticks 240 \
+    -faults lossy-wan -seed 1 -trace "$t1" >/dev/null 2>&1 || {
+    echo "traced fed-train run failed" >&2; exit 1; }
+go run ./cmd/autolearn fed-train -workers 3 -rounds 2 -ticks 240 \
+    -faults lossy-wan -seed 1 -trace "$t2" >/dev/null 2>&1 || {
+    echo "second traced fed-train run failed" >&2; exit 1; }
+cmp -s "$t1" "$t2" || {
+    echo "trace smoke: same-seed fed-train runs exported different trace bytes" >&2
+    exit 1
+}
+go run ./cmd/autolearn obs report -trace "$t1" >"$rout" 2>&1 || {
+    echo "obs report failed:" >&2; cat "$rout" >&2; exit 1; }
+for stage in fed-train fed-round fed_local_train fed_upload fed_aggregate \
+    fed_checkpoint netem_transfer objstore_put serve_reload "orphans: 0"; do
+    if ! grep -q "$stage" "$rout"; then
+        echo "trace smoke: obs report missing \"$stage\":" >&2
+        cat "$rout" >&2
+        exit 1
+    fi
+done
+rm -f "$t1" "$t2" "$rout"
 
 if [ -z "${SKIP_BENCH_GUARD:-}" ] && [ -f BENCH_pr3.json ]; then
     echo "==> benchmark regression guard vs BENCH_pr3.json (SKIP_BENCH_GUARD=1 to skip)"
@@ -118,6 +179,38 @@ if [ -z "${SKIP_BENCH_GUARD:-}" ] && [ -f BENCH_pr5.json ]; then
     rm -f "$fout"
 fi
 
+if [ -z "${SKIP_BENCH_GUARD:-}" ]; then
+    echo "==> registry contention guard (sharded >=2x mutex at 8 goroutines)"
+    cout=$(mktemp)
+    GOMAXPROCS=8 go test -run '^$' -bench '^BenchmarkRegistryContention/(mutex|sharded)/g8$' \
+        -benchtime 0.5s ./internal/obs/ >"$cout" 2>&1 || { cat "$cout" >&2; exit 1; }
+    mutex=$(awk '$1 ~ "^BenchmarkRegistryContention/mutex/g8" {
+        for (i = 2; i < NF; i++) if ($(i+1) == "ns/op") print $i }' "$cout")
+    sharded=$(awk '$1 ~ "^BenchmarkRegistryContention/sharded/g8" {
+        for (i = 2; i < NF; i++) if ($(i+1) == "ns/op") print $i }' "$cout")
+    if [ -z "$mutex" ] || [ -z "$sharded" ]; then
+        echo "contention guard: missing measurement (mutex='$mutex' sharded='$sharded')" >&2
+        cat "$cout" >&2
+        exit 1
+    fi
+    if awk -v m="$mutex" -v s="$sharded" 'BEGIN { exit !(m < 2 * s) }'; then
+        echo "contention guard: sharded/g8 $sharded ns/op not >=2x faster than mutex/g8 $mutex" >&2
+        exit 1
+    fi
+    echo "    mutex/g8 $mutex ns/op vs sharded/g8 $sharded ns/op"
+    if [ -f BENCH_pr6.json ]; then
+        base=$(sed -n 's/.*"BenchmarkRegistryContention\/sharded\/g8": {[^}]*"ns_per_op": \([0-9.e+]*\).*/\1/p' BENCH_pr6.json)
+        if [ -n "$base" ]; then
+            if awk -v n="$sharded" -v b="$base" 'BEGIN { exit !(n > b * 1.25) }'; then
+                echo "contention guard: sharded/g8 regressed >25%: $sharded ns/op vs baseline $base" >&2
+                exit 1
+            fi
+            echo "    sharded/g8: $sharded ns/op (baseline $base, limit +25%)"
+        fi
+    fi
+    rm -f "$cout"
+fi
+
 echo "==> gofmt -l ."
 unformatted=$(gofmt -l .)
 if [ -n "$unformatted" ]; then
@@ -126,4 +219,4 @@ if [ -n "$unformatted" ]; then
     exit 1
 fi
 
-echo "OK: vet, build, race tests, fault smoke run, and gofmt all clean."
+echo "OK: vet, build, race tests, fault smoke, cardinality lint, trace smoke, and gofmt all clean."
