@@ -1189,3 +1189,74 @@ func BenchmarkE11Federated(b *testing.B) {
 	b.Run("sync/raw/clean", func(b *testing.B) { e11Run(b, 0, "none", "") })
 	b.Run("sync/topk/clean", func(b *testing.B) { e11Run(b, 0, "topk", "") })
 }
+
+// e12Run executes one fleet-scale federated run — synthetic local updates
+// (the coordination path is the measurement, not SGD), serialized upload
+// ingress, a scripted fault plan driving heartbeat playback on the event
+// scheduler — and reports simulated round wall plus coordinator allocations.
+func e12Run(b *testing.B, workers int, hier bool) {
+	b.Helper()
+	// A deliberately tiny pilot: at 10k workers the fleet holds two model
+	// copies per worker, and E12 measures coordination, not arithmetic.
+	pcfg := pilot.DefaultConfig(pilot.Linear, 12, 8, 1)
+	pcfg.ConvFilters1, pcfg.ConvFilters2, pcfg.DenseUnits = 2, 4, 8
+	samples := e11Samples(b, pcfg, 40)
+	// Single-sample shards that alias a small pool: fleet size is decoupled
+	// from dataset size, and synthetic training never mutates samples.
+	shards := make([][]pilot.Sample, workers)
+	for i := range shards {
+		at := i % len(samples)
+		shards[i] = samples[at : at+1]
+	}
+	var res fed.Result
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := fed.DefaultConfig()
+		cfg.Workers = workers
+		cfg.Rounds = 2
+		cfg.BatchSize = 8
+		cfg.Seed = 12
+		cfg.Container = "" // checkpoint churn is not what E12 measures
+		cfg.Hierarchical = hier
+		cfg.IngressSerial = true
+		cfg.SyntheticLocal = true
+		plan, err := faults.NewPlan("heartbeat-gap", cfg.Seed, benchEpoch)
+		if err != nil {
+			b.Fatal(err)
+		}
+		global, err := pilot.New(pcfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		deps := fed.Deps{Net: netem.NewNet(cfg.Seed), Hub: edge.NewHub(), Plan: plan, Start: benchEpoch}
+		r, err := fed.NewRun(cfg, deps, global, shards, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err = r.Execute()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(res.MeanRoundWall)/float64(time.Millisecond), "round_ms")
+	b.ReportMetric(float64(res.TotalBytes), "bytes_on_wire")
+}
+
+// BenchmarkE12FleetScale is the fleet-scale sweep: the same coordination
+// round at 100, 1k, and 10k workers, flat versus hierarchical. Under
+// serialized ingress the flat topology's round wall grows linearly with the
+// fleet while the hierarchical one grows ~sqrt(N) (R regional queues drain
+// in parallel, then R partials cross the WAN) — the sub-linear inequality
+// verify.sh guards is hier/w10000 round wall < 10x hier/w1000's.
+func BenchmarkE12FleetScale(b *testing.B) {
+	for _, workers := range []int{100, 1000} {
+		workers := workers
+		b.Run(fmt.Sprintf("flat/w%d", workers), func(b *testing.B) { e12Run(b, workers, false) })
+	}
+	for _, workers := range []int{100, 1000, 10000} {
+		workers := workers
+		b.Run(fmt.Sprintf("hier/w%d", workers), func(b *testing.B) { e12Run(b, workers, true) })
+	}
+}

@@ -37,6 +37,9 @@ func cmdFedTrain(args []string) error {
 	batch := fs.Int("batch", 32, "local batch size")
 	seed := fs.Int64("seed", 1, "run seed (fleet speeds, faults, training)")
 	roundGap := fs.Duration("round-gap", 15*time.Second, "idle virtual time between rounds (lets fault windows progress)")
+	hier := fs.Bool("hierarchical", false, "route uploads through regional aggregators (one WAN partial per region)")
+	regions := fs.Int("regions", 0, "regional aggregator count (0 = ceil(sqrt(workers)))")
+	ingressSerial := fs.Bool("ingress-serial", false, "serialize uploads at each receiver (models fan-in occupancy)")
 	of := addObsFlags(fs)
 	fs.Parse(args)
 
@@ -74,6 +77,9 @@ func cmdFedTrain(args []string) error {
 	cfg.Compress = *compress
 	cfg.TopKFrac = *topKFrac
 	cfg.RoundGap = *roundGap
+	cfg.Hierarchical = *hier
+	cfg.Regions = *regions
+	cfg.IngressSerial = *ingressSerial
 
 	o := of.observer()
 	deps := fed.Deps{
@@ -127,7 +133,11 @@ func cmdFedTrain(args []string) error {
 	if *quorum > 0 && *quorum < *workers {
 		policy = fmt.Sprintf("%d-of-%d quorum", *quorum, *workers)
 	}
-	fmt.Printf("== fed-train: %s, compress=%s, %d params\n", policy, *compress, global.ParamCount())
+	topo := "flat"
+	if *hier {
+		topo = fmt.Sprintf("hierarchical (%d regions)", cfg.EffectiveRegions())
+	}
+	fmt.Printf("== fed-train: %s, %s, compress=%s, %d params\n", policy, topo, *compress, global.ParamCount())
 
 	out, err := run.Execute()
 	if err != nil {

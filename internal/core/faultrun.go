@@ -119,11 +119,17 @@ func (p *Pipeline) controlLatency(pm PlacementModel, place Placement, paramCount
 // scheduled silent, the control plane sweeps every SweepEvery (evicting
 // the silent ones for real), and a device whose silence window has passed
 // re-onboards through the flash-and-boot reconnect path.
+//
+// Playback rides the clock's discrete-event scheduler: a single
+// self-rescheduling timer fires at each due beat or sweep instant, so hub
+// mutations land at their exact virtual times (the clock parks at each due
+// timer) instead of being caught up after an advance completes. Nested
+// Advance calls during a tick are queued by the clock itself, so the old
+// semaphore-and-skip reentrancy workaround is gone.
 type fleetPlayback struct {
 	plan *faults.Plan
 	hub  *edge.Hub
 	ids  map[string]string // scripted name -> hub device ID
-	mu   chan struct{}     // 1-token semaphore; see catchUp
 	beat time.Time         // next heartbeat round
 	swp  time.Time         // next sweep
 }
@@ -139,7 +145,6 @@ func (p *Pipeline) startFleetPlayback(plan *faults.Plan) error {
 		plan: plan,
 		hub:  p.M.Edge,
 		ids:  map[string]string{},
-		mu:   make(chan struct{}, 1),
 		beat: plan.Clock.Now().Add(plan.HeartbeatEvery),
 		swp:  plan.Clock.Now().Add(plan.SweepEvery),
 	}
@@ -156,21 +161,23 @@ func (p *Pipeline) startFleetPlayback(plan *faults.Plan) error {
 		}
 		fp.ids[name] = d.ID
 	}
-	plan.Clock.OnAdvance(fp.catchUp)
+	plan.Clock.Schedule(fp.next(), fp.tick)
 	return nil
 }
 
-// catchUp plays every heartbeat round and sweep due up to now, in
-// chronological order. The semaphore (rather than a sync.Mutex) makes
-// reentrant Advance-during-playback a skip instead of a deadlock, and
-// concurrent advancers hand the backlog to whoever holds the token.
-func (fp *fleetPlayback) catchUp(now time.Time) {
-	select {
-	case fp.mu <- struct{}{}:
-	default:
-		return
+// next is the earliest pending instant; beats win ties (the daemon's
+// check-in races the reaper and wins).
+func (fp *fleetPlayback) next() time.Time {
+	if fp.beat.After(fp.swp) {
+		return fp.swp
 	}
-	defer func() { <-fp.mu }()
+	return fp.beat
+}
+
+// tick plays every heartbeat round and sweep due at now in chronological
+// order (normally exactly one — the clock parks at each due instant), then
+// re-schedules itself for the next one.
+func (fp *fleetPlayback) tick(now time.Time) {
 	for !fp.beat.After(now) || !fp.swp.After(now) {
 		if !fp.beat.After(now) && !fp.beat.After(fp.swp) {
 			fp.beatRound(fp.beat)
@@ -180,6 +187,7 @@ func (fp *fleetPlayback) catchUp(now time.Time) {
 			fp.swp = fp.swp.Add(fp.plan.SweepEvery)
 		}
 	}
+	fp.plan.Clock.Schedule(fp.next(), fp.tick)
 }
 
 // beatRound lets every scripted device act at time t: silent devices skip

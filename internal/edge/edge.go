@@ -5,6 +5,12 @@
 // whitelist access policies), container-based reconfiguration instead of
 // bare-metal, a built-in console, and the Basic Jupyter Server Appliance
 // reachable through an SSH tunnel.
+//
+// The control plane is sharded for fleet scale: device and container
+// records live in FNV-picked shards with per-shard locks, so 10k+ devices
+// can register, heartbeat, and sweep without serializing on one mutex,
+// while every read that promises an ordering (Devices, SweepHeartbeats)
+// still returns a sorted cross-shard snapshot.
 package edge
 
 import (
@@ -13,6 +19,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
@@ -78,45 +85,115 @@ const (
 	ImagePullBase = 20 * time.Second // registry round trips
 )
 
+// numShards is the registry stripe count. 16 keeps the per-shard gauge's
+// label value set comfortably under the metrics-cardinality lint (<32
+// distinct values per label) while spreading a 10k-device fleet ~600 wide.
+const numShards = 16
+
+// shardFor picks the stripe for an ID with FNV-1a — the same hash the obs
+// registry stripes on, cheap and stable across runs.
+func shardFor(id string) int {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= prime64
+	}
+	return int(h % numShards)
+}
+
+// deviceShard is one stripe of the device registry: the records, the
+// device->container index, and the heartbeat book, all under one lock.
+type deviceShard struct {
+	mu       sync.Mutex
+	devices  map[string]*Device
+	byDevice map[string]string    // deviceID -> containerID
+	lastSeen map[string]time.Time // device heartbeats
+}
+
+// containerShard is one stripe of the container registry. Container
+// records shard by container ID, independently of their device's stripe;
+// no code path ever holds a device-shard and a container-shard lock at
+// once (cross-record updates lock them in sequence).
+type containerShard struct {
+	mu         sync.Mutex
+	containers map[string]*Container
+}
+
 // Hub is the CHI@Edge control plane. It is safe for concurrent use.
 type Hub struct {
-	mu         sync.Mutex
-	devices    map[string]*Device
-	containers map[string]*Container
-	byDevice   map[string]string    // deviceID -> containerID
-	lastSeen   map[string]time.Time // device heartbeats
-	nextID     int
+	devShards [numShards]deviceShard
+	ctrShards [numShards]containerShard
+	nextID    atomic.Int64
+
+	live    atomic.Int64 // devices in the connected state
+	running atomic.Int64 // deployed containers
+	perReg  [numShards]atomic.Int64
 
 	// ImagePullRate is container-image bytes per second onto the device.
+	// Set it before concurrent use; launches read it unsynchronized.
 	ImagePullRate float64
 
+	cfgMu      sync.Mutex
 	metrics    *obs.Registry
 	tracer     *obs.Tracer
 	traceScope obs.SpanContext // ambient round context for sweep spans
 }
 
+// NewHub creates an empty CHI@Edge control plane.
+func NewHub() *Hub {
+	h := &Hub{ImagePullRate: 6.25e6} // 50 Mbit/s onto the Pi
+	for i := range h.devShards {
+		h.devShards[i].devices = map[string]*Device{}
+		h.devShards[i].byDevice = map[string]string{}
+		h.devShards[i].lastSeen = map[string]time.Time{}
+	}
+	for i := range h.ctrShards {
+		h.ctrShards[i].containers = map[string]*Container{}
+	}
+	return h
+}
+
+// devShard returns the stripe owning a device ID.
+func (h *Hub) devShard(id string) *deviceShard { return &h.devShards[shardFor(id)] }
+
+// ctrShard returns the stripe owning a container ID.
+func (h *Hub) ctrShard(id string) *containerShard { return &h.ctrShards[shardFor(id)] }
+
+// reg returns the attached metrics registry (nil-safe to use).
+func (h *Hub) reg() *obs.Registry {
+	h.cfgMu.Lock()
+	defer h.cfgMu.Unlock()
+	return h.metrics
+}
+
 // Instrument routes control-plane metrics into reg: a heartbeat-liveness
-// gauge (devices currently connected), running-container gauge, and
-// counters for heartbeats and sweep evictions. The gauges are published
-// immediately so scrapes before any device activity still see the series.
+// gauge (devices currently connected), running-container gauge, per-shard
+// registry population gauges, and counters for heartbeats and sweep
+// evictions. The gauges are published immediately so scrapes before any
+// device activity still see the series.
 func (h *Hub) Instrument(reg *obs.Registry) {
 	reg.Help("edge_devices_live", "devices currently in the connected state")
 	reg.Help("edge_containers_running", "containers deployed across the fleet")
 	reg.Help("edge_heartbeats_total", "device daemon check-ins received")
 	reg.Help("edge_sweep_evictions_total", "devices taken offline by heartbeat sweeps")
-	h.mu.Lock()
-	defer h.mu.Unlock()
+	reg.Help("edge_shard_devices", "registered devices per registry shard")
+	h.cfgMu.Lock()
 	h.metrics = reg
+	h.cfgMu.Unlock()
 	reg.Counter("edge_sweep_evictions_total")
-	h.publishLocked()
+	h.publish()
 }
 
 // SetTracer attaches a tracer so heartbeat sweeps can emit spans. Nil
 // detaches.
 func (h *Hub) SetTracer(tr *obs.Tracer) {
-	h.mu.Lock()
+	h.cfgMu.Lock()
 	h.tracer = tr
-	h.mu.Unlock()
+	h.cfgMu.Unlock()
 }
 
 // SetTraceScope installs the ambient trace context that clock-driven
@@ -124,33 +201,29 @@ func (h *Hub) SetTracer(tr *obs.Tracer) {
 // no caller to thread a context through) parents its spans under. A fed
 // round sets its round span here; the zero context clears the scope.
 func (h *Hub) SetTraceScope(sc obs.SpanContext) {
-	h.mu.Lock()
+	h.cfgMu.Lock()
 	h.traceScope = sc
-	h.mu.Unlock()
+	h.cfgMu.Unlock()
 }
 
-// publishLocked refreshes the liveness and container gauges; callers hold
-// h.mu.
-func (h *Hub) publishLocked() {
-	live := 0
-	for _, d := range h.devices {
-		if d.Status == StatusConnected {
-			live++
-		}
+// publish refreshes the liveness, container, and per-shard gauges from the
+// transition-maintained counts. Shard labels are a bounded set (s00..s15),
+// never per-device values, so fleet size cannot blow up series cardinality.
+func (h *Hub) publish() {
+	reg := h.reg()
+	if reg == nil {
+		return
 	}
-	h.metrics.Gauge("edge_devices_live").Set(float64(live))
-	h.metrics.Gauge("edge_containers_running").Set(float64(len(h.containers)))
+	reg.Gauge("edge_devices_live").Set(float64(h.live.Load()))
+	reg.Gauge("edge_containers_running").Set(float64(h.running.Load()))
+	for i := range h.perReg {
+		reg.Gauge("edge_shard_devices", obs.L("shard", shardLabel(i))).
+			Set(float64(h.perReg[i].Load()))
+	}
 }
 
-// NewHub creates an empty CHI@Edge control plane.
-func NewHub() *Hub {
-	return &Hub{
-		devices:       map[string]*Device{},
-		containers:    map[string]*Container{},
-		byDevice:      map[string]string{},
-		ImagePullRate: 6.25e6, // 50 Mbit/s onto the Pi
-	}
-}
+// shardLabel formats a stripe index as its bounded metric label value.
+func shardLabel(i int) string { return fmt.Sprintf("s%02d", i) }
 
 // RegisterDevice is the BYOD CLI step: it registers the device with the
 // testbed and returns the device record in the "registered" state.
@@ -158,27 +231,30 @@ func (h *Hub) RegisterDevice(name, owner string) (*Device, error) {
 	if name == "" || owner == "" {
 		return nil, fmt.Errorf("edge: device name and owner required")
 	}
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	h.nextID++
 	d := &Device{
-		ID:        fmt.Sprintf("dev-%04d", h.nextID),
+		ID:        fmt.Sprintf("dev-%04d", h.nextID.Add(1)),
 		Name:      name,
 		Owner:     owner,
 		Arch:      "aarch64",
 		Status:    StatusRegistered,
 		Whitelist: map[string]bool{},
 	}
-	h.devices[d.ID] = d
+	sh := h.devShard(d.ID)
+	sh.mu.Lock()
+	sh.devices[d.ID] = d
+	sh.mu.Unlock()
+	h.perReg[shardFor(d.ID)].Add(1)
+	h.publish()
 	return d, nil
 }
 
 // FlashImage configures and "writes" the SD-card image for the device.
 // It returns how long the flash takes.
 func (h *Hub) FlashImage(deviceID string) (time.Duration, error) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	d, ok := h.devices[deviceID]
+	sh := h.devShard(deviceID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	d, ok := sh.devices[deviceID]
 	if !ok {
 		return 0, fmt.Errorf("%w: %q", ErrNoDevice, deviceID)
 	}
@@ -192,46 +268,58 @@ func (h *Hub) FlashImage(deviceID string) (time.Duration, error) {
 // Boot powers the device; its daemon connects it to the testbed. It
 // returns the boot-to-connected duration.
 func (h *Hub) Boot(deviceID string) (time.Duration, error) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	d, ok := h.devices[deviceID]
+	sh := h.devShard(deviceID)
+	sh.mu.Lock()
+	d, ok := sh.devices[deviceID]
 	if !ok {
+		sh.mu.Unlock()
 		return 0, fmt.Errorf("%w: %q", ErrNoDevice, deviceID)
 	}
 	if d.Status != StatusFlashed {
-		return 0, fmt.Errorf("edge: device %s cannot boot from state %s (flash first)", deviceID, d.Status)
+		status := d.Status
+		sh.mu.Unlock()
+		return 0, fmt.Errorf("edge: device %s cannot boot from state %s (flash first)", deviceID, status)
 	}
 	d.Status = StatusConnected
 	// A boot starts a fresh heartbeat history: any lastSeen left over from a
 	// previous connected spell would let the next sweep evict the device
 	// before its daemon gets a chance to check in.
-	delete(h.lastSeen, deviceID)
-	h.publishLocked()
+	delete(sh.lastSeen, deviceID)
+	sh.mu.Unlock()
+	h.live.Add(1)
+	h.publish()
 	return BootTime, nil
 }
 
 // SetOffline marks a device as disconnected (battery died, Wi-Fi drop).
 func (h *Hub) SetOffline(deviceID string) error {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	d, ok := h.devices[deviceID]
+	sh := h.devShard(deviceID)
+	sh.mu.Lock()
+	d, ok := sh.devices[deviceID]
 	if !ok {
+		sh.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrNoDevice, deviceID)
 	}
+	wasLive := d.Status == StatusConnected
 	d.Status = StatusOffline
-	delete(h.byDevice, deviceID)
+	delete(sh.byDevice, deviceID)
 	// Leaving the connected state invalidates the heartbeat history too.
-	delete(h.lastSeen, deviceID)
-	h.publishLocked()
+	delete(sh.lastSeen, deviceID)
+	sh.mu.Unlock()
+	if wasLive {
+		h.live.Add(-1)
+	}
+	h.publish()
 	return nil
 }
 
 // Whitelist grants a project access to the device (the daemon "configures
 // whitelist-based access policies").
 func (h *Hub) Whitelist(deviceID, projectID string) error {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	d, ok := h.devices[deviceID]
+	sh := h.devShard(deviceID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	d, ok := sh.devices[deviceID]
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrNoDevice, deviceID)
 	}
@@ -239,18 +327,23 @@ func (h *Hub) Whitelist(deviceID, projectID string) error {
 	return nil
 }
 
-// Devices lists registered devices sorted by ID.
+// Devices lists registered devices sorted by ID — a cross-shard snapshot:
+// each stripe is copied under its own lock, then the merge is sorted so
+// callers never observe shard layout.
 func (h *Hub) Devices() []Device {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	out := make([]Device, 0, len(h.devices))
-	for _, d := range h.devices {
-		cp := *d
-		cp.Whitelist = map[string]bool{}
-		for k, v := range d.Whitelist {
-			cp.Whitelist[k] = v
+	var out []Device
+	for i := range h.devShards {
+		sh := &h.devShards[i]
+		sh.mu.Lock()
+		for _, d := range sh.devices {
+			cp := *d
+			cp.Whitelist = map[string]bool{}
+			for k, v := range d.Whitelist {
+				cp.Whitelist[k] = v
+			}
+			out = append(out, cp)
 		}
-		out = append(out, cp)
+		sh.mu.Unlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
@@ -258,9 +351,10 @@ func (h *Hub) Devices() []Device {
 
 // Device returns a snapshot of one device.
 func (h *Hub) Device(id string) (Device, error) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	d, ok := h.devices[id]
+	sh := h.devShard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	d, ok := sh.devices[id]
 	if !ok {
 		return Device{}, fmt.Errorf("%w: %q", ErrNoDevice, id)
 	}
@@ -274,67 +368,89 @@ func (h *Hub) LaunchContainer(deviceID, projectID, image string, imageBytes int6
 	if image == "" || imageBytes <= 0 {
 		return nil, fmt.Errorf("edge: image name and positive size required")
 	}
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	d, ok := h.devices[deviceID]
+	sh := h.devShard(deviceID)
+	sh.mu.Lock()
+	d, ok := sh.devices[deviceID]
 	if !ok {
+		sh.mu.Unlock()
 		return nil, fmt.Errorf("%w: %q", ErrNoDevice, deviceID)
 	}
 	if d.Status != StatusConnected {
-		return nil, fmt.Errorf("%w: %s is %s", ErrNotConnected, deviceID, d.Status)
+		status := d.Status
+		sh.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s is %s", ErrNotConnected, deviceID, status)
 	}
 	if !d.Whitelist[projectID] {
+		sh.mu.Unlock()
 		return nil, fmt.Errorf("%w: %s on %s", ErrNotWhitelisted, projectID, deviceID)
 	}
-	if _, busy := h.byDevice[deviceID]; busy {
+	if _, busy := sh.byDevice[deviceID]; busy {
+		sh.mu.Unlock()
 		return nil, fmt.Errorf("%w: %s", ErrBusy, deviceID)
 	}
-	h.nextID++
 	pull := ImagePullBase + time.Duration(float64(imageBytes)/h.ImagePullRate*float64(time.Second))
 	c := &Container{
-		ID:       fmt.Sprintf("ctr-%04d", h.nextID),
+		ID:       fmt.Sprintf("ctr-%04d", h.nextID.Add(1)),
 		DeviceID: deviceID,
 		Image:    image,
 		Project:  projectID,
 		ReadyAt:  now.Add(pull),
 	}
-	h.containers[c.ID] = c
-	h.byDevice[deviceID] = c.ID
-	h.publishLocked()
+	// Reserve the device before touching the container stripe, so the
+	// one-container-per-device invariant holds without nesting shard locks.
+	sh.byDevice[deviceID] = c.ID
+	sh.mu.Unlock()
+
+	cs := h.ctrShard(c.ID)
+	cs.mu.Lock()
+	cs.containers[c.ID] = c
+	cs.mu.Unlock()
+	h.running.Add(1)
+	h.publish()
 	return c, nil
 }
 
 // StopContainer removes a container, freeing its device.
 func (h *Hub) StopContainer(containerID string) error {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	c, ok := h.containers[containerID]
+	cs := h.ctrShard(containerID)
+	cs.mu.Lock()
+	c, ok := cs.containers[containerID]
 	if !ok {
+		cs.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrNoContainer, containerID)
 	}
-	delete(h.containers, containerID)
-	delete(h.byDevice, c.DeviceID)
-	h.publishLocked()
+	delete(cs.containers, containerID)
+	cs.mu.Unlock()
+
+	sh := h.devShard(c.DeviceID)
+	sh.mu.Lock()
+	if sh.byDevice[c.DeviceID] == containerID {
+		delete(sh.byDevice, c.DeviceID)
+	}
+	sh.mu.Unlock()
+	h.running.Add(-1)
+	h.publish()
 	return nil
 }
 
 // StartJupyter launches the Basic Jupyter Server Appliance inside the
 // container and returns the SSH-tunnel endpoint a laptop would use.
 func (h *Hub) StartJupyter(containerID string) (*JupyterServer, error) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	c, ok := h.containers[containerID]
+	cs := h.ctrShard(containerID)
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	c, ok := cs.containers[containerID]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNoContainer, containerID)
 	}
 	if c.jupyter != nil {
 		return c.jupyter, nil
 	}
-	h.nextID++
+	n := int(h.nextID.Add(1))
 	c.jupyter = &JupyterServer{
 		ContainerID: containerID,
-		TunnelPort:  8800 + h.nextID%100,
-		Token:       fmt.Sprintf("tok-%06d", h.nextID*7919%1000000),
+		TunnelPort:  8800 + n%100,
+		Token:       fmt.Sprintf("tok-%06d", n*7919%1000000),
 	}
 	return c.jupyter, nil
 }
@@ -344,9 +460,10 @@ func (h *Hub) StartJupyter(containerID string) (*JupyterServer, error) {
 // rejected, matching the paper's observation that "text editing is not
 // supported in the console at the present time".
 func (h *Hub) Exec(containerID, cmd string) (string, error) {
-	h.mu.Lock()
-	c, ok := h.containers[containerID]
-	h.mu.Unlock()
+	cs := h.ctrShard(containerID)
+	cs.mu.Lock()
+	c, ok := cs.containers[containerID]
+	cs.mu.Unlock()
 	if !ok {
 		return "", fmt.Errorf("%w: %q", ErrNoContainer, containerID)
 	}

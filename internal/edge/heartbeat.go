@@ -13,72 +13,101 @@ import (
 // battery dies mid-session.
 
 // HeartbeatWindow is how long a connected device may stay silent before
-// the control plane declares it offline.
+// the control plane declares it offline: a device silent for
+// HeartbeatWindow *or longer* at sweep time is evicted. The boundary is
+// inclusive — "may stay silent" ends the instant the full window has
+// elapsed, so a sweep landing exactly HeartbeatWindow after the last
+// check-in takes the device offline.
 const HeartbeatWindow = 90 * time.Second
 
 // Heartbeat records a check-in from the device's daemon at virtual time
 // now.
 func (h *Hub) Heartbeat(deviceID string, now time.Time) error {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	d, ok := h.devices[deviceID]
+	sh := h.devShard(deviceID)
+	sh.mu.Lock()
+	d, ok := sh.devices[deviceID]
 	if !ok {
+		sh.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrNoDevice, deviceID)
 	}
 	if d.Status != StatusConnected {
-		return fmt.Errorf("%w: %s is %s", ErrNotConnected, deviceID, d.Status)
+		status := d.Status
+		sh.mu.Unlock()
+		return fmt.Errorf("%w: %s is %s", ErrNotConnected, deviceID, status)
 	}
-	if h.lastSeen == nil {
-		h.lastSeen = map[string]time.Time{}
-	}
-	h.lastSeen[deviceID] = now
-	h.metrics.Counter("edge_heartbeats_total").Inc()
+	sh.lastSeen[deviceID] = now
+	sh.mu.Unlock()
+	h.reg().Counter("edge_heartbeats_total").Inc()
 	return nil
 }
 
-// SweepHeartbeats marks devices silent for longer than HeartbeatWindow as
+// SweepHeartbeats marks devices silent for HeartbeatWindow or longer as
 // offline and reaps their containers, returning the IDs of devices taken
-// offline (sorted). Devices that have never heartbeated since connecting
-// are given the benefit of the doubt until their first window elapses from
-// the sweep that first observes them.
+// offline (sorted across all shards, so eviction order is deterministic
+// regardless of shard layout or map iteration).
+//
+// First-sweep grace: a connected device that has never heartbeated since
+// connecting has no lastSeen entry, so the sweep cannot tell how long it
+// has been silent. Rather than evicting on suspicion, the sweep stamps
+// lastSeen with its own time — the device then has one full
+// HeartbeatWindow from this first observation before a later sweep may
+// evict it. (Boot and SetOffline clear lastSeen, so every connected spell
+// re-arms the grace.)
 func (h *Hub) SweepHeartbeats(now time.Time) []string {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.lastSeen == nil {
-		h.lastSeen = map[string]time.Time{}
-	}
 	var dropped []string
-	for id, d := range h.devices {
-		if d.Status != StatusConnected {
-			continue
-		}
-		seen, ok := h.lastSeen[id]
-		if !ok {
-			// First observation: start the clock now.
-			h.lastSeen[id] = now
-			continue
-		}
-		if now.Sub(seen) > HeartbeatWindow {
-			d.Status = StatusOffline
-			if ctr, busy := h.byDevice[id]; busy {
-				delete(h.containers, ctr)
-				delete(h.byDevice, id)
+	var reap []string // container IDs owned by evicted devices
+	for i := range h.devShards {
+		sh := &h.devShards[i]
+		sh.mu.Lock()
+		for id, d := range sh.devices {
+			if d.Status != StatusConnected {
+				continue
 			}
-			delete(h.lastSeen, id)
-			dropped = append(dropped, id)
+			seen, ok := sh.lastSeen[id]
+			if !ok {
+				// First observation: start the clock now (see doc comment).
+				sh.lastSeen[id] = now
+				continue
+			}
+			if now.Sub(seen) >= HeartbeatWindow {
+				d.Status = StatusOffline
+				h.live.Add(-1)
+				if ctr, busy := sh.byDevice[id]; busy {
+					reap = append(reap, ctr)
+					delete(sh.byDevice, id)
+				}
+				delete(sh.lastSeen, id)
+				dropped = append(dropped, id)
+			}
 		}
+		sh.mu.Unlock()
 	}
-	// Map iteration order is random; sort so traces, logs, and callers see
-	// a deterministic eviction order.
+	// Containers shard by their own IDs; reap them after the device stripe
+	// is released so no two shard locks are ever held together.
+	for _, ctr := range reap {
+		cs := h.ctrShard(ctr)
+		cs.mu.Lock()
+		if _, ok := cs.containers[ctr]; ok {
+			delete(cs.containers, ctr)
+			h.running.Add(-1)
+		}
+		cs.mu.Unlock()
+	}
+	// Shard and map iteration order are arbitrary; sort so traces, logs,
+	// and callers see a deterministic eviction order.
 	sort.Strings(dropped)
 	if len(dropped) > 0 {
-		h.metrics.Counter("edge_sweep_evictions_total").Add(float64(len(dropped)))
-		h.publishLocked()
+		reg := h.reg()
+		reg.Counter("edge_sweep_evictions_total").Add(float64(len(dropped)))
+		h.publish()
 		// Sweeps fire from clock playback, so the trace context arrives
 		// ambiently (SetTraceScope) rather than as an argument; only
 		// eviction sweeps are interesting enough to record.
-		if h.tracer != nil && h.traceScope.Valid() {
-			span := h.tracer.StartWith("edge_sweep", h.traceScope)
+		h.cfgMu.Lock()
+		tracer, scope := h.tracer, h.traceScope
+		h.cfgMu.Unlock()
+		if tracer != nil && scope.Valid() {
+			span := tracer.StartWith("edge_sweep", scope)
 			span.SetAttr("evicted", len(dropped))
 			span.SetAttr("devices", strings.Join(dropped, ","))
 			span.End()

@@ -11,58 +11,8 @@ package faults
 
 import (
 	"errors"
-	"sync"
 	"time"
 )
-
-// Clock is the virtual timebase fault schedules are evaluated against.
-// Nothing in this package sleeps: waiting (backoff, provisioning, drives)
-// advances the clock, and schedules answer "what is broken at this
-// instant". It is safe for concurrent use.
-type Clock struct {
-	mu        sync.Mutex
-	now       time.Time
-	onAdvance []func(now time.Time)
-}
-
-// NewClock starts a virtual clock at the given instant.
-func NewClock(start time.Time) *Clock {
-	return &Clock{now: start}
-}
-
-// Now returns the current virtual time.
-func (c *Clock) Now() time.Time {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.now
-}
-
-// Advance moves the clock forward by d (negative deltas are ignored) and
-// fires any OnAdvance callbacks with the new time. Callbacks run outside
-// the clock's lock, so they may read Now but must not Advance.
-func (c *Clock) Advance(d time.Duration) time.Time {
-	c.mu.Lock()
-	if d > 0 {
-		c.now = c.now.Add(d)
-	}
-	now := c.now
-	cbs := c.onAdvance
-	c.mu.Unlock()
-	for _, fn := range cbs {
-		fn(now)
-	}
-	return now
-}
-
-// OnAdvance registers a callback invoked after every Advance — the hook
-// the edge-fleet heartbeat playback uses to let scripted devices check in
-// (or stay scheduled-silent) as virtual time passes through transfers,
-// retries, and training.
-func (c *Clock) OnAdvance(fn func(now time.Time)) {
-	c.mu.Lock()
-	c.onAdvance = append(c.onAdvance, fn)
-	c.mu.Unlock()
-}
 
 // Error is a typed, retryable fault injected by a schedule. Substrates
 // return it (usually wrapped) so callers can distinguish transient

@@ -82,6 +82,38 @@ type Config struct {
 	// speed factor in [0.7, 1.3] from the run seed, so fleets are
 	// heterogeneous and quorum mode has honest stragglers to cut.
 	PerSampleCost time.Duration
+	// Hierarchical routes uploads through regional aggregators: workers
+	// ship deltas to their region over RegionLink, each region pre-reduces
+	// its members' contributions, and only one dense partial per region
+	// crosses the WAN to the parameter server. Aggregation arithmetic is
+	// identical to the flat mode (both run the same blocked reduction), so
+	// for the same participant set the global weights are bit-identical —
+	// the topology only changes transport and parallelism.
+	Hierarchical bool
+	// Regions is the regional-aggregator count for the blocked reduction
+	// (and, under Hierarchical, the aggregator fan-in). 0 selects
+	// ceil(sqrt(Workers)), the fan-in that minimizes per-round
+	// coordination cost N/R + R; values above Workers clamp to Workers.
+	Regions int
+	// RegionLink is the edge-to-aggregator network under Hierarchical; the
+	// zero value selects netem.FabricManaged (regional fabrics are not on
+	// the fault profiles' scripted WAN).
+	RegionLink netem.Link
+	// IngressSerial models serialization occupancy at upload receivers:
+	// a receiver handles one transfer at a time, so a worker's upload
+	// completes at max(its arrival, receiver busy-until) + duration. Flat
+	// mode has one cloud ingress queue (round wall grows ~linearly with
+	// fleet size); Hierarchical gets one queue per regional aggregator
+	// draining in parallel plus a cloud queue over the R partials (round
+	// wall ~N/R + R, sub-linear at R≈sqrt(N)). Off by default so small
+	// runs keep the historical parallel-ingress timing.
+	IngressSerial bool
+	// SyntheticLocal replaces real SGD with a deterministic, seeded
+	// pseudo-delta applied to each worker's local weights — the full
+	// coordination path (broadcast, encode, upload, aggregate) still runs
+	// bit-for-bit, which is what the fleet-scale benchmarks need at 10k
+	// workers where real training would dominate the measurement.
+	SyntheticLocal bool
 }
 
 // DefaultConfig returns a small fleet with the synchronous barrier and no
@@ -117,6 +149,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("fed: negative round gap")
 	case c.TopKFrac < 0 || c.TopKFrac > 1:
 		return fmt.Errorf("fed: top-k fraction must be in [0, 1]")
+	case c.Regions < 0:
+		return fmt.Errorf("fed: negative region count")
 	}
 	if _, err := newCodec(c.Compress, c.TopKFrac); err != nil {
 		return err
@@ -216,6 +250,9 @@ func NewRun(cfg Config, deps Deps, global *pilot.Pilot, shards [][]pilot.Sample,
 	if cfg.TopKFrac == 0 {
 		cfg.TopKFrac = 0.1
 	}
+	if cfg.RegionLink == (netem.Link{}) {
+		cfg.RegionLink = netem.FabricManaged
+	}
 	cdc, err := newCodec(cfg.Compress, cfg.TopKFrac)
 	if err != nil {
 		return nil, err
@@ -305,7 +342,7 @@ func NewRun(cfg Config, deps Deps, global *pilot.Pilot, shards [][]pilot.Sample,
 	}
 	if r.hub != nil && r.plan != nil {
 		r.playback = newHeartbeatPlayback(r.plan, r.hub, r.workers)
-		r.clock.OnAdvance(r.playback.catchUp)
+		r.playback.start(r.clock)
 	}
 	r.instrument()
 	return r, nil
@@ -349,18 +386,18 @@ func (r *Run) live(w *worker) bool {
 	return err == nil && d.Status == edge.StatusConnected
 }
 
-// transfer bills size bytes over the run's WAN link, under the fault
-// plan's retry policy when one is attached. It returns the total virtual
-// time the operation consumed, including backoff waits; the clock has
-// already advanced by it. A retryable failure that exhausts the policy
-// budget is reported as (elapsed, err) with faults.Retryable(err) true —
-// the caller drops the worker instead of stalling the round.
+// transfer bills size bytes over link, under the fault plan's retry
+// policy when one is attached. It returns the total virtual time the
+// operation consumed, including backoff waits; the clock has already
+// advanced by it. A retryable failure that exhausts the policy budget is
+// reported as (elapsed, err) with faults.Retryable(err) true — the caller
+// drops the worker instead of stalling the round.
 // The trace context rides along so each WAN attempt (including the
 // retries a fault plan injects) emits its own netem_transfer span under
 // the caller's stage span.
-func (r *Run) transfer(sc obs.SpanContext, op string, size int64) (time.Duration, error) {
+func (r *Run) transfer(sc obs.SpanContext, op string, size int64, link netem.Link) (time.Duration, error) {
 	if r.plan == nil {
-		tr, err := r.net.TransferCtx(sc, r.Cfg.Link, size)
+		tr, err := r.net.TransferCtx(sc, link, size)
 		if err != nil {
 			return 0, err
 		}
@@ -369,7 +406,7 @@ func (r *Run) transfer(sc obs.SpanContext, op string, size int64) (time.Duration
 	}
 	before := r.clock.Now()
 	err := r.plan.Do(op, func(int) (time.Duration, error) {
-		tr, err := r.net.TransferCtx(sc, r.Cfg.Link, size)
+		tr, err := r.net.TransferCtx(sc, link, size)
 		if err != nil {
 			return 0, err
 		}
@@ -384,61 +421,75 @@ func (r *Run) transfer(sc obs.SpanContext, op string, size int64) (time.Duration
 // sweeps — which is what actually evicts a silent worker mid-round. A
 // previously evicted device whose window has passed re-onboards through
 // the flash-and-boot reconnect path, rejoining the next round.
+//
+// Playback rides the clock's discrete-event scheduler: one
+// self-rescheduling timer fires at each due beat or sweep instant, so hub
+// state changes land at their exact virtual times instead of being caught
+// up after the fact. Beats at the same instant as a sweep fire first (the
+// daemon's check-in races the reaper and wins).
 type heartbeatPlayback struct {
-	plan    *faults.Plan
-	hub     *edge.Hub
-	workers []*worker
-	sem     chan struct{} // 1-token semaphore; reentrant Advance skips
-	beat    time.Time
-	sweep   time.Time
+	plan     *faults.Plan
+	hub      *edge.Hub
+	workers  []*worker
+	byDevice map[string]*worker
+	clock    *faults.Clock
+	beat     time.Time
+	sweep    time.Time
 }
 
 func newHeartbeatPlayback(plan *faults.Plan, hub *edge.Hub, workers []*worker) *heartbeatPlayback {
-	return &heartbeatPlayback{
-		plan:    plan,
-		hub:     hub,
-		workers: workers,
-		sem:     make(chan struct{}, 1),
-		beat:    plan.Clock.Now().Add(plan.HeartbeatEvery),
-		sweep:   plan.Clock.Now().Add(plan.SweepEvery),
+	hp := &heartbeatPlayback{
+		plan:     plan,
+		hub:      hub,
+		workers:  workers,
+		byDevice: make(map[string]*worker, len(workers)),
+		beat:     plan.Clock.Now().Add(plan.HeartbeatEvery),
+		sweep:    plan.Clock.Now().Add(plan.SweepEvery),
 	}
+	for _, w := range workers {
+		if w.deviceID != "" {
+			hp.byDevice[w.deviceID] = w
+		}
+	}
+	return hp
 }
 
-// catchUp replays every heartbeat round and sweep due up to now in
-// chronological order. The semaphore turns a reentrant Advance during
-// playback into a skip instead of a deadlock (the token holder finishes
-// the backlog).
-func (hp *heartbeatPlayback) catchUp(now time.Time) {
-	select {
-	case hp.sem <- struct{}{}:
-	default:
-		return
+// start hooks playback onto the clock's event loop.
+func (hp *heartbeatPlayback) start(clock *faults.Clock) {
+	hp.clock = clock
+	clock.Schedule(hp.next(), hp.tick)
+}
+
+// next is the earliest pending instant; beats win ties (see type comment).
+func (hp *heartbeatPlayback) next() time.Time {
+	if hp.beat.After(hp.sweep) {
+		return hp.sweep
 	}
-	defer func() { <-hp.sem }()
+	return hp.beat
+}
+
+// tick replays every beat round and sweep due at now (normally exactly
+// one — the clock parks at each due instant — but a timer scheduled in
+// the past catches up the backlog in chronological order), then
+// re-schedules itself for the next due instant.
+func (hp *heartbeatPlayback) tick(now time.Time) {
 	for !hp.beat.After(now) || !hp.sweep.After(now) {
 		if !hp.beat.After(now) && !hp.beat.After(hp.sweep) {
 			hp.beatRound(hp.beat)
 			hp.beat = hp.beat.Add(hp.plan.HeartbeatEvery)
 		} else {
-			hp.hub.SweepHeartbeats(hp.sweep)
-			hp.markEvicted()
+			for _, id := range hp.hub.SweepHeartbeats(hp.sweep) {
+				// Flag evicted workers so the round in progress knows they
+				// lost their connection even if they re-onboard before the
+				// uploads are collected.
+				if w, ok := hp.byDevice[id]; ok {
+					w.evicted = true
+				}
+			}
 			hp.sweep = hp.sweep.Add(hp.plan.SweepEvery)
 		}
 	}
-}
-
-// markEvicted flags workers whose devices a sweep just took offline, so
-// the round in progress knows they lost their connection even if they
-// re-onboard before the uploads are collected.
-func (hp *heartbeatPlayback) markEvicted() {
-	for _, w := range hp.workers {
-		if w.deviceID == "" {
-			continue
-		}
-		if d, err := hp.hub.Device(w.deviceID); err == nil && d.Status == edge.StatusOffline {
-			w.evicted = true
-		}
-	}
+	hp.clock.Schedule(hp.next(), hp.tick)
 }
 
 // beatRound lets every worker device act at time t: a scripted-silent one

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/faults"
+	"repro/internal/netem"
 	"repro/internal/nn"
 	"repro/internal/obs"
 )
@@ -145,7 +146,7 @@ func (r *Run) round(idx int, parent *obs.Span) (RoundResult, error) {
 		bsp := span.Child("fed_broadcast")
 		bsp.SetAttr("worker", st.w.name)
 		bsp.SetAttr("bytes", bcastBytes)
-		d, err := r.transfer(bsp.Context(), "fed_broadcast", bcastBytes)
+		d, err := r.transfer(bsp.Context(), "fed_broadcast", bcastBytes, r.Cfg.Link)
 		if err != nil {
 			bsp.EndErr(err)
 			if !faults.Retryable(err) {
@@ -179,6 +180,14 @@ func (r *Run) round(idx int, parent *obs.Span) (RoundResult, error) {
 		wg.Add(1)
 		go func(i int, st *wstate) {
 			defer wg.Done()
+			if r.Cfg.SyntheticLocal {
+				// Fleet-scale benchmarking: replace SGD with a seeded
+				// pseudo-delta so 10k workers exercise the full coordination
+				// path (broadcast, residuals, upload, aggregation) without
+				// 10k real training loops. Still delta = local - base.
+				syntheticTrain(st.w, r.Cfg.Seed, idx)
+				return
+			}
 			cfg := nn.TrainConfig{
 				Epochs:    r.Cfg.LocalEpochs,
 				BatchSize: r.Cfg.BatchSize,
@@ -224,8 +233,18 @@ func (r *Run) round(idx int, parent *obs.Span) (RoundResult, error) {
 	}
 
 	// Upload: each worker exports delta = local - base, compresses it,
-	// and ships it; the retry policy turns outages into backoff, and an
-	// exhausted budget drops the worker instead of stalling the barrier.
+	// and ships it — under Hierarchical to its regional aggregator over
+	// the region link, otherwise straight to the parameter server over the
+	// WAN. The retry policy turns outages into backoff, and an exhausted
+	// budget drops the worker instead of stalling the barrier.
+	uplink := r.Cfg.Link
+	updir := "upload"
+	if r.Cfg.Hierarchical {
+		uplink = r.Cfg.RegionLink
+		updir = "region" // edge->aggregator traffic; WAN bytes are the partials
+	}
+	uploadArrival := make([]time.Duration, len(states))
+	uploadDur := make([]time.Duration, len(states))
 	for _, st := range states {
 		if !st.ok {
 			continue
@@ -249,7 +268,9 @@ func (r *Run) round(idx int, parent *obs.Span) (RoundResult, error) {
 		usp := span.Child("fed_upload")
 		usp.SetAttr("worker", st.w.name)
 		usp.SetAttr("bytes", st.enc.wireBytes)
-		d, err := r.transfer(usp.Context(), "fed_upload", st.enc.wireBytes)
+		d, err := r.transfer(usp.Context(), "fed_upload", st.enc.wireBytes, uplink)
+		uploadArrival[st.w.idx] = st.elapsed
+		uploadDur[st.w.idx] = d
 		st.elapsed += d
 		if err != nil {
 			usp.EndErr(err)
@@ -257,20 +278,49 @@ func (r *Run) round(idx int, parent *obs.Span) (RoundResult, error) {
 				span.EndErr(err)
 				return rr, err
 			}
-			st.w.reclaimResidual(st.enc)
 			r.drop(st, &rr, "link")
 			continue
 		}
 		usp.SetSimDuration("upload", d)
 		usp.End()
-		rr.UploadBytes += st.enc.wireBytes
-		reg.Counter("fed_bytes_on_wire_total", obs.L("dir", "upload")).Add(float64(st.enc.wireBytes))
+		if !r.Cfg.Hierarchical {
+			rr.UploadBytes += st.enc.wireBytes
+		}
+		reg.Counter("fed_bytes_on_wire_total", obs.L("dir", updir)).Add(float64(st.enc.wireBytes))
 		// The upload itself advances the clock, so the sweep can evict a
 		// worker while its own transfer is in flight; that upload does not
 		// count either.
 		if st.w.evicted || !r.live(st.w) {
-			st.w.reclaimResidual(st.enc)
 			r.drop(st, &rr, "offline")
+		}
+	}
+
+	// Ingress serialization: re-time each surviving upload through its
+	// receiver's occupancy queue, in arrival order (ties to the lower
+	// worker index). Flat mode funnels everything through the one cloud
+	// ingress; Hierarchical drains one queue per regional aggregator in
+	// parallel.
+	if r.Cfg.IngressSerial {
+		var survivors []*wstate
+		for _, st := range states {
+			if st.ok {
+				survivors = append(survivors, st)
+			}
+		}
+		sort.Slice(survivors, func(a, b int) bool {
+			if uploadArrival[survivors[a].w.idx] != uploadArrival[survivors[b].w.idx] {
+				return uploadArrival[survivors[a].w.idx] < uploadArrival[survivors[b].w.idx]
+			}
+			return survivors[a].w.idx < survivors[b].w.idx
+		})
+		queues := make([]netem.IngressQueue, r.Cfg.regions())
+		var cloud netem.IngressQueue
+		for _, st := range survivors {
+			q := &cloud
+			if r.Cfg.Hierarchical {
+				q = &queues[r.Cfg.regionOf(st.w.idx)]
+			}
+			st.elapsed = q.Admit(uploadArrival[st.w.idx], uploadDur[st.w.idx])
 		}
 	}
 
@@ -280,8 +330,11 @@ func (r *Run) round(idx int, parent *obs.Span) (RoundResult, error) {
 	for _, st := range states {
 		if st.ok {
 			arrived = append(arrived, st)
+			// Histogram labels must stay bounded at fleet scale: workers
+			// land in one of numShards shard buckets, never a per-worker
+			// series (the cardinality lint rejects unbounded label values).
 			reg.Histogram("fed_worker_seconds", obs.DefSecondsBuckets,
-				obs.L("worker", st.w.name)).ObserveDurationExemplar(st.elapsed, span.Context().TraceID)
+				obs.L("shard", workerShard(st.w.idx))).ObserveDurationExemplar(st.elapsed, span.Context().TraceID)
 		}
 	}
 	sort.Slice(arrived, func(a, b int) bool {
@@ -297,18 +350,39 @@ func (r *Run) round(idx int, parent *obs.Span) (RoundResult, error) {
 		} else {
 			selected = arrived[:r.Cfg.Quorum]
 			for _, st := range arrived[r.Cfg.Quorum:] {
+				// A cut straggler stays in the fleet; its update is deferred
+				// into the residual, not discarded (unlike a drop).
 				st.w.reclaimResidual(st.enc)
 				rr.Cut = append(rr.Cut, st.w.idx)
 			}
 			reg.Counter("fed_stragglers_cut_total").Add(float64(len(rr.Cut)))
 		}
 	}
+
+	// Hierarchical: each region pre-reduces its selected members and ships
+	// one dense partial across the WAN; a failed partial drops the region.
+	var regionWall time.Duration
+	if r.Cfg.Hierarchical && len(selected) > 0 {
+		var err error
+		selected, regionWall, err = r.shipRegionPartials(span, &rr, selected)
+		if err != nil {
+			span.EndErr(err)
+			return rr, err
+		}
+	}
+
 	for _, st := range selected {
 		rr.Participants = append(rr.Participants, st.w.idx)
 		if st.elapsed > rr.Wall {
 			rr.Wall = st.elapsed
 		}
 	}
+	if regionWall > rr.Wall {
+		rr.Wall = regionWall
+	}
+	// Dropped accumulates un-sorted during the round (see drop); order it
+	// once here with the other index lists.
+	sort.Ints(rr.Dropped)
 	sort.Ints(rr.Participants)
 	sort.Ints(rr.Cut)
 
@@ -362,14 +436,51 @@ func (r *Run) round(idx int, parent *obs.Span) (RoundResult, error) {
 	return rr, nil
 }
 
-// drop records a worker leaving the current round.
+// drop records a worker leaving the current round. rr.Dropped is sorted
+// once at the end of the round, not here — re-sorting on every drop made
+// a mass eviction quadratic at fleet scale. Dropping also discards the
+// worker's error-feedback residual: the worker lost its connection
+// mid-round, and replaying a residual accumulated against an old global
+// model after rejoining would push stale gradient directions into a newer
+// model (a cut straggler, by contrast, stays connected and keeps its
+// deferred update).
 func (r *Run) drop(st *wstate, rr *RoundResult, reason string) {
 	st.ok = false
 	st.reason = reason
+	st.w.clearResidual()
 	rr.Dropped = append(rr.Dropped, st.w.idx)
-	sort.Ints(rr.Dropped)
 	r.obs.Metrics.Counter("fed_workers_dropped_total").Inc()
 	r.obs.Metrics.Counter("fed_workers_dropped_total", obs.L("reason", reason)).Inc()
+}
+
+// workerShard maps a worker index to its bounded metrics-label bucket.
+func workerShard(idx int) string { return fmt.Sprintf("s%02d", idx%numShards) }
+
+// syntheticTrain perturbs the worker's local weights with a deterministic
+// pseudo-update, a stand-in for SGD when Cfg.SyntheticLocal is set. Every
+// element's perturbation depends only on (seed, round, worker, tensor,
+// element), so same-seed fleets of any size replay bit-for-bit.
+func syntheticTrain(w *worker, seed int64, round int) {
+	for ti, p := range w.local.Model().Params() {
+		for j := range p.W.Data {
+			p.W.Data[j] += 1e-3 * synthVal(seed, round, w.idx, ti, j)
+		}
+	}
+}
+
+// synthVal hashes the coordinate tuple through a splitmix64 finalizer and
+// maps it to [-1, 1).
+func synthVal(seed int64, round, workerIdx, tensor, elem int) float64 {
+	x := uint64(seed)
+	x ^= uint64(round) * 0x9e3779b97f4a7c15
+	x ^= uint64(workerIdx) * 0xbf58476d1ce4e5b9
+	x ^= uint64(tensor) * 0x94d049bb133111eb
+	x ^= uint64(elem) * 0x2545f4914f6cdd1d
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11)/float64(1<<52) - 1
 }
 
 // broadcastSnapshot captures the global weights as each worker will
@@ -421,7 +532,7 @@ func (w *worker) residualFor(c codec, delta [][]float64) [][]float64 {
 }
 
 // reclaimResidual returns an upload that never made it into the global
-// model to the worker's error-feedback accumulator, so a dropped or cut
+// model to the worker's error-feedback accumulator, so a cut straggler's
 // round defers the update instead of losing it.
 func (w *worker) reclaimResidual(enc encoded) {
 	if w.residual == nil {
@@ -434,6 +545,13 @@ func (w *worker) reclaimResidual(enc encoded) {
 	}
 }
 
+// clearResidual discards the error-feedback accumulator. Called when the
+// worker drops out of a round (eviction or retry-budget exhaustion): the
+// residual was accumulated against a global model the fleet has since
+// moved past, and replaying it on rejoin would inject stale updates. A
+// fresh accumulator is allocated on the next sparsified upload.
+func (w *worker) clearResidual() { w.residual = nil }
+
 // trainCost is the simulated edge compute time for one worker's local
 // epochs (samples x epochs x per-sample cost, scaled by the worker's
 // fixed speed factor).
@@ -442,7 +560,16 @@ func (r *Run) trainCost(w *worker) time.Duration {
 	return time.Duration(work / w.speed)
 }
 
-// aggregate applies the shard-weighted FedAvg update to the global model.
+// aggregate applies the shard-weighted FedAvg update to the global model
+// with one canonical blocked reduction, shared by the flat and
+// hierarchical modes: selected workers are grouped into their regions
+// (contiguous index blocks), each region's weighted contributions are
+// accumulated into its own partial in worker-index order, and the
+// partials are merged into the update in region order. Because both modes
+// run exactly this arithmetic — Hierarchical only parallelizes the
+// per-region accumulation into disjoint buffers — the global weights are
+// bit-identical for the same participant set, by construction rather than
+// by hoping float addition associates.
 func (r *Run) aggregate(selected []*wstate) error {
 	byIdx := append([]*wstate(nil), selected...)
 	sort.Slice(byIdx, func(a, b int) bool { return byIdx[a].w.idx < byIdx[b].w.idx })
@@ -451,16 +578,63 @@ func (r *Run) aggregate(selected []*wstate) error {
 		total += len(st.w.shard)
 	}
 	params := r.Global.Model().Params()
+	nRegions := r.Cfg.regions()
+	byRegion := make([][]*wstate, nRegions)
+	for _, st := range byIdx {
+		reg := r.Cfg.regionOf(st.w.idx)
+		byRegion[reg] = append(byRegion[reg], st)
+	}
+	partials := make([]*nn.WeightDelta, nRegions)
+	reduce := func(reg int) {
+		members := byRegion[reg]
+		if len(members) == 0 {
+			return
+		}
+		partial := &nn.WeightDelta{Tensors: make([]*nn.Tensor, len(params))}
+		for i, p := range params {
+			partial.Tensors[i] = nn.NewTensor(p.W.Shape...)
+		}
+		for _, st := range members {
+			weight := float64(len(st.w.shard)) / float64(total)
+			for i, t := range st.enc.values {
+				dst := partial.Tensors[i].Data
+				for j, v := range t {
+					dst[j] += weight * v
+				}
+			}
+		}
+		partials[reg] = partial
+	}
+	if r.Cfg.Hierarchical {
+		// Regional aggregators reduce concurrently into disjoint buffers;
+		// the merge below stays in region order, so scheduling cannot
+		// change a single bit of the result.
+		var wg sync.WaitGroup
+		for reg := 0; reg < nRegions; reg++ {
+			wg.Add(1)
+			go func(reg int) {
+				defer wg.Done()
+				reduce(reg)
+			}(reg)
+		}
+		wg.Wait()
+	} else {
+		for reg := 0; reg < nRegions; reg++ {
+			reduce(reg)
+		}
+	}
 	avg := &nn.WeightDelta{Tensors: make([]*nn.Tensor, len(params))}
 	for i, p := range params {
 		avg.Tensors[i] = nn.NewTensor(p.W.Shape...)
 	}
-	for _, st := range byIdx {
-		weight := float64(len(st.w.shard)) / float64(total)
-		for i, t := range st.enc.values {
+	for reg := 0; reg < nRegions; reg++ {
+		if partials[reg] == nil {
+			continue
+		}
+		for i, t := range partials[reg].Tensors {
 			dst := avg.Tensors[i].Data
-			for j, v := range t {
-				dst[j] += weight * v
+			for j, v := range t.Data {
+				dst[j] += v
 			}
 		}
 	}

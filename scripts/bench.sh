@@ -1,14 +1,14 @@
 #!/bin/sh
 # Reproducible benchmark runner: runs the paper-experiment benchmarks
-# (F1-F3, E1-E7, E10-E11) plus the GEMM kernel micro-benchmarks under
-# pinned GOMAXPROCS, and emits a machine-readable BENCH_pr5.json recording
+# (F1-F3, E1-E7, E10-E12) plus the GEMM kernel micro-benchmarks under
+# pinned GOMAXPROCS, and emits a machine-readable BENCH_pr7.json recording
 # ns/op, bytes/op, allocs/op and — for the serving rows — req/s, and for
 # the federated rows — simulated round wall-clock (round_ms), WAN bytes
 # (bytes_on_wire), and final validation loss (final_valloss) per
 # benchmark — one datapoint of the repo's performance trajectory.
 #
 # Usage: ./scripts/bench.sh
-#   BENCH_OUT=path        output file (default BENCH_pr6.json)
+#   BENCH_OUT=path        output file (default BENCH_pr7.json)
 #   BENCH_GOMAXPROCS=n    pinned worker count (default 1, the contract
 #                         baseline: results are deterministic at any
 #                         fixed value, but timings only compare at the
@@ -21,7 +21,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-OUT=${BENCH_OUT:-BENCH_pr6.json}
+OUT=${BENCH_OUT:-BENCH_pr7.json}
 export GOMAXPROCS=${BENCH_GOMAXPROCS:-1}
 HEAVY_TIME=${BENCH_TIME_HEAVY:-2x}
 
@@ -43,6 +43,9 @@ go test -run '^$' -bench '^BenchmarkE10Serving$' . | tee -a "$raw"
 
 echo "==> federated benchmarks (E11)"
 go test -run '^$' -bench '^BenchmarkE11Federated$' -benchtime 1x . | tee -a "$raw"
+
+echo "==> fleet-scale benchmarks (E12)"
+go test -run '^$' -bench '^BenchmarkE12FleetScale$' -benchmem -benchtime 1x . | tee -a "$raw"
 
 echo "==> GEMM kernel micro-benchmarks"
 go test -run '^$' -bench '^BenchmarkGEMM$' -benchmem \
@@ -89,7 +92,7 @@ awk -v gomaxprocs="$GOMAXPROCS" '
     printf "}"
 }
 BEGIN {
-    printf "{\n  \"pr\": 6,\n  \"gomaxprocs\": %s,\n  \"benchmarks\": {\n", gomaxprocs
+    printf "{\n  \"pr\": 7,\n  \"gomaxprocs\": %s,\n  \"benchmarks\": {\n", gomaxprocs
 }
 END { printf "\n  }\n}\n" }
 ' "$raw" > "$OUT"

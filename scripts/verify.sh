@@ -180,6 +180,45 @@ if [ -z "${SKIP_BENCH_GUARD:-}" ] && [ -f BENCH_pr5.json ]; then
 fi
 
 if [ -z "${SKIP_BENCH_GUARD:-}" ]; then
+    echo "==> fleet-scale guard (E12: 1k round wall, 10k sub-linearity)"
+    eout=$(mktemp)
+    GOMAXPROCS=1 go test -run '^$' -bench '^BenchmarkE12FleetScale/hier/w(1000|10000)$' \
+        -benchtime 1x . >"$eout" 2>&1 || { cat "$eout" >&2; exit 1; }
+    k1=$(awk '$1 == "BenchmarkE12FleetScale/hier/w1000" || $1 ~ "^BenchmarkE12FleetScale/hier/w1000-" {
+        for (i = 2; i < NF; i++) if ($(i+1) == "round_ms") print $i }' "$eout")
+    k10=$(awk '$1 ~ "^BenchmarkE12FleetScale/hier/w10000" {
+        for (i = 2; i < NF; i++) if ($(i+1) == "round_ms") print $i }' "$eout")
+    if [ -z "$k1" ] || [ -z "$k10" ]; then
+        echo "fleet guard: missing E12 round_ms (1k='$k1' 10k='$k10')" >&2
+        cat "$eout" >&2
+        exit 1
+    fi
+    # Hierarchical aggregation's whole point: 10x the fleet must cost less
+    # than 10x the simulated round wall (R regional queues drain in
+    # parallel; only R partials serialize at the cloud ingress).
+    if awk -v a="$k10" -v b="$k1" 'BEGIN { exit !(a + 0 >= 10 * b) }'; then
+        echo "fleet guard: 10k-worker round_ms $k10 not sub-linear vs 1k-worker $k1 (limit <10x)" >&2
+        exit 1
+    fi
+    echo "    hier/w1000 round_ms $k1, hier/w10000 round_ms $k10 (sub-linear)"
+    if [ -f BENCH_pr7.json ]; then
+        # round_ms is simulated wall-clock — deterministic on any machine —
+        # so any drift past the limit means coordination behavior changed.
+        base=$(awk -v n="\"BenchmarkE12FleetScale/hier/w1000\"" '
+            index($0, n": {") { sub(".*\"round_ms\": ", ""); sub("[,}].*", ""); print }
+        ' BENCH_pr7.json)
+        if [ -n "$base" ]; then
+            if awk -v n="$k1" -v b="$base" 'BEGIN { exit !(n > b * 1.25) }'; then
+                echo "fleet guard: hier/w1000 round_ms regressed >25%: $k1 vs baseline $base" >&2
+                exit 1
+            fi
+            echo "    hier/w1000: round_ms $k1 (baseline $base, limit +25%)"
+        fi
+    fi
+    rm -f "$eout"
+fi
+
+if [ -z "${SKIP_BENCH_GUARD:-}" ]; then
     echo "==> registry contention guard (sharded >=2x mutex at 8 goroutines)"
     cout=$(mktemp)
     GOMAXPROCS=8 go test -run '^$' -bench '^BenchmarkRegistryContention/(mutex|sharded)/g8$' \
