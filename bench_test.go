@@ -48,7 +48,9 @@ import (
 	"repro/internal/netem"
 	"repro/internal/nn"
 	"repro/internal/objstore"
+	"repro/internal/obs"
 	"repro/internal/pilot"
+	"repro/internal/scenario"
 	"repro/internal/serve"
 	"repro/internal/sim"
 	"repro/internal/testbed"
@@ -1258,5 +1260,83 @@ func BenchmarkE12FleetScale(b *testing.B) {
 	for _, workers := range []int{100, 1000, 10000} {
 		workers := workers
 		b.Run(fmt.Sprintf("hier/w%d", workers), func(b *testing.B) { e12Run(b, workers, true) })
+	}
+}
+
+// e13Run executes one federated run scripted by a checked-in scenario
+// file: the scenario runtime owns the fault plan and the link-shape
+// table, the fed deps ride its clock, and after the last round the clock
+// plays past the horizon so every scripted transition fires. Reported
+// metrics are the E11 trio plus transitions (the phase count actually
+// replayed — a scenario that silently failed to apply reports short).
+func e13Run(b *testing.B, file string) {
+	b.Helper()
+	pcfg := pilot.DefaultConfig(pilot.Linear, 24, 16, 1)
+	pcfg.ConvFilters1, pcfg.ConvFilters2, pcfg.DenseUnits = 4, 8, 16
+	samples := e11Samples(b, pcfg, 220)
+	val := samples[180:]
+
+	var res fed.Result
+	var transitions int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := scenario.Load(file)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rt, err := scenario.NewRuntime(s, 11, benchEpoch)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rt.Start(obs.Observer{})
+		cfg := fed.DefaultConfig()
+		cfg.Workers = 4
+		cfg.Rounds = 8
+		cfg.LocalEpochs = 2
+		cfg.BatchSize = 16
+		cfg.Seed = 11
+		// 25s of idle virtual time per round walks the run across the
+		// library files' 2-3 minute phase timelines.
+		cfg.RoundGap = 25 * time.Second
+		shards, err := fed.ShardSamples(samples[:180], cfg.Workers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		global, err := pilot.New(pcfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		deps := fed.Deps{Net: netem.NewNet(cfg.Seed), Hub: edge.NewHub(),
+			Store: objstore.New(), Plan: rt.Plan(), Start: benchEpoch}
+		rt.Attach(deps.Net)
+		r, err := fed.NewRun(cfg, deps, global, shards, val)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err = r.Execute()
+		if err != nil {
+			b.Fatal(err)
+		}
+		rt.Clock().Advance(s.Horizon())
+		transitions = rt.Finish()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(res.MeanRoundWall)/float64(time.Millisecond), "round_ms")
+	b.ReportMetric(float64(res.TotalBytes), "bytes_on_wire")
+	b.ReportMetric(res.FinalValLoss, "final_valloss")
+	b.ReportMetric(float64(transitions), "transitions")
+}
+
+// BenchmarkE13Scenario is the scenario-replay experiment: the same
+// federated run under three files from the checked-in library. The clean
+// control pins the fault-free cost; lossy-wan must inflate round wall
+// against it (shaped bandwidth and loss slow every upload); the
+// cascading outage adds partitions and a heartbeat silence on top. The
+// transitions metric doubles as a replay check — it must equal each
+// file's phase count, every run, or the scheduler dropped a phase.
+func BenchmarkE13Scenario(b *testing.B) {
+	for _, name := range []string{"clean", "lossy-wan", "cascading-outage"} {
+		name := name
+		b.Run(name, func(b *testing.B) { e13Run(b, "scenarios/"+name+".scn") })
 	}
 }

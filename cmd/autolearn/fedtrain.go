@@ -13,6 +13,7 @@ import (
 	"repro/internal/objstore"
 	"repro/internal/obs"
 	"repro/internal/pilot"
+	"repro/internal/scenario"
 	"repro/internal/serve"
 	"repro/internal/sim"
 	"repro/internal/track"
@@ -30,6 +31,7 @@ func cmdFedTrain(args []string) error {
 	compress := fs.String("compress", "none", "delta compression: "+strings.Join(fed.Profiles(), "|"))
 	topKFrac := fs.Float64("topk", 0.2, "fraction of delta entries the topk profile keeps")
 	profile := fs.String("faults", "", "fault profile: "+strings.Join(faults.Profiles(), "|")+" (empty = fault-free)")
+	scnFile := fs.String("scenario", "", "scenario file scripting faults and link shapes (exclusive with -faults)")
 	model := fs.String("model", "linear", "pilot kind")
 	trackName := fs.String("track", "default-oval", "track name")
 	ticks := fs.Int("ticks", 800, "ticks of driving to collect at 20 Hz")
@@ -89,6 +91,9 @@ func cmdFedTrain(args []string) error {
 		Obs:   o,
 		Start: epoch,
 	}
+	if *profile != "" && *scnFile != "" {
+		return fmt.Errorf("fed-train: -scenario and -faults are mutually exclusive")
+	}
 	if *profile != "" {
 		plan, err := faults.NewPlan(*profile, *seed, epoch)
 		if err != nil {
@@ -97,6 +102,17 @@ func cmdFedTrain(args []string) error {
 		plan.Instrument(o.Metrics)
 		deps.Plan = plan
 		fmt.Printf("== fault profile %q (seed %d)\n", *profile, *seed)
+	}
+	var rt *scenario.Runtime
+	if *scnFile != "" {
+		rt, err = loadScenarioRuntime(*scnFile, *seed)
+		if err != nil {
+			return err
+		}
+		rt.Start(o)
+		deps.Plan = rt.Plan()
+		rt.Attach(deps.Net)
+		fmt.Printf("== %s\n", rt.Describe())
 	}
 
 	// The serving side rides along in the same trace: after the first
@@ -153,6 +169,12 @@ func cmdFedTrain(args []string) error {
 	if out.CheckpointContainer != "" {
 		fmt.Printf("== global checkpoint at %s/%s (served as fed-global, %d hot reloads)\n",
 			out.CheckpointContainer, out.CheckpointObject, reloads)
+	}
+	if rt != nil {
+		// Play the clock past the horizon so every scripted phase fires and
+		// the exported trace carries the full transition record.
+		rt.Clock().Advance(rt.Scenario().Horizon())
+		fmt.Printf("== scenario: %d phase transitions\n", rt.Finish())
 	}
 	if deps.Plan != nil {
 		fmt.Printf("== faults: %s\n", deps.Plan.Summary())

@@ -17,8 +17,9 @@
 //	autolearn hybrid    [-shrink 8] [-blend 0.4] [-ticks 600]
 //	autolearn zero      [-image-mb 800]
 //	autolearn placement [-params 150000]
-//	autolearn serve     -models name=FILE[,name=FILE...] [-addr :8899] [-max-batch 32] [-batch-window 2ms]
+//	autolearn serve     -models name=FILE[,name=FILE...] [-addr :8899] [-max-batch 32] [-batch-window 2ms] [-scenario FILE]
 //	autolearn obs       report -trace FILE
+//	autolearn scenario  check -file FILE | probe -file FILE [-at 90s] [-link NAME] [-tol 0.25]
 package main
 
 import (
@@ -35,6 +36,7 @@ import (
 	"repro/internal/nn"
 	"repro/internal/obs"
 	"repro/internal/pilot"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/testbed"
 	"repro/internal/track"
@@ -136,6 +138,8 @@ func main() {
 		err = cmdFedTrain(os.Args[2:])
 	case "obs":
 		err = cmdObs(os.Args[2:])
+	case "scenario":
+		err = cmdScenario(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -169,11 +173,17 @@ commands:
   fed-train   run federated FedAvg rounds across a fleet of edge workers
   obs         observability utilities: obs report -trace FILE summarizes
               a JSONL trace (per-stage timings, tree, critical path)
+  scenario    scenario-file utilities: scenario check -file F validates and
+              canonicalizes; scenario probe -file F [-at 90s] measures the
+              declared links as shaped at that instant
 
 pipeline, models, and evaluate accept -trace FILE (JSONL span trace) and
 -metrics FILE (Prometheus text format) to export observability data.
 pipeline also accepts -faults PROFILE (lossy-wan, flaky-objstore,
-heartbeat-gap, preempt, chaos) to run under deterministic fault injection.`)
+heartbeat-gap, preempt, chaos) to run under deterministic fault injection.
+pipeline, fed-train, and serve accept -scenario FILE to run under a
+phase-scripted chaos scenario (see scenarios/); the same file plus the
+same seed replays byte-identically through any of them.`)
 }
 
 func cmdTracks() error {
@@ -411,8 +421,12 @@ func cmdPipeline(args []string) error {
 	model := fs.String("model", "inferred", "pilot kind")
 	gpu := fs.String("gpu", "RTX6000", "GPU SKU")
 	profile := fs.String("faults", "", "fault profile: "+strings.Join(faults.Profiles(), "|")+" (empty = fault-free)")
+	scnFile := fs.String("scenario", "", "scenario file scripting faults and link shapes (exclusive with -faults)")
 	of := addObsFlags(fs)
 	fs.Parse(args)
+	if *profile != "" && *scnFile != "" {
+		return fmt.Errorf("pipeline: -scenario and -faults are mutually exclusive")
+	}
 
 	cfg := core.DefaultConfig()
 	cfg.Track = *trackName
@@ -422,6 +436,15 @@ func cmdPipeline(args []string) error {
 	}
 	o := of.observer()
 	m.Instrument(o)
+	var rt *scenario.Runtime
+	if *scnFile != "" {
+		rt, err = loadScenarioRuntime(*scnFile, cfg.Seed)
+		if err != nil {
+			return err
+		}
+		rt.Start(o)
+		rt.Attach(m.Net)
+	}
 	student, err := m.Enroll("cli-student", "local")
 	if err != nil {
 		return err
@@ -447,6 +470,13 @@ func cmdPipeline(args []string) error {
 			return err
 		}
 		fmt.Printf("== fault profile %q (seed %d)\n", *profile, cfg.Seed)
+	}
+	if rt != nil {
+		plan = rt.Plan()
+		if err := p.EnableFaults(plan); err != nil {
+			return err
+		}
+		fmt.Printf("== %s\n", rt.Describe())
 	}
 	fmt.Println("== phase 1: data collection (simulator path)")
 	col, err := p.CollectData(core.Simulator, "drive-1", 1000)
@@ -491,6 +521,11 @@ func cmdPipeline(args []string) error {
 		fmt.Printf("   student %d params, laps %d, crashes %d, cloud fallbacks %d\n",
 			hy.StudentParams, hy.Report.Laps, hy.Report.Crashes, hy.Fallbacks)
 		fmt.Printf("== faults: %s\n", plan.Summary())
+	}
+	if rt != nil {
+		// Drain the script so every phase transition lands in the trace.
+		rt.Clock().Advance(rt.Scenario().Horizon())
+		fmt.Printf("== scenario: %d phase transitions\n", rt.Finish())
 	}
 	p.EndTrace()
 	return of.write(o)

@@ -1,0 +1,114 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"repro/internal/netem"
+	"repro/internal/scenario"
+)
+
+// cmdScenario groups the scenario-file utilities: `check` validates and
+// canonicalizes a file, `probe` measures the declared links as shaped at
+// a chosen instant of the scripted run.
+func cmdScenario(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("scenario: want a subcommand: check|probe")
+	}
+	switch args[0] {
+	case "check":
+		return cmdScenarioCheck(args[1:])
+	case "probe":
+		return cmdScenarioProbe(args[1:])
+	default:
+		return fmt.Errorf("scenario: unknown subcommand %q (want check|probe)", args[0])
+	}
+}
+
+// loadScenarioRuntime parses a scenario file into a runtime anchored at
+// the CLI's shared epoch — the same construction every subsystem uses,
+// so a file that checks out here replays identically under pipeline,
+// fed-train, and serve.
+func loadScenarioRuntime(file string, seed int64) (*scenario.Runtime, error) {
+	s, err := scenario.Load(file)
+	if err != nil {
+		return nil, err
+	}
+	return scenario.NewRuntime(s, seed, epoch)
+}
+
+func cmdScenarioCheck(args []string) error {
+	fs := flag.NewFlagSet("scenario check", flag.ExitOnError)
+	file := fs.String("file", "", "scenario file (required)")
+	seed := fs.Int64("seed", 1, "run seed (a seed directive in the file wins)")
+	fs.Parse(args)
+	if *file == "" {
+		return fmt.Errorf("scenario check: -file is required")
+	}
+	rt, err := loadScenarioRuntime(*file, *seed)
+	if err != nil {
+		return err
+	}
+	s := rt.Scenario()
+	fmt.Printf("== %s\n", rt.Describe())
+	for i, ph := range s.Phases {
+		fmt.Printf("   phase %d: %v..%v %-9s %s\n", i+1, ph.Start, ph.End, ph.Kind, ph.Target())
+	}
+	fmt.Println("== canonical form:")
+	fmt.Print(scenario.Format(s))
+	return nil
+}
+
+func cmdScenarioProbe(args []string) error {
+	fs := flag.NewFlagSet("scenario probe", flag.ExitOnError)
+	file := fs.String("file", "", "scenario file (required)")
+	at := fs.Duration("at", 0, "instant into the scripted run to probe at")
+	link := fs.String("link", "", "probe one declared link (empty = all)")
+	tol := fs.Float64("tol", 0.25, "relative tolerance for the declared-vs-measured check")
+	bytes := fs.Int64("bytes", 0, "payload per bulk transfer (0 = probe default)")
+	seed := fs.Int64("seed", 1, "run seed (a seed directive in the file wins)")
+	fs.Parse(args)
+	if *file == "" {
+		return fmt.Errorf("scenario probe: -file is required")
+	}
+	rt, err := loadScenarioRuntime(*file, *seed)
+	if err != nil {
+		return err
+	}
+	net := netem.NewNet(rt.Seed())
+	rt.Attach(net)
+	rt.Clock().Advance(*at)
+
+	names := rt.Scenario().LinkNames()
+	if *link != "" {
+		names = []string{*link}
+	}
+	if len(names) == 0 {
+		return fmt.Errorf("scenario probe: %s declares no links", *file)
+	}
+	var failed int
+	for _, name := range names {
+		base, _ := netem.ByName(name)
+		res, err := net.Probe(base, netem.ProbeConfig{Bytes: *bytes})
+		if err != nil {
+			failed++
+			fmt.Printf("%-16s at %v: PROBE FAILED: %v\n", name, *at, err)
+			continue
+		}
+		verdict := "within tolerance"
+		if err := res.Check(*tol); err != nil {
+			failed++
+			verdict = "OUT OF TOLERANCE: " + err.Error()
+		}
+		fmt.Printf("%-16s at %v: declared %s/%v rtt, loss %.4f; measured %s/%v rtt, loss %.4f (%d retrans) — %s\n",
+			name, *at,
+			scenario.FormatBandwidth(res.Declared.Bandwidth), 2*res.Declared.Latency, res.Declared.LossRate,
+			scenario.FormatBandwidth(res.MeasuredBandwidth), res.MeasuredRTT.Round(time.Microsecond), res.MeasuredLoss,
+			res.Retransmits, verdict)
+	}
+	if failed > 0 {
+		return fmt.Errorf("scenario probe: %d of %d links out of tolerance", failed, len(names))
+	}
+	return nil
+}

@@ -14,8 +14,11 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/netctl"
+	"repro/internal/netem"
 	"repro/internal/objstore"
 	"repro/internal/obs"
+	"repro/internal/scenario"
 	"repro/internal/serve"
 )
 
@@ -139,11 +142,18 @@ func cmdServe(args []string) error {
 	queue := fs.Int("queue", 0, "admission queue depth (0 = default)")
 	deadline := fs.Duration("deadline", 0, "default per-request deadline (0 = default)")
 	poll := fs.Duration("poll", 2*time.Second, "checkpoint reload poll interval (0 disables)")
+	scnFile := fs.String("scenario", "", "scenario file scripting the serving WAN (netctl pane at /netctl/)")
 	fs.Parse(args)
 
 	specs, err := parseModelSpecs(*models)
 	if err != nil {
 		return err
+	}
+	var rt *scenario.Runtime
+	if *scnFile != "" {
+		if rt, err = loadScenarioRuntime(*scnFile, 1); err != nil {
+			return err
+		}
 	}
 	cfg := serve.DefaultConfig()
 	if *maxBatch > 0 {
@@ -160,17 +170,56 @@ func cmdServe(args []string) error {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	return runServe(ctx, *addr, specs, cfg, *poll)
+	return runServe(ctx, *addr, specs, cfg, *poll, rt)
 }
 
 // runServe serves until ctx is canceled, then drains the HTTP server and
-// the batching schedulers.
-func runServe(ctx context.Context, addr string, specs []modelSpec, cfg serve.Config, poll time.Duration) error {
+// the batching schedulers. A non-nil scenario runtime scripts the serving
+// WAN: its clock advances in wall time, its shapes slow the batchers, and
+// the netctl control plane is mounted at /netctl/ for live mutations.
+func runServe(ctx context.Context, addr string, specs []modelSpec, cfg serve.Config, poll time.Duration, rt *scenario.Runtime) error {
 	a, err := buildServing(specs, cfg)
 	if err != nil {
 		return err
 	}
 	defer a.svc.Close()
+	var handler http.Handler = a.svc
+	if rt != nil {
+		fabric := netem.NewNet(rt.Seed())
+		rt.Attach(fabric)
+		nsrv, err := netctl.New(netctl.Config{
+			Table: rt.Table(), Net: fabric, Now: rt.Clock().Now, Runtime: rt,
+		})
+		if err != nil {
+			return err
+		}
+		nsrv.SetObserver(obs.Observer{Metrics: a.metrics})
+		rt.SetEventHook(nsrv.PublishEvent)
+		rt.Start(obs.Observer{Metrics: a.metrics})
+		defer rt.Finish()
+		// Shapes on the campus WAN slow every batch: a partitioned link
+		// stalls like an outage, a throttled one stalls proportionally.
+		a.svc.SetSlowHook(serve.ShaperSlowdown(rt.Table(), netem.CampusWAN, rt.Clock().Now, 2*time.Millisecond))
+		// The scripted clock rides wall time while the server runs.
+		go func() {
+			const step = 100 * time.Millisecond
+			t := time.NewTicker(step)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					rt.Clock().Advance(step)
+				}
+			}
+		}()
+		mux := http.NewServeMux()
+		mux.Handle("/", a.svc)
+		mux.Handle("/netctl/", http.StripPrefix("/netctl", nsrv))
+		handler = mux
+		fmt.Printf("scenario: %s; netctl pane at /netctl/\n", rt.Describe())
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
@@ -193,7 +242,7 @@ func runServe(ctx context.Context, addr string, specs []modelSpec, cfg serve.Con
 			}
 		}()
 	}
-	hs := &http.Server{Handler: a.svc}
+	hs := &http.Server{Handler: handler}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
 	fmt.Printf("serving %s on %s (max batch %d, window %v, queue %d); POST /predict, GET /models, GET /metrics\n",

@@ -22,7 +22,11 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/faults"
+	"repro/internal/netctl"
+	"repro/internal/netem"
 	"repro/internal/obs"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/track"
 	"repro/internal/webctl"
@@ -32,10 +36,11 @@ func main() {
 	addr := flag.String("addr", ":8887", "listen address")
 	trackName := flag.String("track", "default-oval", "track name")
 	hz := flag.Float64("hz", 20, "drive loop rate")
+	scnFile := flag.String("scenario", "", "scenario file to script the netctl pane's fabric (empty = clean stock links)")
 	flag.Parse()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, *addr, *trackName, *hz); err != nil {
+	if err := run(ctx, *addr, *trackName, *hz, *scnFile); err != nil {
 		fmt.Fprintln(os.Stderr, "webserve:", err)
 		os.Exit(1)
 	}
@@ -51,7 +56,7 @@ type app struct {
 	loop   func(ctx context.Context)
 }
 
-func build(trackName string, hz float64) (*app, error) {
+func build(trackName string, hz float64, scnFile string) (*app, error) {
 	if hz <= 0 {
 		return nil, fmt.Errorf("hz must be positive")
 	}
@@ -101,6 +106,46 @@ func build(trackName string, hz float64) (*app, error) {
 		return nil, err
 	}
 
+	// The netctl pane: a second dashboard over a live link fabric. With a
+	// -scenario the fabric follows the script (the drive loop advances its
+	// clock in wall time); without one every shape arrives over REST.
+	start := time.Now().UTC()
+	fabric := netem.NewNet(1)
+	var clk *faults.Clock
+	var table *scenario.Table
+	var rt *scenario.Runtime
+	if scnFile != "" {
+		s, err := scenario.Load(scnFile)
+		if err != nil {
+			return nil, err
+		}
+		rt, err = scenario.NewRuntime(s, 1, start)
+		if err != nil {
+			return nil, err
+		}
+		clk, table = rt.Clock(), rt.Table()
+	} else {
+		var names []string
+		for _, l := range netem.Stock() {
+			names = append(names, l.Name)
+		}
+		clk, table = faults.NewClock(start), scenario.NewLinkTable(names...)
+	}
+	nsrv, err := netctl.New(netctl.Config{
+		Table: table, Net: fabric, Now: clk.Now, Links: netem.Stock(), Runtime: rt,
+	})
+	if err != nil {
+		return nil, err
+	}
+	nsrv.SetObserver(obs.Observer{Metrics: reg})
+	if rt != nil {
+		rt.SetEventHook(nsrv.PublishEvent)
+		rt.Attach(fabric)
+		rt.Start(obs.Observer{Tracer: tracer, Metrics: reg})
+	} else {
+		fabric.SetShaper(table, clk.Now)
+	}
+
 	// Drive loop: controller commands move the physics; frame and state
 	// snapshots refresh /video and /state.
 	loop := func(ctx context.Context) {
@@ -122,11 +167,13 @@ func build(trackName string, hz float64) (*app, error) {
 			front, back = back, front
 			frames.Inc()
 			tickHist.ObserveDuration(time.Since(t0))
+			clk.Advance(period)
 		}
 	}
 
 	mux := http.NewServeMux()
 	mux.Handle("/", srv)
+	mux.Handle("/netctl/", http.StripPrefix("/netctl", nsrv))
 	mux.Handle("/metrics", obs.Handler(reg))
 	mux.Handle("/debug/obs", obs.DebugHandler(obs.Observer{Tracer: tracer, Metrics: reg}))
 	return &app{srv: srv, reg: reg, tracer: tracer, mux: mux, loop: loop}, nil
@@ -134,8 +181,8 @@ func build(trackName string, hz float64) (*app, error) {
 
 // run serves until ctx is canceled, then shuts the HTTP server down
 // gracefully and stops the drive loop.
-func run(ctx context.Context, addr, trackName string, hz float64) error {
-	a, err := build(trackName, hz)
+func run(ctx context.Context, addr, trackName string, hz float64, scnFile string) error {
+	a, err := build(trackName, hz, scnFile)
 	if err != nil {
 		return err
 	}
@@ -148,7 +195,7 @@ func run(ctx context.Context, addr, trackName string, hz float64) error {
 	hs := &http.Server{Handler: a.mux}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
-	log.Printf("web controller on %s (track %s); POST /drive, GET /state, GET /video, GET /metrics, GET /debug/obs",
+	log.Printf("web controller on %s (track %s); POST /drive, GET /state, GET /video, GET /metrics, GET /debug/obs, netctl pane at /netctl/",
 		ln.Addr(), trackName)
 	select {
 	case <-ctx.Done():

@@ -16,7 +16,7 @@ import (
 // returns a test HTTP server over its mux.
 func startApp(t *testing.T, hz float64) *httptest.Server {
 	t.Helper()
-	a, err := build("default-oval", hz)
+	a, err := build("default-oval", hz, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,10 +36,10 @@ func startApp(t *testing.T, hz float64) *httptest.Server {
 }
 
 func TestBuildRejectsBadInput(t *testing.T) {
-	if _, err := build("no-such-track", 20); err == nil {
+	if _, err := build("no-such-track", 20, ""); err == nil {
 		t.Error("unknown track accepted")
 	}
-	if _, err := build("default-oval", 0); err == nil {
+	if _, err := build("default-oval", 0, ""); err == nil {
 		t.Error("zero hz accepted")
 	}
 }
@@ -148,7 +148,7 @@ func TestEndpointsAgainstRunningLoop(t *testing.T) {
 // /debug/obs serve the right content types, are GET-only, and a /drive
 // command carrying a trace context shows up on the dashboard.
 func TestObservabilityEndpoints(t *testing.T) {
-	a, err := build("default-oval", 20)
+	a, err := build("default-oval", 20, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -231,7 +231,7 @@ func TestObservabilityEndpoints(t *testing.T) {
 func TestRunShutsDownOnCancel(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	errc := make(chan error, 1)
-	go func() { errc <- run(ctx, "127.0.0.1:0", "default-oval", 50) }()
+	go func() { errc <- run(ctx, "127.0.0.1:0", "default-oval", 50, "") }()
 	time.Sleep(100 * time.Millisecond)
 	cancel()
 	select {
@@ -241,5 +241,46 @@ func TestRunShutsDownOnCancel(t *testing.T) {
 		}
 	case <-time.After(3 * time.Second):
 		t.Fatal("run did not shut down after cancel")
+	}
+}
+
+// TestNetctlPaneMounted checks the second dashboard pane: the netctl
+// control plane is reachable under /netctl/ and its link fabric serves
+// the stock profiles.
+func TestNetctlPaneMounted(t *testing.T) {
+	srv := startApp(t, 100)
+	resp, err := http.Get(srv.URL + "/netctl/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(buf.String(), "netctl") {
+		t.Fatalf("/netctl/ = %d", resp.StatusCode)
+	}
+	resp, err = http.Get(srv.URL + "/netctl/links")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var links []struct {
+		Name string `json:"name"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&links); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(links) != 5 || links[0].Name != "campus-wan" {
+		t.Fatalf("netctl links = %+v", links)
+	}
+	// A live mutation through the pane works end to end.
+	resp, err = http.Post(srv.URL+"/netctl/links/shape", "application/json",
+		strings.NewReader(`{"link":"campus-wan","bandwidth":"2Mbps"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("shape via pane = %d", resp.StatusCode)
 	}
 }

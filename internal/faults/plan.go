@@ -31,9 +31,10 @@ type Plan struct {
 	// simulated GPU time crosses this fraction of the total (0 disables).
 	PreemptAfterFrac float64
 
-	links      map[string][]Window // link name -> fault windows (sorted)
-	silence    map[string][]Window // scripted device -> silence windows
-	storeEvery int                 // fail every Nth object-store attempt (0 disables)
+	links        map[string][]Window // link name -> fault windows (sorted)
+	silence      map[string][]Window // scripted device -> silence windows
+	storeEvery   int                 // fail every Nth object-store attempt (0 disables)
+	storeWindows []Window            // restrict store faults to these windows (empty = always armed)
 
 	mu        sync.Mutex
 	rng       *rand.Rand // backoff jitter; draws happen in call order
@@ -90,6 +91,47 @@ func NewPlan(profile string, seed int64, start time.Time) (*Plan, error) {
 			profile, strings.Join(Profiles(), ", "))
 	}
 	return p, nil
+}
+
+// NewScriptedPlan returns an empty plan whose fault schedules are
+// installed by a scenario (or a test) instead of expanded from a named
+// profile: same clock, retry policy, and fleet pacing as NewPlan, but no
+// generated windows. Install schedules with AddSilenceWindow and
+// AddStoreWindows before the run starts; link effects live in the
+// scenario's shape table, not here.
+func NewScriptedPlan(seed int64, start time.Time) *Plan {
+	return &Plan{
+		Profile:        "scenario",
+		Seed:           seed,
+		Clock:          NewClock(start),
+		Retry:          DefaultPolicy(),
+		HeartbeatEvery: 15 * time.Second,
+		SweepEvery:     45 * time.Second,
+		links:          map[string][]Window{},
+		silence:        map[string][]Window{},
+		rng:            rand.New(rand.NewSource(seed ^ 0x5eed)),
+		injected:       map[string]int{},
+	}
+}
+
+// AddSilenceWindow scripts a silence window for a device's heartbeat
+// daemon. Call before the run starts; windows are kept in insertion
+// order and devices report via ScriptDevices like profile-generated ones.
+func (p *Plan) AddSilenceWindow(device string, w Window) {
+	p.silence[device] = append(p.silence[device], w)
+}
+
+// AddStoreWindows arms object-store fault injection only inside the
+// given windows: while the clock is in a window every everyth attempt
+// fails with a transient error; outside them the store is healthy and
+// attempts are not counted. Profile plans (no windows) keep the legacy
+// always-armed behavior.
+func (p *Plan) AddStoreWindows(every int, ws ...Window) {
+	if every < 1 {
+		every = 1
+	}
+	p.storeEvery = every
+	p.storeWindows = append(p.storeWindows, ws...)
 }
 
 // genLinkWindows scatters alternating outage and degradation windows over
@@ -232,9 +274,16 @@ func (p *Plan) LinkState(link string) LinkState {
 
 // StoreFault is the object-store injection hook: every storeEvery-th
 // attempt (counting from the first) fails with a transient error, so a
-// single retry always clears it. op is informational.
+// single retry always clears it. Scripted plans with store windows only
+// arm the injector while the clock is inside a window. op is
+// informational.
 func (p *Plan) StoreFault(op string) error {
+	now := p.Clock.Now()
 	p.mu.Lock()
+	if len(p.storeWindows) > 0 && !windowsContain(p.storeWindows, now) {
+		p.mu.Unlock()
+		return nil
+	}
 	n := p.storeOps
 	p.storeOps++
 	every := p.storeEvery
@@ -244,6 +293,15 @@ func (p *Plan) StoreFault(op string) error {
 	}
 	p.RecordInjection("objstore")
 	return &Error{Kind: "objstore", Op: op}
+}
+
+func windowsContain(ws []Window, t time.Time) bool {
+	for _, w := range ws {
+		if w.contains(t) {
+			return true
+		}
+	}
+	return false
 }
 
 // ScriptDevices lists the scripted edge devices, sorted.

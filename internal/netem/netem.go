@@ -70,6 +70,23 @@ var (
 		Bandwidth: 1.25e9, Jitter: 0, LossRate: 0}
 )
 
+// Stock lists the stock link profiles in a stable order.
+func Stock() []Link {
+	return []Link{CampusWAN, HomeBroadband, WiFiLocal, FabricManaged, Loopback}
+}
+
+// ByName resolves a stock link profile by its Name field. Scenario files
+// and netctl address links by name; unknown names get a generic base
+// profile (1 Gbit/s, 10 ms) that a full scenario patch then overrides.
+func ByName(name string) (Link, bool) {
+	for _, l := range Stock() {
+		if l.Name == name {
+			return l, true
+		}
+	}
+	return Link{Name: name, Latency: 10 * time.Millisecond, Bandwidth: 125e6}, false
+}
+
 // WithLatency returns a copy of the link with a different propagation delay
 // (used by the placement sweep, which varies WAN latency).
 func (l Link) WithLatency(d time.Duration) Link {
@@ -91,6 +108,9 @@ type Net struct {
 	metrics *obs.Registry
 	tracer  *obs.Tracer
 	faults  *faults.Plan
+
+	shaper    Shaper           // live link shaping (scenario table / netctl)
+	shaperNow func() time.Time // the virtual clock the shaper is indexed by
 }
 
 // NewNet creates a network simulator with a deterministic seed.
@@ -225,19 +245,37 @@ func (n *Net) transfer(l Link, size int64, traceID string) (TransferResult, erro
 	if err != nil {
 		return TransferResult{}, err
 	}
-	mtu := int64(l.mtu())
+	// With a shaper attached the link's latency, loss, and jitter come
+	// from the shape at transfer start, but serialization is billed
+	// piecewise across shape changes so mid-run mutations reach traffic
+	// already in flight.
+	shaper, nowf := n.shaperState()
+	var t0 time.Time
+	eff := l
+	if shaper != nil {
+		t0 = nowf()
+		shape, _ := shaper.ShapeAt(l.Name, t0)
+		if shape.Down {
+			return TransferResult{}, n.partitionErr(l.Name, "transfer")
+		}
+		eff = shape.Apply(l)
+		if err := eff.Validate(); err != nil {
+			return TransferResult{}, fmt.Errorf("netem: shaped %s invalid: %w", l.Name, err)
+		}
+	}
+	mtu := int64(eff.mtu())
 	packets := (size + mtu - 1) / mtu
 	if packets == 0 {
 		packets = 1
 	}
 	retrans := 0
-	if l.LossRate > 0 {
+	if eff.LossRate > 0 {
 		// Expected retransmissions with a deterministic draw per packet
 		// would be O(packets); approximate with the binomial mean plus
 		// sampled noise so big transfers stay O(1).
-		mean := float64(packets) * l.LossRate
+		mean := float64(packets) * eff.LossRate
 		n.mu.Lock()
-		noise := n.rng.NormFloat64() * math.Sqrt(mean*(1-l.LossRate))
+		noise := n.rng.NormFloat64() * math.Sqrt(mean*(1-eff.LossRate))
 		n.mu.Unlock()
 		retrans = int(math.Max(0, math.Round(mean+noise)))
 	}
@@ -245,10 +283,18 @@ func (n *Net) transfer(l Link, size int64, traceID string) (TransferResult, erro
 	// rounding the last partial packet up to a whole MTU would overstate the
 	// duration (and understate throughput) for any non-MTU-multiple size.
 	wire := size + int64(retrans)*mtu
-	serialize := time.Duration(float64(wire) / l.Bandwidth * float64(time.Second))
+	var serialize time.Duration
+	if shaper != nil {
+		serialize, err = n.shapedSerialize(shaper, l, wire, t0)
+		if err != nil {
+			return TransferResult{}, err
+		}
+	} else {
+		serialize = time.Duration(float64(wire) / eff.Bandwidth * float64(time.Second))
+	}
 	// Each retransmission round adds one RTT of stall (coarse TCP model).
-	stall := time.Duration(retrans) * 2 * l.Latency / time.Duration(max64(1, packets/64+1))
-	dur := n.sample(l) + serialize + stall
+	stall := time.Duration(retrans) * 2 * eff.Latency / time.Duration(max64(1, packets/64+1))
+	dur := n.sample(eff) + serialize + stall
 	n.mu.Lock()
 	n.bytesSent += size
 	n.transfers++
@@ -302,6 +348,18 @@ func (n *Net) rtt(l Link, reqBytes, respBytes int, traceID string) (time.Duratio
 	l, err := n.applyFaults(l, "rpc")
 	if err != nil {
 		return 0, err
+	}
+	// RPCs are small: the shape at call time governs the whole exchange
+	// (only bulk transfers bill piecewise across shape changes).
+	if shaper, nowf := n.shaperState(); shaper != nil {
+		shape, _ := shaper.ShapeAt(l.Name, nowf())
+		if shape.Down {
+			return 0, n.partitionErr(l.Name, "rpc")
+		}
+		l = shape.Apply(l)
+		if err := l.Validate(); err != nil {
+			return 0, fmt.Errorf("netem: shaped %s invalid: %w", l.Name, err)
+		}
 	}
 	d := n.sample(l) + n.sample(l)
 	d += time.Duration(float64(reqBytes+respBytes) / l.Bandwidth * float64(time.Second))

@@ -1,0 +1,38 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzParseScenario holds the parser to its two contracts on arbitrary
+// input: it never panics, and anything it accepts survives
+// parse -> format -> parse with an equal AST (the canonical form is a
+// fixed point).
+func FuzzParseScenario(f *testing.F) {
+	f.Add(fullScenario)
+	f.Add("scenario v1\n")
+	f.Add("scenario v1\nname lossy\nseed 42\nlink wan latency=20ms bandwidth=100Mbps loss=0.001 jitter=2ms\n")
+	f.Add("scenario v1\nlink wan\nlink lan\nregion edge wan lan\nphase 0s..1m partition region=edge\n")
+	f.Add("scenario v1\nlink wan\nphase 0s..90s shape link=wan bandwidth=1.5Mbps\nphase 90s..2m degrade link=wan factor=2.5\n")
+	f.Add("scenario v1\nphase 0s..1m objstore every=3\nphase 1m..2m silence device=pi-1\n")
+	f.Add("scenario v2\n")
+	f.Add("scenario v1\nphase 1m..1m clean\n")
+	f.Add("scenario v1\nlink wan bandwidth=3bps\nphase 0s..1s clean # comment\n")
+	f.Add("# only a comment\n\n\t\n")
+	f.Add("scenario v1\nseed -9223372036854775808\nlink a.b-c_d\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		s, err := ParseString(input)
+		if err != nil {
+			return // rejection is fine; panics and round-trip breaks are not
+		}
+		out := Format(s)
+		s2, err := ParseString(out)
+		if err != nil {
+			t.Fatalf("canonical form rejected: %v\ninput:\n%q\ncanonical:\n%q", err, input, out)
+		}
+		if !reflect.DeepEqual(s, s2) {
+			t.Fatalf("round trip diverged\ninput:\n%q\ncanonical:\n%q\nast1: %+v\nast2: %+v", input, out, s, s2)
+		}
+	})
+}

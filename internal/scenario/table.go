@@ -1,0 +1,257 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/netem"
+)
+
+// epoch is one step of a link's shape timeline: the shape holds from at
+// until the next epoch.
+type epoch struct {
+	at    time.Time
+	shape netem.LinkShape
+}
+
+// Table is a compiled shape timeline per link: the scenario's link
+// phases flattened into absolute-time steps netem can binary-search on
+// every transfer, plus a live overlay netctl mutates mid-run. It
+// implements netem.Shaper and is safe for concurrent use.
+type Table struct {
+	mu    sync.Mutex
+	sched map[string][]epoch // pristine compiled timeline (Clear restores from it)
+	live  map[string][]epoch // working timeline (starts as a copy of sched)
+	names []string           // declared links, sorted
+}
+
+// NewTable compiles the scenario's link declarations and link phases
+// into a shape timeline anchored at the run epoch.
+func NewTable(s *Scenario, start time.Time) *Table {
+	t := &Table{sched: map[string][]epoch{}, live: map[string][]epoch{}}
+	for _, decl := range s.Links {
+		t.sched[decl.Name] = compileLink(s, decl, start)
+	}
+	t.names = sortedCopy(s.LinkNames())
+	t.resetLive()
+	return t
+}
+
+// NewLinkTable builds an empty timeline over the given links — the
+// standalone netctl fabric, where every shape arrives live.
+func NewLinkTable(links ...string) *Table {
+	t := &Table{sched: map[string][]epoch{}, live: map[string][]epoch{}}
+	for _, name := range links {
+		t.sched[name] = nil
+	}
+	t.names = sortedCopy(links)
+	t.resetLive()
+	return t
+}
+
+func (t *Table) resetLive() {
+	for name, es := range t.sched {
+		t.live[name] = append([]epoch(nil), es...)
+	}
+}
+
+// compileLink flattens every phase targeting the link into sorted epochs.
+// The declaration's base patch holds outside phases; inside one, the
+// phase's effect composes over the base. Overlap validation guarantees
+// at most one phase covers a link at any instant.
+func compileLink(s *Scenario, decl LinkDecl, start time.Time) []epoch {
+	base := netem.LinkShape{}
+	if !decl.Patch.Zero() {
+		p := decl.Patch
+		base.Patch = &p
+	}
+	offsets := map[time.Duration]bool{0: true}
+	for _, ph := range s.Phases {
+		if targetsLink(ph, s, decl.Name) {
+			offsets[ph.Start] = true
+			offsets[ph.End] = true
+		}
+	}
+	sorted := make([]time.Duration, 0, len(offsets))
+	for off := range offsets {
+		sorted = append(sorted, off)
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	es := make([]epoch, 0, len(sorted))
+	for _, off := range sorted {
+		sh := base
+		for _, ph := range s.Phases {
+			if targetsLink(ph, s, decl.Name) && off >= ph.Start && off < ph.End {
+				sh = composeShape(base, ph)
+				break
+			}
+		}
+		es = append(es, epoch{at: start.Add(off), shape: sh})
+	}
+	return es
+}
+
+func targetsLink(ph Phase, s *Scenario, link string) bool {
+	for _, l := range ph.TargetLinks(s) {
+		if l == link {
+			return true
+		}
+	}
+	return false
+}
+
+// composeShape layers a phase's effect over the link's base shape: shape
+// patches override base patch fields, degrade keeps the base patch and
+// adds the factor, partition keeps the base patch and goes down.
+func composeShape(base netem.LinkShape, ph Phase) netem.LinkShape {
+	out := netem.LinkShape{}
+	var merged netem.LinkPatch
+	if base.Patch != nil {
+		merged = *base.Patch
+	}
+	switch ph.Kind {
+	case Partition:
+		out.Down = true
+	case Degrade:
+		out.Factor = ph.Factor
+	case Shape:
+		if ph.Patch.Latency != nil {
+			merged.Latency = ph.Patch.Latency
+		}
+		if ph.Patch.Bandwidth != nil {
+			merged.Bandwidth = ph.Patch.Bandwidth
+		}
+		if ph.Patch.LossRate != nil {
+			merged.LossRate = ph.Patch.LossRate
+		}
+		if ph.Patch.Jitter != nil {
+			merged.Jitter = ph.Patch.Jitter
+		}
+	}
+	if !merged.Zero() {
+		p := merged
+		out.Patch = &p
+	}
+	return out
+}
+
+// ShapeAt implements netem.Shaper: the shape holding at the instant and
+// when it next changes (zero = never). Unknown links are unshaped.
+func (t *Table) ShapeAt(link string, at time.Time) (netem.LinkShape, time.Time) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	es := t.live[link]
+	// idx is the last epoch at or before `at`.
+	idx := sort.Search(len(es), func(i int) bool { return es[i].at.After(at) }) - 1
+	var sh netem.LinkShape
+	if idx >= 0 {
+		sh = es[idx].shape
+	}
+	var next time.Time
+	if idx+1 < len(es) {
+		next = es[idx+1].at
+	}
+	return sh, next
+}
+
+// Links lists the table's link names, sorted.
+func (t *Table) Links() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]string(nil), t.names...)
+}
+
+// Has reports whether the table knows the link.
+func (t *Table) Has(link string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	_, ok := t.live[link]
+	return ok
+}
+
+// Apply installs a live shape on the link from `at` onward. Epochs the
+// scenario scheduled after `at` still take effect at their time — a
+// mutation adjusts the present, not the script's future.
+func (t *Table) Apply(link string, at time.Time, sh netem.LinkShape) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.live[link]; !ok {
+		return fmt.Errorf("scenario: unknown link %q", link)
+	}
+	t.live[link] = insertEpoch(t.live[link], epoch{at: at, shape: sh})
+	return nil
+}
+
+// Clear reverts the link to its scheduled scenario shape from `at`
+// onward, discarding live mutations.
+func (t *Table) Clear(link string, at time.Time) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	sched, ok := t.sched[link]
+	if !ok {
+		return fmt.Errorf("scenario: unknown link %q", link)
+	}
+	idx := sort.Search(len(sched), func(i int) bool { return sched[i].at.After(at) }) - 1
+	var sh netem.LinkShape
+	if idx >= 0 {
+		sh = sched[idx].shape
+	}
+	// Drop live epochs in the past that mutations inserted, then pin the
+	// scheduled shape at `at`; future scheduled epochs are re-installed.
+	kept := sched[idx+1:]
+	es := make([]epoch, 0, len(kept)+1)
+	es = append(es, epoch{at: at, shape: sh})
+	for _, e := range kept {
+		if e.at.After(at) {
+			es = append(es, e)
+		}
+	}
+	t.live[link] = es
+	return nil
+}
+
+// Merge installs another scenario's link phases live, anchored at `at`:
+// each declared link's future (from `at` on) is replaced by the new
+// script. Links unknown to the table and non-link phases are rejected —
+// store and device faults cannot be re-scripted mid-run.
+func (t *Table) Merge(s *Scenario, at time.Time) error {
+	for _, ph := range s.Phases {
+		switch ph.Kind {
+		case Clean, Partition, Degrade, Shape:
+		default:
+			return fmt.Errorf("scenario: live load cannot script %s phases", ph.Kind)
+		}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, name := range s.LinkNames() {
+		if _, ok := t.live[name]; !ok {
+			return fmt.Errorf("scenario: unknown link %q", name)
+		}
+	}
+	for _, decl := range s.Links {
+		fresh := compileLink(s, decl, at)
+		var es []epoch
+		for _, e := range t.live[decl.Name] {
+			if e.at.Before(at) {
+				es = append(es, e)
+			}
+		}
+		t.live[decl.Name] = append(es, fresh...)
+	}
+	return nil
+}
+
+func insertEpoch(es []epoch, e epoch) []epoch {
+	idx := sort.Search(len(es), func(i int) bool { return !es[i].at.Before(e.at) })
+	if idx < len(es) && es[idx].at.Equal(e.at) {
+		es[idx] = e
+		return es
+	}
+	es = append(es, epoch{})
+	copy(es[idx+1:], es[idx:])
+	es[idx] = e
+	return es
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/faults"
+	"repro/internal/netem"
 	"repro/internal/obs"
 	"repro/internal/pilot"
 )
@@ -264,5 +265,30 @@ func FaultSlowdown(plan *faults.Plan, link string, unit time.Duration) func() ti
 			return time.Duration(float64(unit) * (st.SlowFactor - 1))
 		}
 		return 0
+	}
+}
+
+// ShaperSlowdown adapts a live link shaper (the scenario table netctl
+// mutates) into the same per-batch hook: a partitioned link stalls like
+// an outage, and a shaped or degraded one stalls in proportion to the
+// bandwidth it lost plus twice the added one-way delay. Because the
+// shaper is consulted on every batch, a netctl mutation slows the very
+// next forward pass.
+func ShaperSlowdown(sh netem.Shaper, base netem.Link, now func() time.Time, unit time.Duration) func() time.Duration {
+	const outageFactor = 10
+	return func() time.Duration {
+		shape, _ := sh.ShapeAt(base.Name, now())
+		if shape.Down {
+			return outageFactor * unit
+		}
+		eff := shape.Apply(base)
+		var d time.Duration
+		if eff.Bandwidth > 0 && eff.Bandwidth < base.Bandwidth {
+			d += time.Duration(float64(unit) * (base.Bandwidth/eff.Bandwidth - 1))
+		}
+		if extra := eff.Latency - base.Latency; extra > 0 {
+			d += 2 * extra
+		}
+		return d
 	}
 }

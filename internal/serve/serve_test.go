@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/faults"
+	"repro/internal/netem"
 	"repro/internal/objstore"
 	"repro/internal/obs"
 	"repro/internal/pilot"
@@ -580,5 +581,41 @@ func TestFaultSlowdown(t *testing.T) {
 	sum := plan.Summary()
 	if sum.Injected["serve_outage"] == 0 || sum.Injected["serve_slowdown"] == 0 {
 		t.Errorf("injections not recorded: %v", sum.Injected)
+	}
+}
+
+// stubShaper dictates one constant shape for every link, forever.
+type stubShaper struct{ shape netem.LinkShape }
+
+func (s stubShaper) ShapeAt(string, time.Time) (netem.LinkShape, time.Time) {
+	return s.shape, time.Time{}
+}
+
+// TestShaperSlowdown checks the live-shaper hook: partitions stall like
+// outages, bandwidth cuts stall proportionally, added latency stalls by
+// twice the extra one-way delay.
+func TestShaperSlowdown(t *testing.T) {
+	base := netem.Link{Name: "wan", Latency: 10 * time.Millisecond, Bandwidth: 1e6}
+	const unit = time.Millisecond
+	now := func() time.Time { return time.Unix(1_700_000_000, 0) }
+	stall := func(sh netem.LinkShape) time.Duration {
+		return ShaperSlowdown(stubShaper{sh}, base, now, unit)()
+	}
+	if d := stall(netem.LinkShape{}); d != 0 {
+		t.Fatalf("unshaped stall = %v", d)
+	}
+	if d := stall(netem.LinkShape{Down: true}); d != 10*unit {
+		t.Fatalf("partition stall = %v, want %v", d, 10*unit)
+	}
+	bw := 0.25e6
+	if d := stall(netem.LinkShape{Patch: &netem.LinkPatch{Bandwidth: &bw}}); d != 3*unit {
+		t.Fatalf("bandwidth-cut stall = %v, want %v", d, 3*unit)
+	}
+	lat := 30 * time.Millisecond
+	if d := stall(netem.LinkShape{Patch: &netem.LinkPatch{Latency: &lat}}); d != 40*time.Millisecond {
+		t.Fatalf("latency stall = %v, want 40ms", d)
+	}
+	if d := stall(netem.LinkShape{Factor: 2}); d != unit+20*time.Millisecond {
+		t.Fatalf("degrade stall = %v, want %v", d, unit+20*time.Millisecond)
 	}
 }

@@ -265,5 +265,6 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprint(w, `<!doctype html><title>AutoLearn web controller</title>
 <h1>AutoLearn web controller</h1>
 <p>POST /drive {"angle":a,"throttle":t} · POST /mode {"constant_throttle":t}
-· GET /state · GET /video · <a href="/debug/obs">/debug/obs</a></p>`)
+· GET /state · GET /video · <a href="/debug/obs">/debug/obs</a>
+· <a href="/netctl/">netctl pane</a></p>`)
 }

@@ -1,14 +1,16 @@
 #!/bin/sh
 # Reproducible benchmark runner: runs the paper-experiment benchmarks
-# (F1-F3, E1-E7, E10-E12) plus the GEMM kernel micro-benchmarks under
-# pinned GOMAXPROCS, and emits a machine-readable BENCH_pr7.json recording
+# (F1-F3, E1-E7, E10-E13) plus the GEMM kernel micro-benchmarks under
+# pinned GOMAXPROCS, and emits a machine-readable BENCH_pr8.json recording
 # ns/op, bytes/op, allocs/op and — for the serving rows — req/s, and for
 # the federated rows — simulated round wall-clock (round_ms), WAN bytes
-# (bytes_on_wire), and final validation loss (final_valloss) per
-# benchmark — one datapoint of the repo's performance trajectory.
+# (bytes_on_wire), and final validation loss (final_valloss) — and for
+# the scenario-replay rows the count of scripted phase transitions that
+# actually fired (transitions) — one datapoint per benchmark of the
+# repo's performance trajectory.
 #
 # Usage: ./scripts/bench.sh
-#   BENCH_OUT=path        output file (default BENCH_pr7.json)
+#   BENCH_OUT=path        output file (default BENCH_pr8.json)
 #   BENCH_GOMAXPROCS=n    pinned worker count (default 1, the contract
 #                         baseline: results are deterministic at any
 #                         fixed value, but timings only compare at the
@@ -21,7 +23,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-OUT=${BENCH_OUT:-BENCH_pr7.json}
+OUT=${BENCH_OUT:-BENCH_pr8.json}
 export GOMAXPROCS=${BENCH_GOMAXPROCS:-1}
 HEAVY_TIME=${BENCH_TIME_HEAVY:-2x}
 
@@ -47,6 +49,9 @@ go test -run '^$' -bench '^BenchmarkE11Federated$' -benchtime 1x . | tee -a "$ra
 echo "==> fleet-scale benchmarks (E12)"
 go test -run '^$' -bench '^BenchmarkE12FleetScale$' -benchmem -benchtime 1x . | tee -a "$raw"
 
+echo "==> scenario-replay benchmarks (E13)"
+go test -run '^$' -bench '^BenchmarkE13Scenario$' -benchtime 1x . | tee -a "$raw"
+
 echo "==> GEMM kernel micro-benchmarks"
 go test -run '^$' -bench '^BenchmarkGEMM$' -benchmem \
     ./internal/nn/kerneltest/ | tee -a "$raw"
@@ -71,7 +76,7 @@ awk -v gomaxprocs="$GOMAXPROCS" '
     name = $1
     sub(/-[0-9]+$/, "", name)   # strip the GOMAXPROCS suffix
     ns = ""; bytes = ""; allocs = ""; reqs = ""
-    roundms = ""; wire = ""; valloss = ""
+    roundms = ""; wire = ""; valloss = ""; transitions = ""
     for (i = 2; i < NF; i++) {
         if ($(i+1) == "ns/op") ns = $i
         if ($(i+1) == "B/op") bytes = $i
@@ -80,6 +85,7 @@ awk -v gomaxprocs="$GOMAXPROCS" '
         if ($(i+1) == "round_ms") roundms = $i
         if ($(i+1) == "bytes_on_wire") wire = $i
         if ($(i+1) == "final_valloss") valloss = $i
+        if ($(i+1) == "transitions") transitions = $i
     }
     if (ns == "") next
     if (n++) printf ",\n"
@@ -89,10 +95,11 @@ awk -v gomaxprocs="$GOMAXPROCS" '
     if (roundms != "") printf ", \"round_ms\": %s", roundms
     if (wire != "") printf ", \"bytes_on_wire\": %s", wire
     if (valloss != "") printf ", \"final_valloss\": %s", valloss
+    if (transitions != "") printf ", \"transitions\": %s", transitions
     printf "}"
 }
 BEGIN {
-    printf "{\n  \"pr\": 7,\n  \"gomaxprocs\": %s,\n  \"benchmarks\": {\n", gomaxprocs
+    printf "{\n  \"pr\": 8,\n  \"gomaxprocs\": %s,\n  \"benchmarks\": {\n", gomaxprocs
 }
 END { printf "\n  }\n}\n" }
 ' "$raw" > "$OUT"

@@ -1,8 +1,9 @@
 #!/bin/sh
 # Full pre-merge verification: vet, build, race-enabled tests, a
 # fault-profile pipeline smoke run, a metrics-cardinality lint, a
-# cross-subsystem trace smoke (byte-identical same-seed exports), the
-# registry contention guard, and gofmt.
+# cross-subsystem trace smoke (byte-identical same-seed exports), a
+# scenario smoke (library checks, replay determinism, probe tolerance),
+# the registry contention guard, and gofmt.
 # Run from the repo root: ./scripts/verify.sh
 set -eu
 
@@ -95,6 +96,46 @@ for stage in fed-train fed-round fed_local_train fed_upload fed_aggregate \
     fi
 done
 rm -f "$t1" "$t2" "$rout"
+
+echo "==> scenario smoke (library checks, byte-identical replay, probe tolerance)"
+# Every checked-in library file must parse, and its canonical form must
+# survive a check round-trip (a file the parser rejects or reorders is a
+# broken exemplar).
+for scn in scenarios/*.scn; do
+    go run ./cmd/autolearn scenario check -file "$scn" >/dev/null 2>&1 || {
+        echo "scenario smoke: $scn failed scenario check" >&2
+        exit 1
+    }
+done
+s1=$(mktemp) s2=$(mktemp)
+go run ./cmd/autolearn fed-train -workers 3 -rounds 2 -ticks 240 \
+    -scenario scenarios/lossy-wan.scn -seed 1 -trace "$s1" >/dev/null 2>&1 || {
+    echo "scenario smoke: scenario-scripted fed-train failed" >&2; exit 1; }
+go run ./cmd/autolearn fed-train -workers 3 -rounds 2 -ticks 240 \
+    -scenario scenarios/lossy-wan.scn -seed 1 -trace "$s2" >/dev/null 2>&1 || {
+    echo "scenario smoke: second scenario-scripted fed-train failed" >&2; exit 1; }
+cmp -s "$s1" "$s2" || {
+    echo "scenario smoke: same-seed scenario runs exported different trace bytes" >&2
+    exit 1
+}
+# lossy-wan declares 3 phases; each must land in the trace as one
+# scenario_phase span (fewer means the scheduler dropped a transition).
+phases=$(grep -c '"scenario_phase"' "$s1" || true)
+if [ "$phases" -ne 3 ]; then
+    echo "scenario smoke: trace has $phases scenario_phase spans, want 3" >&2
+    exit 1
+fi
+rm -f "$s1" "$s2"
+# The throughput probe must agree with what the scenario declares: stock
+# profiles on the clean file, the shaped sag mid-window on lossy-wan.
+go run ./cmd/autolearn scenario probe -file scenarios/clean.scn -at 60s >/dev/null || {
+    echo "scenario smoke: clean.scn probe out of tolerance" >&2
+    exit 1
+}
+go run ./cmd/autolearn scenario probe -file scenarios/lossy-wan.scn -at 90s >/dev/null || {
+    echo "scenario smoke: lossy-wan.scn probe out of tolerance at 90s" >&2
+    exit 1
+}
 
 if [ -z "${SKIP_BENCH_GUARD:-}" ] && [ -f BENCH_pr3.json ]; then
     echo "==> benchmark regression guard vs BENCH_pr3.json (SKIP_BENCH_GUARD=1 to skip)"
@@ -258,4 +299,4 @@ if [ -n "$unformatted" ]; then
     exit 1
 fi
 
-echo "OK: vet, build, race tests, fault smoke, cardinality lint, trace smoke, and gofmt all clean."
+echo "OK: vet, build, race tests, fault smoke, cardinality lint, trace smoke, scenario smoke, and gofmt all clean."
