@@ -26,6 +26,7 @@ package repro
 
 import (
 	"bytes"
+	"context"
 	"encoding/base64"
 	"encoding/json"
 	"fmt"
@@ -35,6 +36,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -1338,5 +1340,213 @@ func BenchmarkE13Scenario(b *testing.B) {
 	for _, name := range []string{"clean", "lossy-wan", "cascading-outage"} {
 		name := name
 		b.Run(name, func(b *testing.B) { e13Run(b, "scenarios/"+name+".scn") })
+	}
+}
+
+// --------------------------------------------------------------- E14 ----
+
+// e14DispatchCost is the modeled per-batch backend dispatch cost for the
+// serving scale-out rows: one accelerator kernel launch (or model-server
+// RPC hop) charged per InferBatch through the slow hook, as in E10 but
+// sized so scheduling — not this host's scalar kernels — dominates. With
+// it in place each replica's throughput ceiling is dispatch-bound, so the
+// procs sweep isolates what the issue is after: does adding replicas
+// (each its own batcher + pilot instance) scale served req/s, or does a
+// shared lock serialize them? The cpu/ rows disable the hook and record
+// the raw-kernel baseline, which on a single physical core cannot scale
+// and is reported for honesty, not as an acceptance number.
+const e14DispatchCost = 2 * time.Millisecond
+
+// e14QuantPilot builds the quantization benchmark's pilot and probe
+// batch: a Linear pilot at camera 128x96 with a 2048-unit dense trunk, so
+// the GEMM the int8 path accelerates carries ~94% of the MACs — the
+// regime quantized edge inference targets (big dense trunk, small conv
+// stem) — plus a 32-sample batch of dithered frames.
+func e14QuantPilot(b *testing.B) (*pilot.Pilot, []pilot.Sample) {
+	b.Helper()
+	cfg := pilot.DefaultConfig(pilot.Linear, 128, 96, 1)
+	cfg.ConvFilters1, cfg.ConvFilters2, cfg.DenseUnits = 8, 16, 2048
+	cfg.Seed = 14
+	p, err := pilot.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(14))
+	samples := make([]pilot.Sample, 32)
+	for i := range samples {
+		f, err := sim.NewFrame(cfg.Width, cfg.Height, cfg.Channels)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := range f.Pix {
+			f.Pix[j] = uint8(rng.Intn(256))
+		}
+		samples[i] = pilot.Sample{Frames: []*sim.Frame{f}}
+	}
+	return p, samples
+}
+
+// BenchmarkE14Quantized times the same InferBatch on the float64 kernels
+// versus the int8 quantized path, and reports the quantized run's max
+// control drift against the float64 reference as quant_maxdelta. The
+// drift is enforced here — a run over eval.QuantBudget fails the
+// benchmark, so a kernel change cannot buy speed with silent accuracy
+// loss and verify.sh can read both numbers from one table.
+func BenchmarkE14Quantized(b *testing.B) {
+	b.Run("float64", func(b *testing.B) {
+		p, samples := e14QuantPilot(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := p.InferBatch(samples); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("int8", func(b *testing.B) {
+		p, samples := e14QuantPilot(b)
+		ref, err := p.InferBatch(samples)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := p.EnableQuant("int8"); err != nil {
+			b.Fatal(err)
+		}
+		out, err := p.InferBatch(samples)
+		if err != nil {
+			b.Fatal(err)
+		}
+		drift, err := eval.QuantDrift(ref, out)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !eval.WithinQuantBudget(drift) {
+			b.Fatalf("int8 drift %.4f exceeds budget %.2f", drift, eval.QuantBudget)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := p.InferBatch(samples); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(drift, "quant_maxdelta")
+	})
+}
+
+// e14Serve assembles an in-process service (objstore -> registry ->
+// batching schedulers) around one small checkpoint, shard-replicated
+// `replicas` ways.
+func e14Serve(b *testing.B, replicas int, ckpt []byte, model string, dispatch bool) *serve.Service {
+	b.Helper()
+	store := objstore.New()
+	if err := store.CreateContainer(core.ContainerModels); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := store.Put(core.ContainerModels, model+".ckpt", ckpt, nil); err != nil {
+		b.Fatal(err)
+	}
+	reg, err := serve.NewRegistry(store, core.ContainerModels)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := reg.Register(model, model+".ckpt"); err != nil {
+		b.Fatal(err)
+	}
+	cfg := serve.Config{
+		MaxBatch: 8, BatchWindow: 500 * time.Microsecond,
+		QueueDepth: 1024, DefaultDeadline: 10 * time.Second,
+		Replicas: replicas,
+	}
+	svc, err := serve.New(cfg, reg, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if dispatch {
+		svc.SetSlowHook(func() time.Duration { return e14DispatchCost })
+	}
+	b.Cleanup(svc.Close)
+	return svc
+}
+
+// e14Drive fires b.N in-process Predict calls from `clients` closed-loop
+// goroutines and reports sustained req/s. Calling Predict directly (no
+// HTTP) keeps transport cost out of the multicore-scaling measurement.
+func e14Drive(b *testing.B, svc *serve.Service, model string, sample pilot.Sample, clients int) {
+	b.Helper()
+	ctx := context.Background()
+	if _, err := svc.Predict(ctx, model, sample); err != nil { // warm model + scratch
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var issued int64
+	var wg sync.WaitGroup
+	for w := 0; w < clients; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for atomic.AddInt64(&issued, 1) <= int64(b.N) {
+				if _, err := svc.Predict(ctx, model, sample); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	b.StopTimer()
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(b.N)/s, "req/s")
+	}
+}
+
+// BenchmarkE14Serving is the multicore scale-out experiment: the same
+// model served with Replicas = GOMAXPROCS = {1, 2, 4, 8}, driven by 8
+// closed-loop clients per replica, with the dispatch model above charged
+// per batch. Each replica is an independent batcher + pilot instance
+// behind the least-loaded router, so req/s must grow near-linearly in
+// the replica count until cores (or the router) saturate; flat rows
+// would mean the shards serialize on shared state. The cpu/ rows drop
+// the dispatch model and measure the raw scalar kernels.
+func BenchmarkE14Serving(b *testing.B) {
+	const (
+		servingW, servingH = 24, 16
+		servingModel       = "student"
+	)
+	cfg := pilot.DefaultConfig(pilot.Linear, servingW, servingH, 1)
+	p, err := pilot.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var ckpt bytes.Buffer
+	if err := p.Save(&ckpt); err != nil {
+		b.Fatal(err)
+	}
+	frame, err := sim.NewFrame(servingW, servingH, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(14))
+	for i := range frame.Pix {
+		frame.Pix[i] = uint8(rng.Intn(256))
+	}
+	sample := pilot.Sample{Frames: []*sim.Frame{frame}}
+
+	for _, n := range []int{1, 2, 4, 8} {
+		n := n
+		b.Run(fmt.Sprintf("procs%d", n), func(b *testing.B) {
+			prev := runtime.GOMAXPROCS(n)
+			defer runtime.GOMAXPROCS(prev)
+			svc := e14Serve(b, n, ckpt.Bytes(), servingModel, true)
+			e14Drive(b, svc, servingModel, sample, 8*n)
+		})
+	}
+	for _, n := range []int{1, 8} {
+		n := n
+		b.Run(fmt.Sprintf("cpu/procs%d", n), func(b *testing.B) {
+			prev := runtime.GOMAXPROCS(n)
+			defer runtime.GOMAXPROCS(prev)
+			svc := e14Serve(b, n, ckpt.Bytes(), servingModel, false)
+			e14Drive(b, svc, servingModel, sample, 8*n)
+		})
 	}
 }

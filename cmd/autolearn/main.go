@@ -353,6 +353,7 @@ func cmdEvaluate(args []string) error {
 	trackName := fs.String("track", "default-oval", "track name")
 	placement := fs.String("placement", "edge", "inference placement: edge|cloud|hybrid")
 	ticks := fs.Int("ticks", 600, "evaluation ticks at 20 Hz")
+	quant := fs.String("quant", "", "quantized inference mode: int8 (empty = float64)")
 	of := addObsFlags(fs)
 	fs.Parse(args)
 	if *modelFile == "" {
@@ -370,6 +371,12 @@ func cmdEvaluate(args []string) error {
 	f.Close()
 	if err != nil {
 		return err
+	}
+	if *quant != "" {
+		if err := pl.EnableQuant(*quant); err != nil {
+			return err
+		}
+		root.SetAttr("quant", *quant)
 	}
 	net := netem.NewNet(1)
 	net.Instrument(o.Metrics)
@@ -412,7 +419,49 @@ func cmdEvaluate(args []string) error {
 		*placement, lat.Round(time.Microsecond), core.AchievableHz(lat))
 	fmt.Printf("laps %d  crashes %d  mean speed %.2f m/s  RMS lateral %.3f m  consistency %.3f\n",
 		rep.Laps, rep.Crashes, rep.MeanSpeed, rep.RMSLateral, rep.SpeedConsistency)
+	if *quant != "" {
+		drift, err := quantDriftOnSession(pl, res)
+		if err != nil {
+			return err
+		}
+		verdict := "within"
+		if !eval.WithinQuantBudget(drift) {
+			verdict = "EXCEEDS"
+		}
+		fmt.Printf("quant %s: max control drift %.4f vs float64 (%s the %.2f budget)\n",
+			*quant, drift, verdict, eval.QuantBudget)
+	}
 	return of.write(o)
+}
+
+// quantDriftOnSession replays frames the quantized pilot just drove on
+// through both precisions and reports the worst control-output drift, so
+// an `evaluate -quant` run states its accuracy loss on real inputs rather
+// than a synthetic probe.
+func quantDriftOnSession(pl *pilot.Pilot, res sim.SessionResult) (float64, error) {
+	probe, err := pilot.SamplesFromRecords(pl.Cfg, res.Records)
+	if err != nil {
+		return 0, fmt.Errorf("evaluate: drift probe: %w", err)
+	}
+	if len(probe) > 32 {
+		probe = probe[:32]
+	}
+	qout, err := pl.InferBatch(probe)
+	if err != nil {
+		return 0, err
+	}
+	mode := pl.QuantMode()
+	if err := pl.EnableQuant(""); err != nil {
+		return 0, err
+	}
+	fout, err := pl.InferBatch(probe)
+	if err != nil {
+		return 0, err
+	}
+	if err := pl.EnableQuant(mode); err != nil {
+		return 0, err
+	}
+	return eval.QuantDrift(fout, qout)
 }
 
 func cmdPipeline(args []string) error {

@@ -77,4 +77,12 @@ func TestCollectCleanTrainEvaluateFlow(t *testing.T) {
 	if err := cmdEvaluate([]string{"-model", ckpt, "-ticks", "200"}); err != nil {
 		t.Fatal(err)
 	}
+	// The same checkpoint must evaluate on the int8 path, reporting its
+	// drift against float64; an unknown mode is rejected up front.
+	if err := cmdEvaluate([]string{"-model", ckpt, "-ticks", "200", "-quant", "int8"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdEvaluate([]string{"-model", ckpt, "-ticks", "200", "-quant", "int4"}); err == nil {
+		t.Fatal("evaluate accepted unsupported quantization mode")
+	}
 }

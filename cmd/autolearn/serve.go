@@ -75,13 +75,18 @@ type servingApp struct {
 	specs   []modelSpec
 }
 
-func buildServing(specs []modelSpec, cfg serve.Config) (*servingApp, error) {
+func buildServing(specs []modelSpec, cfg serve.Config, quant string) (*servingApp, error) {
 	store := objstore.New()
 	if err := store.CreateContainer(core.ContainerModels); err != nil {
 		return nil, err
 	}
 	reg, err := serve.NewRegistry(store, core.ContainerModels)
 	if err != nil {
+		return nil, err
+	}
+	// Quantization is set before the first Register so every load applies
+	// it; an unsupported mode surfaces as that first Register's error.
+	if err := reg.SetQuant(quant); err != nil {
 		return nil, err
 	}
 	a := &servingApp{store: store, reg: reg, metrics: obs.NewRegistry(), specs: specs}
@@ -141,6 +146,8 @@ func cmdServe(args []string) error {
 	window := fs.Duration("batch-window", -1, "how long to hold an open batch (-1 = default)")
 	queue := fs.Int("queue", 0, "admission queue depth (0 = default)")
 	deadline := fs.Duration("deadline", 0, "default per-request deadline (0 = default)")
+	replicas := fs.Int("replicas", 0, fmt.Sprintf("scheduler shards per model, each with its own pilot instance (0 = 1, max %d)", serve.MaxReplicas))
+	quant := fs.String("quant", "", "quantized inference mode: int8 (empty = float64)")
 	poll := fs.Duration("poll", 2*time.Second, "checkpoint reload poll interval (0 disables)")
 	scnFile := fs.String("scenario", "", "scenario file scripting the serving WAN (netctl pane at /netctl/)")
 	fs.Parse(args)
@@ -168,17 +175,20 @@ func cmdServe(args []string) error {
 	if *deadline > 0 {
 		cfg.DefaultDeadline = *deadline
 	}
+	if *replicas > 0 {
+		cfg.Replicas = *replicas
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	return runServe(ctx, *addr, specs, cfg, *poll, rt)
+	return runServe(ctx, *addr, specs, cfg, *quant, *poll, rt)
 }
 
 // runServe serves until ctx is canceled, then drains the HTTP server and
 // the batching schedulers. A non-nil scenario runtime scripts the serving
 // WAN: its clock advances in wall time, its shapes slow the batchers, and
 // the netctl control plane is mounted at /netctl/ for live mutations.
-func runServe(ctx context.Context, addr string, specs []modelSpec, cfg serve.Config, poll time.Duration, rt *scenario.Runtime) error {
-	a, err := buildServing(specs, cfg)
+func runServe(ctx context.Context, addr string, specs []modelSpec, cfg serve.Config, quant string, poll time.Duration, rt *scenario.Runtime) error {
+	a, err := buildServing(specs, cfg, quant)
 	if err != nil {
 		return err
 	}
@@ -245,8 +255,16 @@ func runServe(ctx context.Context, addr string, specs []modelSpec, cfg serve.Con
 	hs := &http.Server{Handler: handler}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
-	fmt.Printf("serving %s on %s (max batch %d, window %v, queue %d); POST /predict, GET /models, GET /metrics\n",
-		strings.Join(a.reg.Names(), ", "), ln.Addr(), cfg.MaxBatch, cfg.BatchWindow, cfg.QueueDepth)
+	prec := "float64"
+	if quant != "" {
+		prec = quant
+	}
+	reps := cfg.Replicas
+	if reps < 1 {
+		reps = 1
+	}
+	fmt.Printf("serving %s on %s (max batch %d, window %v, queue %d, replicas %d, %s); POST /predict, GET /models, GET /metrics\n",
+		strings.Join(a.reg.Names(), ", "), ln.Addr(), cfg.MaxBatch, cfg.BatchWindow, cfg.QueueDepth, reps, prec)
 	select {
 	case <-ctx.Done():
 		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)

@@ -75,7 +75,7 @@ func TestServeCommandEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	app, err := buildServing(specs, serve.DefaultConfig())
+	app, err := buildServing(specs, serve.DefaultConfig(), "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,5 +142,36 @@ func TestServeCommandEndToEnd(t *testing.T) {
 	resp.Body.Close()
 	if pred2.Angle == pred.Angle && pred2.Throttle == pred.Throttle {
 		t.Error("prediction identical after hot swap")
+	}
+}
+
+// TestServeCommandQuantReplicas assembles the CLI serving stack with the
+// -quant/-replicas options applied and checks both survive into the
+// registry's /models metadata; an unsupported mode must fail the build.
+func TestServeCommandQuantReplicas(t *testing.T) {
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "student.ckpt")
+	saveServePilot(t, ckpt, 1)
+	specs, err := parseModelSpecs("student=" + ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := serve.DefaultConfig()
+	cfg.Replicas = 2
+	app, err := buildServing(specs, cfg, "int8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.svc.Close()
+	info, ok := app.reg.Info("student")
+	if !ok {
+		t.Fatal("student not registered")
+	}
+	if info.Quant != "int8" || info.Replicas != 2 {
+		t.Fatalf("ModelInfo quant=%q replicas=%d, want int8/2", info.Quant, info.Replicas)
+	}
+
+	if _, err := buildServing(specs, serve.DefaultConfig(), "int4"); err == nil {
+		t.Fatal("unsupported quantization mode accepted")
 	}
 }

@@ -1,0 +1,38 @@
+package eval
+
+import "fmt"
+
+// QuantBudget is the accuracy budget for quantized inference: the worst
+// absolute drift, in control-output units, that an int8 path may show
+// against the float64 reference before it is considered broken. Steering
+// angle and throttle both live in [-1, 1], so 0.05 is 2.5% of the control
+// range — far below the actuation noise the simulator already models, and
+// comfortably above the drift the per-channel symmetric quantizer actually
+// produces (about 0.01 on the E14 geometry). The kernel cross-checks in
+// internal/nn and the E14 benchmark guard both enforce this bound.
+const QuantBudget = 0.05
+
+// QuantDrift returns the worst absolute difference between a float-
+// precision batch of control outputs and its quantized counterpart. The
+// batches must pair up element for element.
+func QuantDrift(ref, quant [][2]float64) (float64, error) {
+	if len(ref) != len(quant) {
+		return 0, fmt.Errorf("eval: drift over mismatched batches (%d vs %d outputs)", len(ref), len(quant))
+	}
+	var worst float64
+	for i := range ref {
+		for c := 0; c < 2; c++ {
+			d := ref[i][c] - quant[i][c]
+			if d < 0 {
+				d = -d
+			}
+			if d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst, nil
+}
+
+// WithinQuantBudget reports whether a measured drift passes QuantBudget.
+func WithinQuantBudget(drift float64) bool { return drift <= QuantBudget }

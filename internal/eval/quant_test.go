@@ -1,0 +1,31 @@
+package eval
+
+import (
+	"math"
+	"testing"
+)
+
+func TestQuantDrift(t *testing.T) {
+	ref := [][2]float64{{0.5, -0.25}, {-1, 1}, {0, 0}}
+	quant := [][2]float64{{0.5, -0.25}, {-1.02, 1}, {0.005, -0.001}}
+	got, err := QuantDrift(ref, quant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.02) > 1e-12 {
+		t.Fatalf("drift = %g, want 0.02", got)
+	}
+	if !WithinQuantBudget(got) {
+		t.Fatalf("drift %g should pass the %g budget", got, QuantBudget)
+	}
+	if WithinQuantBudget(QuantBudget + 1e-9) {
+		t.Fatal("budget must be a hard upper bound")
+	}
+	if _, err := QuantDrift(ref, quant[:2]); err == nil {
+		t.Fatal("mismatched batch lengths accepted")
+	}
+	zero, err := QuantDrift(nil, nil)
+	if err != nil || zero != 0 {
+		t.Fatalf("empty batches: drift=%g err=%v", zero, err)
+	}
+}

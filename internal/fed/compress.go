@@ -104,6 +104,15 @@ type topKCodec struct{ frac float64 }
 func (c topKCodec) name() string { return "topk" }
 
 func (c topKCodec) encodeDelta(delta [][]float64, residual [][]float64) encoded {
+	// An accumulator shaped for a different model (a checkpoint hot-swap
+	// mid-run can change tensor shapes under a live worker) is rejected
+	// rather than indexed: its entries belong to parameters that no longer
+	// exist, so feeding them back would corrupt the upload — and blindly
+	// indexing them panics. The caller's residualFor resets the accumulator
+	// on the same condition; this guard keeps the codec safe on its own.
+	if !shapesMatch(residual, delta) {
+		residual = nil
+	}
 	var wire int64
 	out := make([][]float64, len(delta))
 	for i, t := range delta {
@@ -151,6 +160,21 @@ func (c topKCodec) encodeDelta(delta [][]float64, residual [][]float64) encoded 
 
 func (c topKCodec) broadcastBytes(n int) int64       { return 4 * int64(n) }
 func (c topKCodec) broadcastValue(v float64) float64 { return float64(float32(v)) }
+
+// shapesMatch reports whether an error-feedback accumulator has exactly
+// the delta's tensor count and per-tensor lengths. A nil accumulator
+// trivially mismatches (callers treat that as "no feedback").
+func shapesMatch(residual, delta [][]float64) bool {
+	if residual == nil || len(residual) != len(delta) {
+		return false
+	}
+	for i, t := range delta {
+		if len(residual[i]) != len(t) {
+			return false
+		}
+	}
+	return true
+}
 
 // f16Round quantizes v through IEEE 754 binary16 (round-to-nearest-even
 // via float32) and back to float64. Values beyond the half range saturate

@@ -141,6 +141,61 @@ func TestTopKDeterministic(t *testing.T) {
 	}
 }
 
+// TestTopKResidualShapeMismatch is the regression test for the codec
+// shape-validation fix: a checkpoint hot-swap mid-run can resize the model
+// under a live worker, so encodeDelta can be handed an error-feedback
+// accumulator shaped for the old parameters. Before the fix it indexed
+// residual[i][j] blindly and panicked; now a mismatched accumulator is
+// rejected (treated as absent) and the encode proceeds feedback-free.
+func TestTopKResidualShapeMismatch(t *testing.T) {
+	c := topKCodec{frac: 0.5}
+	delta := [][]float64{{1, -2, 3, -4}, {5, -6}}
+
+	// Wrong per-tensor length (old model had smaller tensors).
+	stale := [][]float64{{0.5, 0.5}, {0.5}}
+	enc := c.encodeDelta(delta, stale)
+	want := c.encodeDelta(delta, nil)
+	for i := range want.values {
+		for j := range want.values[i] {
+			if enc.values[i][j] != want.values[i][j] {
+				t.Fatalf("mismatched residual leaked into upload at [%d][%d]: %v", i, j, enc.values)
+			}
+		}
+	}
+	// The stale accumulator must not be written back to either.
+	if stale[0][0] != 0.5 || stale[1][0] != 0.5 {
+		t.Fatalf("rejected residual was mutated: %v", stale)
+	}
+
+	// Wrong tensor count (old model had fewer tensors).
+	if enc := c.encodeDelta(delta, [][]float64{{0, 0, 0, 0}}); enc.wireBytes != want.wireBytes {
+		t.Fatalf("short residual changed byte accounting: %d != %d", enc.wireBytes, want.wireBytes)
+	}
+}
+
+// TestResidualForResetsOnShapeChange pins the worker-side half of the same
+// fix: the accumulator allocated for one model shape must be replaced, not
+// returned, once the delta shape changes.
+func TestResidualForResetsOnShapeChange(t *testing.T) {
+	w := &worker{}
+	c := topKCodec{frac: 0.5}
+	first := w.residualFor(c, [][]float64{{1, 2}, {3}})
+	first[0][0] = 0.25
+	if got := w.residualFor(c, [][]float64{{1, 2}, {3}}); got[0][0] != 0.25 {
+		t.Fatal("matching-shape accumulator was not reused")
+	}
+	grown := w.residualFor(c, [][]float64{{1, 2, 3}, {4}})
+	if len(grown[0]) != 3 || len(grown[1]) != 1 {
+		t.Fatalf("accumulator not resized to delta shape: %v", grown)
+	}
+	if grown[0][0] != 0 {
+		t.Fatalf("stale residual survived a shape change: %v", grown)
+	}
+	if nilRes := w.residualFor(rawCodec{}, [][]float64{{1}}); nilRes != nil {
+		t.Fatal("non-sparsifying codec got an accumulator")
+	}
+}
+
 func TestNewCodecRejectsUnknown(t *testing.T) {
 	if _, err := newCodec("gzip", 0); err == nil {
 		t.Fatal("unknown profile accepted")

@@ -1,0 +1,104 @@
+package fed
+
+import (
+	"math"
+	"testing"
+)
+
+// The binary16 converters back every compression profile's upload path, so
+// their edge behavior is pinned bit-for-bit, table-driven in the same style
+// as the int8 quantizer's RNE tests in internal/nn.
+
+func TestToF16Boundaries(t *testing.T) {
+	cases := []struct {
+		name string
+		in   float32
+		want uint16
+	}{
+		{"plus zero", 0, 0x0000},
+		{"minus zero", float32(math.Copysign(0, -1)), 0x8000},
+		{"one", 1, 0x3c00},
+		{"max half", 65504, 0x7bff},
+		// 65520 sits exactly halfway between 65504 and 2^16; nearest-even
+		// would carry into the infinity exponent, so it saturates instead.
+		{"halfway past max saturates", 65520, 0x7bff},
+		{"beyond max saturates", 1e6, 0x7bff},
+		{"negative saturates", -1e6, 0xfbff},
+		{"infinity saturates", float32(math.Inf(1)), 0x7bff},
+		{"NaN canonicalizes", float32(math.NaN()), 0x7e00},
+		{"min normal", 6.103515625e-05, 0x0400},
+		{"max subnormal", 6.097555160522461e-05, 0x03ff},
+		// (1023.5/1024)*2^-14 is the midpoint of the largest subnormal
+		// (0x03ff, odd) and the smallest normal (0x0400, even): rounding up
+		// must carry the subnormal mantissa into the exponent field.
+		{"subnormal midpoint carries into exponent", 6.100535392761230e-05, 0x0400},
+		{"min subnormal 2^-24", 5.960464477539063e-08, 0x0001},
+		// 2^-25 is the midpoint of 0 (even) and 2^-24 (odd): ties to zero.
+		{"2^-25 ties to even zero", 2.9802322387695312e-08, 0x0000},
+		// Anything past the midpoint rounds up to the smallest subnormal.
+		{"just above 2^-25 rounds up", 4.470348358154297e-08, 0x0001},
+		{"below half the min subnormal flushes", 1.4901161193847656e-08, 0x0000},
+		{"tiny flushes to zero", 1e-12, 0x0000},
+		// 1.99951171875 is the midpoint of 0x3fff (odd) and 0x4000 (even):
+		// the mantissa round-up must carry into the next exponent.
+		{"normal midpoint carries into exponent", 1.99951171875, 0x4000},
+		// 1 + 2^-11 is the midpoint of 1.0 (even) and 1+2^-10 (odd).
+		{"mantissa tie keeps even", 1.00048828125, 0x3c00},
+		// 1 + 3*2^-11 is the midpoint of 1+2^-10 (odd) and 1+2^-9 (even).
+		{"mantissa tie rounds to even above", 1.00146484375, 0x3c02},
+	}
+	for _, tc := range cases {
+		if got := toF16(tc.in); got != tc.want {
+			t.Errorf("%s: toF16(%g) = %#04x, want %#04x", tc.name, tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestFromF16Boundaries(t *testing.T) {
+	cases := []struct {
+		name string
+		in   uint16
+		want float64
+	}{
+		{"plus zero", 0x0000, 0},
+		{"minus zero", 0x8000, math.Copysign(0, -1)},
+		{"one", 0x3c00, 1},
+		{"max half", 0x7bff, 65504},
+		{"min normal", 0x0400, 6.103515625e-05},
+		{"max subnormal", 0x03ff, 6.097555160522461e-05},
+		{"min subnormal", 0x0001, 5.960464477539063e-08},
+		{"negative subnormal", 0x8001, -5.960464477539063e-08},
+		{"two", 0x4000, 2},
+		{"largest below two", 0x3fff, 1.9990234375},
+	}
+	for _, tc := range cases {
+		got := fromF16(tc.in)
+		if math.Float64bits(got) != math.Float64bits(tc.want) {
+			t.Errorf("%s: fromF16(%#04x) = %g, want %g", tc.name, tc.in, got, tc.want)
+		}
+	}
+	if got := fromF16(0x7c00); !math.IsInf(got, 1) {
+		t.Errorf("fromF16(0x7c00) = %g, want +Inf", got)
+	}
+	if got := fromF16(0xfc00); !math.IsInf(got, -1) {
+		t.Errorf("fromF16(0xfc00) = %g, want -Inf", got)
+	}
+	if got := fromF16(0x7e00); !math.IsNaN(got) {
+		t.Errorf("fromF16(0x7e00) = %g, want NaN", got)
+	}
+}
+
+// TestF16ExhaustiveRoundTrip decodes every finite half bit pattern and
+// re-encodes it: the pair must be a lossless identity over the full 16-bit
+// space, not just the sampled tables above.
+func TestF16ExhaustiveRoundTrip(t *testing.T) {
+	for h := 0; h <= 0xffff; h++ {
+		bits := uint16(h)
+		if bits>>10&0x1f == 31 {
+			continue // Inf saturates and NaN canonicalizes by design
+		}
+		if got := toF16(float32(fromF16(bits))); got != bits {
+			t.Fatalf("round trip %#04x -> %g -> %#04x", bits, fromF16(bits), got)
+		}
+	}
+}

@@ -517,12 +517,16 @@ func (w *worker) setWeights(vals [][]float64) error {
 
 // residualFor returns the worker's error-feedback accumulator for codecs
 // that sparsify (allocated to match the delta's shape on first use), or
-// nil for codecs that ship everything.
+// nil for codecs that ship everything. An accumulator whose shape no
+// longer matches the delta — a checkpoint hot-swap mid-run can resize the
+// model under a live worker — is reset rather than returned: its entries
+// were accumulated against parameters that no longer exist, and indexing
+// it against the new shape would panic.
 func (w *worker) residualFor(c codec, delta [][]float64) [][]float64 {
 	if _, ok := c.(topKCodec); !ok {
 		return nil
 	}
-	if w.residual == nil {
+	if !shapesMatch(w.residual, delta) {
 		w.residual = make([][]float64, len(delta))
 		for i, t := range delta {
 			w.residual[i] = make([]float64, len(t))
@@ -535,7 +539,7 @@ func (w *worker) residualFor(c codec, delta [][]float64) [][]float64 {
 // model to the worker's error-feedback accumulator, so a cut straggler's
 // round defers the update instead of losing it.
 func (w *worker) reclaimResidual(enc encoded) {
-	if w.residual == nil {
+	if !shapesMatch(w.residual, enc.values) {
 		return
 	}
 	for i, t := range enc.values {

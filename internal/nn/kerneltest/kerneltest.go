@@ -96,6 +96,86 @@ func MaxAbsDiff(a, b *nn.Tensor) (float64, error) {
 	return worst, nil
 }
 
+// QuantVariant pairs the packed SWAR int8 kernel with its naive int8
+// reference. Unlike the float variants, the int8 pair shares one exact
+// integer middle: quantization and dequantization are identical code on
+// both sides, so the two paths must agree bitwise, not within Tol.
+type QuantVariant struct {
+	Name string
+	Opt  func(a *nn.Tensor, q *nn.QuantizedMatrix) (*nn.Tensor, error)
+	Ref  func(a *nn.Tensor, q *nn.QuantizedMatrix) (*nn.Tensor, error)
+}
+
+// QuantVariants returns the quantized kernel pairs.
+func QuantVariants() []QuantVariant {
+	return []QuantVariant{
+		{Name: "QuantizedMatMul", Opt: nn.QuantizedMatMul, Ref: nn.QuantizedMatMulRef},
+	}
+}
+
+// QuantErrorBound is the analytic worst case for |quantized − float64|
+// on one output element of a [m,k]×[n,k]ᵀ product: symmetric int8
+// rounding errs at most scale/2 per operand element, so the k-term sum
+// errs at most k·(Amax·sb/2 + Bmax·sa/2 + sa·sb/4), with sa = Amax/127
+// (per-tensor) and sb ≤ Bmax/127 (per-column scales are each ≤ the
+// global max). Padded 10% for float64 accumulation noise.
+func QuantErrorBound(a, b *nn.Tensor) float64 {
+	maxAbs := func(t *nn.Tensor) float64 {
+		m := 0.0
+		for _, v := range t.Data {
+			if x := math.Abs(v); x > m {
+				m = x
+			}
+		}
+		return m
+	}
+	amax, bmax := maxAbs(a), maxAbs(b)
+	sa, sb := amax/127, bmax/127
+	k := float64(a.Shape[1])
+	return 1.1*k*(amax*sb/2+bmax*sa/2+sa*sb/4) + 1e-12
+}
+
+// CheckQuantCase runs one (variant, m, k, n, seed) quantized case with
+// b in the [n, k] per-output-column layout: the optimized and reference
+// int8 paths must agree bitwise, and both must sit within the analytic
+// quantization error bound of the float64 ground truth.
+func CheckQuantCase(v QuantVariant, m, k, n int, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	a := RandTensor(rng, m, k)
+	b := RandTensor(rng, n, k)
+	q, err := nn.QuantizeTransB(b)
+	if err != nil {
+		return fmt.Errorf("%s(%dx%dx%d): quantize: %w", v.Name, m, k, n, err)
+	}
+	opt, err := v.Opt(a, q)
+	if err != nil {
+		return fmt.Errorf("%s(%dx%dx%d): optimized kernel: %w", v.Name, m, k, n, err)
+	}
+	ref, err := v.Ref(a, q)
+	if err != nil {
+		return fmt.Errorf("%s(%dx%dx%d): reference kernel: %w", v.Name, m, k, n, err)
+	}
+	for i := range opt.Data {
+		if opt.Data[i] != ref.Data[i] {
+			return fmt.Errorf("%s(%dx%dx%d): element %d differs bitwise from the int8 reference: %v vs %v",
+				v.Name, m, k, n, i, opt.Data[i], ref.Data[i])
+		}
+	}
+	want, err := nn.MatMulTransBRef(a, b)
+	if err != nil {
+		return fmt.Errorf("%s(%dx%dx%d): float reference: %w", v.Name, m, k, n, err)
+	}
+	diff, err := MaxAbsDiff(opt, want)
+	if err != nil {
+		return fmt.Errorf("%s(%dx%dx%d): %w", v.Name, m, k, n, err)
+	}
+	if bound := QuantErrorBound(a, b); diff > bound {
+		return fmt.Errorf("%s(%dx%dx%d): max |quant-float| = %g exceeds the analytic bound %g",
+			v.Name, m, k, n, diff, bound)
+	}
+	return nil
+}
+
 // CheckCase runs one (variant, m, k, n, seed) case: it generates
 // deterministic inputs, evaluates the optimized and reference kernels,
 // and returns an error when the results differ by more than Tol (or a

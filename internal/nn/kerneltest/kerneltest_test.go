@@ -86,6 +86,81 @@ func TestGEMMDeterminism(t *testing.T) {
 	}
 }
 
+// quantGridShapes stresses the SWAR kernel's own boundaries on top of
+// the float grid: the 3-column lane packing (n % 3), the 4-group outer
+// unroll (n % 12), the 16-step lane-spill block and the 4-step inner
+// unroll (k % 16, k % 4), plus the dense-head shapes the quantized
+// pilot actually runs.
+var quantGridShapes = [][3]int{
+	{1, 1, 1},
+	{1, 4, 2},   // tail columns only, no packed group
+	{2, 16, 3},  // exactly one packed group, one spill block
+	{3, 17, 4},  // k-remainder after the spill block
+	{4, 15, 11}, // k below one block, n % 3 == 2
+	{5, 33, 12}, // exactly the 4-group unroll
+	{8, 64, 13}, // 4-group unroll plus one tail column
+	{16, 25, 8}, // conv-panel shape, 2 groups + 2 tails
+	{32, 100, 24},
+	{7, 203, 36},  // deep k with k%4 remainder, 12 groups
+	{32, 576, 50}, // dense head panel
+	{1, 3136, 26},
+}
+
+// TestQuantGrid cross-checks the packed int8 kernel bitwise against the
+// naive int8 reference and within the analytic bound of the float64
+// ground truth, over shapes × workers.
+func TestQuantGrid(t *testing.T) {
+	defer nn.SetMaxWorkers(nn.SetMaxWorkers(1))
+	for _, v := range QuantVariants() {
+		for _, w := range gridWorkers {
+			nn.SetMaxWorkers(w)
+			for si, s := range quantGridShapes {
+				if err := CheckQuantCase(v, s[0], s[1], s[2], int64(9000*si+w)); err != nil {
+					t.Errorf("workers=%d: %v", w, err)
+				}
+			}
+		}
+	}
+}
+
+// TestQuantDeterminism asserts the quantized kernel is bitwise stable
+// across runs and worker counts: every stage (rounding, integer GEMM,
+// dequantization) is exact, so there is no tolerance to hide behind.
+func TestQuantDeterminism(t *testing.T) {
+	defer nn.SetMaxWorkers(nn.SetMaxWorkers(1))
+	for _, v := range QuantVariants() {
+		for _, s := range [][3]int{{32, 100, 24}, {5, 33, 12}, {16, 576, 50}} {
+			rng := rand.New(rand.NewSource(77))
+			a := RandTensor(rng, s[0], s[1])
+			b := RandTensor(rng, s[2], s[1])
+			q, err := nn.QuantizeTransB(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			nn.SetMaxWorkers(1)
+			base, err := v.Opt(a, q)
+			if err != nil {
+				t.Fatalf("%s: %v", v.Name, err)
+			}
+			for _, w := range []int{1, 2, 3, 5, 8} {
+				nn.SetMaxWorkers(w)
+				for run := 0; run < 3; run++ {
+					got, err := v.Opt(a, q)
+					if err != nil {
+						t.Fatalf("%s workers=%d: %v", v.Name, w, err)
+					}
+					for i := range got.Data {
+						if got.Data[i] != base.Data[i] {
+							t.Fatalf("%s %v workers=%d run=%d: element %d differs bitwise: %v vs %v",
+								v.Name, s, w, run, i, got.Data[i], base.Data[i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
 // buildTinyModel constructs a small but representative conv+dense model
 // (exercising the im2col GEMM, fused epilogues, dropout and the
 // first-layer backward skip) with all randomness drawn from seed.

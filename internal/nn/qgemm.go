@@ -1,0 +1,395 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// Quantized int8 GEMM kernels for the inference fast path.
+//
+// Pure scalar int8 multiply-accumulate loses to this package's float64
+// kernels on FP-heavy cores (one integer-multiply port against two FMA
+// ports), so the optimized kernel is SWAR: both operands are biased by
+// +128 into [0, 255], and three output columns' weights are packed into
+// one uint64 at 21-bit lane offsets. One 64-bit multiply by a biased
+// activation then accumulates three dot-product terms at once. A lane
+// holds at most 2^21-1, each step adds at most 255·255 < 2^17, so lanes
+// are spilled into per-column accumulators every qBlock steps, long
+// before they can carry into a neighbour.
+//
+// The biased products are corrected back to the true signed dot product
+// exactly: Σ(a+128)(w+128) = Σaw + 128·Σa + 128·Σw + 128²·k, with the
+// activation row sums and weight column sums precomputed. All arithmetic
+// is integer and exact, so the optimized kernel is checked bitwise —
+// not within a tolerance — against the naive int8 reference.
+
+const (
+	// qLaneBits is the SWAR lane width: wide enough for qBlock biased
+	// products, narrow enough to fit three lanes in a uint64.
+	qLaneBits = 21
+	qLaneMask = (1 << qLaneBits) - 1
+	// qBlock is how many k-steps accumulate in-lane before spilling.
+	// 16·255·255 = 1 040 400 < 2^21, comfortably below lane capacity.
+	qBlock = 16
+	// qZero is the bias mapping int8 to the kernel's unsigned domain.
+	qZero = 128
+	// qGroupCols is how many output columns share one packed uint64.
+	qGroupCols = 3
+	// qMaxK bounds the reduction dim so a full row of maximal biased
+	// products still fits an int32 after lane spilling.
+	qMaxK = math.MaxInt32 / (255 * 255)
+)
+
+// QuantizedMatrix is an int8 weight matrix prepared for the packed SWAR
+// kernel: logical shape [Out, K] in the MatMulTransB layout (row j holds
+// output column j's K reduction taps), quantized symmetrically with one
+// round-to-nearest-even scale per output column.
+type QuantizedMatrix struct {
+	Out, K int
+	// Scale dequantizes column j: float ≈ Scale[j] · int8. A zero scale
+	// marks an all-zero column.
+	Scale []float64
+
+	packed []uint64 // [Out/3 groups][K]: 3 biased columns per word
+	tail   []int8   // trailing Out%3 columns, row-major [tails][K]
+	colSum []int32  // per-column sum of signed int8 weights
+}
+
+// quantizeRows quantizes n rows of k float64 weights (one output column
+// per row) into the packed SWAR layout. Each row gets a symmetric scale
+// maxabs/127 and is rounded to nearest even, the same tie-breaking
+// discipline as the fed package's binary16 encoder.
+func quantizeRows(rows [][]float64, k int) (*QuantizedMatrix, error) {
+	n := len(rows)
+	if n == 0 || k <= 0 {
+		return nil, fmt.Errorf("nn: quantize: empty matrix")
+	}
+	if k > qMaxK {
+		return nil, fmt.Errorf("nn: quantize: reduction dim %d exceeds int32-safe bound %d", k, qMaxK)
+	}
+	q := &QuantizedMatrix{
+		Out:    n,
+		K:      k,
+		Scale:  make([]float64, n),
+		colSum: make([]int32, n),
+	}
+	ng := n / qGroupCols
+	q.packed = make([]uint64, ng*k)
+	q.tail = make([]int8, (n-ng*qGroupCols)*k)
+	qrow := make([]int8, k)
+	for j, row := range rows {
+		if len(row) != k {
+			return nil, fmt.Errorf("nn: quantize: row %d has %d taps, want %d", j, len(row), k)
+		}
+		maxAbs := 0.0
+		for _, v := range row {
+			if a := math.Abs(v); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		var inv float64
+		if maxAbs > 0 {
+			q.Scale[j] = maxAbs / 127
+			inv = 127 / maxAbs
+		}
+		var sum int32
+		for p, v := range row {
+			w := quantRNE(v * inv)
+			qrow[p] = w
+			sum += int32(w)
+		}
+		q.colSum[j] = sum
+		if g := j / qGroupCols; g < ng {
+			lane := uint(j%qGroupCols) * qLaneBits
+			dst := q.packed[g*k : (g+1)*k]
+			for p, w := range qrow {
+				dst[p] |= uint64(uint8(int32(w)+qZero)) << lane
+			}
+		} else {
+			copy(q.tail[(j-ng*qGroupCols)*k:], qrow)
+		}
+	}
+	return q, nil
+}
+
+// Int8 returns the signed quantized weight at [col, tap], unpacking the
+// SWAR layout. It exists for the reference kernel and tests; the hot
+// path never unpacks.
+func (q *QuantizedMatrix) Int8(col, tap int) int8 {
+	ng := q.Out / qGroupCols
+	if g := col / qGroupCols; g < ng {
+		lane := uint(col%qGroupCols) * qLaneBits
+		u := q.packed[g*q.K+tap] >> lane & qLaneMask
+		return int8(int32(u&0xff) - qZero)
+	}
+	return q.tail[(col-qGroupCols*(q.Out/qGroupCols))*q.K+tap]
+}
+
+// roundEvenMagic shifts a float64 so the FPU's round-to-nearest-even at
+// the 2^0 ULP does the integer rounding: adding 1.5·2^52 leaves the
+// rounded integer in the low mantissa bits. Exact for |v| < 2^51, which
+// quantization (|v·inv| ≤ 127 plus slack) always satisfies.
+const roundEvenMagic = 6755399441055744.0
+
+// quantRNE rounds a pre-scaled value to int8 with round-to-nearest-even,
+// clamping to the symmetric range [-127, 127].
+func quantRNE(v float64) int8 {
+	q := int32(uint32(math.Float64bits(v + roundEvenMagic)))
+	if q > 127 {
+		q = 127
+	}
+	if q < -127 {
+		q = -127
+	}
+	return int8(q)
+}
+
+// quantizeActs quantizes an m×k row-major float64 activation matrix with
+// one dynamic per-tensor scale: au receives the biased uint8 values the
+// SWAR kernel consumes, rowSum the per-row sums of the signed values for
+// the bias correction. Returns the scale (0 for an all-zero input).
+func quantizeActs(a []float64, m, k int, au []uint8, rowSum []int32) float64 {
+	maxAbs := 0.0
+	for _, v := range a[:m*k] {
+		if x := math.Abs(v); x > maxAbs {
+			maxAbs = x
+		}
+	}
+	if maxAbs == 0 {
+		for i := range au[:m*k] {
+			au[i] = qZero
+		}
+		for i := range rowSum[:m] {
+			rowSum[i] = 0
+		}
+		return 0
+	}
+	inv := 127 / maxAbs
+	for i := 0; i < m; i++ {
+		row := a[i*k : (i+1)*k]
+		dst := au[i*k : (i+1)*k]
+		var sum int32
+		for p, v := range row {
+			w := int32(quantRNE(v * inv))
+			sum += w
+			dst[p] = uint8(w + qZero)
+		}
+		rowSum[i] = sum
+	}
+	return maxAbs / 127
+}
+
+// qgemmBiased runs the packed kernel over m biased activation rows,
+// writing the exact signed int32 dot products to out [m, Out]. Rows are
+// independent, so the parallel split is deterministic for any worker
+// count (integer arithmetic is exact regardless of grouping).
+func qgemmBiased(au []uint8, rowSum []int32, m int, q *QuantizedMatrix, out []int32) {
+	k, n := q.K, q.Out
+	work := func(i0, i1 int) {
+		for i := i0; i < i1; i++ {
+			qgemmRow(au[i*k:(i+1)*k], rowSum[i], q, out[i*n:(i+1)*n])
+		}
+	}
+	parallelFor(m, m*k*n/2, work)
+}
+
+// qgemmRow computes one activation row against every packed column
+// group. Four groups (12 output columns) ride each pass over the
+// activations so one load of au feeds four packed multiplies.
+func qgemmRow(au []uint8, rowSum int32, q *QuantizedMatrix, out []int32) {
+	k := q.K
+	ng := q.Out / qGroupCols
+	corr := qZero*rowSum + qZero*qZero*int32(k)
+	g := 0
+	for ; g+4 <= ng; g += 4 {
+		w0 := q.packed[(g+0)*k : (g+1)*k]
+		w1 := q.packed[(g+1)*k : (g+2)*k]
+		w2 := q.packed[(g+2)*k : (g+3)*k]
+		w3 := q.packed[(g+3)*k : (g+4)*k]
+		var spill [4 * qGroupCols]uint64
+		p := 0
+		for ; p+qBlock <= k; p += qBlock {
+			var a0, a1, a2, a3 uint64
+			for s := p; s < p+qBlock; s += 4 {
+				av0, av1 := uint64(au[s]), uint64(au[s+1])
+				av2, av3 := uint64(au[s+2]), uint64(au[s+3])
+				a0 += av0*w0[s] + av1*w0[s+1] + av2*w0[s+2] + av3*w0[s+3]
+				a1 += av0*w1[s] + av1*w1[s+1] + av2*w1[s+2] + av3*w1[s+3]
+				a2 += av0*w2[s] + av1*w2[s+1] + av2*w2[s+2] + av3*w2[s+3]
+				a3 += av0*w3[s] + av1*w3[s+1] + av2*w3[s+2] + av3*w3[s+3]
+			}
+			spillLanes(&spill, a0, a1, a2, a3)
+		}
+		if p < k {
+			var a0, a1, a2, a3 uint64
+			for ; p < k; p++ {
+				av := uint64(au[p])
+				a0 += av * w0[p]
+				a1 += av * w1[p]
+				a2 += av * w2[p]
+				a3 += av * w3[p]
+			}
+			spillLanes(&spill, a0, a1, a2, a3)
+		}
+		for t := 0; t < 4; t++ {
+			col := (g + t) * qGroupCols
+			out[col+0] = int32(spill[3*t+0]) - corr - qZero*q.colSum[col+0]
+			out[col+1] = int32(spill[3*t+1]) - corr - qZero*q.colSum[col+1]
+			out[col+2] = int32(spill[3*t+2]) - corr - qZero*q.colSum[col+2]
+		}
+	}
+	for ; g < ng; g++ {
+		w0 := q.packed[g*k : (g+1)*k]
+		var spill [qGroupCols]uint64
+		p := 0
+		for ; p+qBlock <= k; p += qBlock {
+			var a0 uint64
+			for s := p; s < p+qBlock; s += 4 {
+				a0 += uint64(au[s])*w0[s] + uint64(au[s+1])*w0[s+1] +
+					uint64(au[s+2])*w0[s+2] + uint64(au[s+3])*w0[s+3]
+			}
+			spill[0] += a0 & qLaneMask
+			spill[1] += a0 >> qLaneBits & qLaneMask
+			spill[2] += a0 >> (2 * qLaneBits)
+		}
+		if p < k {
+			var a0 uint64
+			for ; p < k; p++ {
+				a0 += uint64(au[p]) * w0[p]
+			}
+			spill[0] += a0 & qLaneMask
+			spill[1] += a0 >> qLaneBits & qLaneMask
+			spill[2] += a0 >> (2 * qLaneBits)
+		}
+		col := g * qGroupCols
+		out[col+0] = int32(spill[0]) - corr - qZero*q.colSum[col+0]
+		out[col+1] = int32(spill[1]) - corr - qZero*q.colSum[col+1]
+		out[col+2] = int32(spill[2]) - corr - qZero*q.colSum[col+2]
+	}
+	// Trailing Out%3 columns: plain signed accumulation, already exact.
+	for t := 0; t < q.Out-ng*qGroupCols; t++ {
+		w := q.tail[t*k : (t+1)*k]
+		var acc int32
+		for p := 0; p < k; p++ {
+			acc += (int32(au[p]) - qZero) * int32(w[p])
+		}
+		out[ng*qGroupCols+t] = acc
+	}
+}
+
+// spillLanes drains four packed accumulators into their twelve per-column
+// spill slots.
+func spillLanes(spill *[4 * qGroupCols]uint64, a0, a1, a2, a3 uint64) {
+	spill[0] += a0 & qLaneMask
+	spill[1] += a0 >> qLaneBits & qLaneMask
+	spill[2] += a0 >> (2 * qLaneBits)
+	spill[3] += a1 & qLaneMask
+	spill[4] += a1 >> qLaneBits & qLaneMask
+	spill[5] += a1 >> (2 * qLaneBits)
+	spill[6] += a2 & qLaneMask
+	spill[7] += a2 >> qLaneBits & qLaneMask
+	spill[8] += a2 >> (2 * qLaneBits)
+	spill[9] += a3 & qLaneMask
+	spill[10] += a3 >> qLaneBits & qLaneMask
+	spill[11] += a3 >> (2 * qLaneBits)
+}
+
+// qgemmRef is the naive int8 reference: the same quantized operands
+// through the plain signed triple loop. The SWAR kernel must match it
+// bit for bit.
+func qgemmRef(au []uint8, m int, q *QuantizedMatrix, out []int32) {
+	k, n := q.K, q.Out
+	for i := 0; i < m; i++ {
+		arow := au[i*k : (i+1)*k]
+		for j := 0; j < n; j++ {
+			var acc int32
+			for p := 0; p < k; p++ {
+				acc += (int32(arow[p]) - qZero) * int32(q.Int8(j, p))
+			}
+			out[i*n+j] = acc
+		}
+	}
+}
+
+// dequantInto scales the exact int32 accumulators back to float64:
+// y[i][j] = acc[i][j] · aScale · Scale[j]. Both the optimized and the
+// reference paths share it, so their outputs stay bitwise identical.
+func dequantInto(acc []int32, aScale float64, q *QuantizedMatrix, y []float64) {
+	n := q.Out
+	m := len(acc) / n
+	for i := 0; i < m; i++ {
+		arow := acc[i*n : (i+1)*n]
+		yrow := y[i*n : (i+1)*n]
+		for j, v := range arow {
+			yrow[j] = float64(v) * (aScale * q.Scale[j])
+		}
+	}
+}
+
+// QuantizeTransB quantizes b [n, k] — the MatMulTransB weight layout,
+// one output column per row — into the packed int8 form with per-column
+// symmetric scales.
+func QuantizeTransB(b *Tensor) (*QuantizedMatrix, error) {
+	if len(b.Shape) != 2 {
+		return nil, fmt.Errorf("nn: QuantizeTransB wants a matrix, got %v", b.Shape)
+	}
+	n, k := b.Shape[0], b.Shape[1]
+	rows := make([][]float64, n)
+	for j := 0; j < n; j++ {
+		rows[j] = b.Data[j*k : (j+1)*k]
+	}
+	return quantizeRows(rows, k)
+}
+
+// Quantize quantizes b [k, n] — the MatMul weight layout, as stored by
+// Dense — transposing into the packed per-output-column form. The
+// transpose happens once at quantization time; inference never pays it.
+func Quantize(b *Tensor) (*QuantizedMatrix, error) {
+	if len(b.Shape) != 2 {
+		return nil, fmt.Errorf("nn: Quantize wants a matrix, got %v", b.Shape)
+	}
+	k, n := b.Shape[0], b.Shape[1]
+	rows := make([][]float64, n)
+	for j := 0; j < n; j++ {
+		col := make([]float64, k)
+		for p := 0; p < k; p++ {
+			col[p] = b.Data[p*n+j]
+		}
+		rows[j] = col
+	}
+	return quantizeRows(rows, k)
+}
+
+// quantMatMul is the shared body of the exported quantized matmuls:
+// dynamic per-tensor quantization of a, the selected int32 kernel, and
+// the shared dequantization.
+func quantMatMul(a *Tensor, q *QuantizedMatrix, kernel func([]uint8, []int32, int, *QuantizedMatrix, []int32)) (*Tensor, error) {
+	if len(a.Shape) != 2 || a.Shape[1] != q.K {
+		return nil, fmt.Errorf("nn: quantized matmul expects [N,%d], got %v", q.K, a.Shape)
+	}
+	m := a.Shape[0]
+	au := make([]uint8, m*q.K)
+	rowSum := make([]int32, m)
+	scale := quantizeActs(a.Data, m, q.K, au, rowSum)
+	acc := make([]int32, m*q.Out)
+	kernel(au, rowSum, m, q, acc)
+	y := NewTensor(m, q.Out)
+	dequantInto(acc, scale, q, y.Data)
+	return y, nil
+}
+
+// QuantizedMatMul computes a [m, k] × bᵀ for a pre-quantized b, through
+// the packed SWAR kernel. It is the int8 twin of MatMul after b has been
+// transposed offline into the per-output-column layout.
+func QuantizedMatMul(a *Tensor, q *QuantizedMatrix) (*Tensor, error) {
+	return quantMatMul(a, q, qgemmBiased)
+}
+
+// QuantizedMatMulRef is QuantizedMatMul through the naive int8 triple
+// loop — same quantization, same dequantization, exact integer middle —
+// so the two must agree bitwise.
+func QuantizedMatMulRef(a *Tensor, q *QuantizedMatrix) (*Tensor, error) {
+	return quantMatMul(a, q, func(au []uint8, _ []int32, m int, q *QuantizedMatrix, out []int32) {
+		qgemmRef(au, m, q, out)
+	})
+}

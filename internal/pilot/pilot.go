@@ -14,6 +14,11 @@ type Pilot struct {
 	Cfg   Config
 	model nn.Model
 	loss  nn.Loss
+
+	// quantMode/qmodel hold the optional int8 inference copy built by
+	// EnableQuant; the float model stays the source of truth.
+	quantMode string
+	qmodel    nn.Model
 }
 
 // New builds an untrained pilot from a validated config.
@@ -47,7 +52,13 @@ func (p *Pilot) Train(samples []Sample, cfg nn.TrainConfig) (nn.History, error) 
 	if err != nil {
 		return nn.History{}, err
 	}
-	return nn.Train(p.model, data, p.loss, opt, cfg)
+	hist, err := nn.Train(p.model, data, p.loss, opt, cfg)
+	if err == nil && p.quantMode != "" {
+		// Weights moved: rebuild the int8 copy so inference keeps
+		// tracking the float model.
+		err = p.EnableQuant(p.quantMode)
+	}
+	return hist, err
 }
 
 // Validate computes the pilot's loss over samples without training.
@@ -99,7 +110,7 @@ func (p *Pilot) InferBatch(samples []Sample) ([][2]float64, error) {
 	if err != nil {
 		return nil, err
 	}
-	y, err := p.model.Forward(x, false)
+	y, err := p.inferModel().Forward(x, false)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,59 @@
+package pilot
+
+import (
+	"fmt"
+
+	"repro/internal/nn"
+)
+
+// EnableQuant builds an int8 inference copy of the trained model and
+// routes InferBatch through it. The float model stays authoritative for
+// Train, Validate, Save and Load; re-enabling after further training or
+// a checkpoint reload re-quantizes from the fresh weights. mode must be
+// nn.QuantInt8; the empty string disables quantization again.
+func (p *Pilot) EnableQuant(mode string) error {
+	if mode == "" {
+		p.qmodel, p.quantMode = nil, ""
+		return nil
+	}
+	qm, err := quantizeModel(p.model, mode)
+	if err != nil {
+		return err
+	}
+	p.qmodel, p.quantMode = qm, mode
+	return nil
+}
+
+// QuantMode reports the active quantization mode ("" when the float
+// path is serving).
+func (p *Pilot) QuantMode() string { return p.quantMode }
+
+// inferModel is the model InferBatch actually runs: the quantized copy
+// when one is enabled, the float model otherwise.
+func (p *Pilot) inferModel() nn.Model {
+	if p.qmodel != nil {
+		return p.qmodel
+	}
+	return p.model
+}
+
+// quantizeModel dispatches over the two model shapes the six pilot
+// kinds produce: plain Sequentials (Linear, Inferred, Categorical, RNN,
+// Conv3D) and the two-input memory model.
+func quantizeModel(m nn.Model, mode string) (nn.Model, error) {
+	switch v := m.(type) {
+	case *nn.Sequential:
+		return nn.QuantizeSequential(v, mode)
+	case *memoryModel:
+		enc, err := nn.QuantizeSequential(v.encoder, mode)
+		if err != nil {
+			return nil, err
+		}
+		head, err := nn.QuantizeSequential(v.head, mode)
+		if err != nil {
+			return nil, err
+		}
+		return &memoryModel{cfg: v.cfg, encoder: enc, head: head}, nil
+	}
+	return nil, fmt.Errorf("pilot: cannot quantize model type %T", m)
+}

@@ -1,0 +1,149 @@
+package pilot
+
+import (
+	"testing"
+
+	"repro/internal/eval"
+	"repro/internal/nn"
+)
+
+// TestEnableQuantAllKinds runs every architecture through the int8 path
+// and checks the decoded (angle, throttle) stay inside eval's quantization
+// accuracy budget of the float model's, that QuantMode reports correctly,
+// and that disabling returns the exact float outputs.
+func TestEnableQuantAllKinds(t *testing.T) {
+	recs := syntheticRecords(t, 16)
+	for _, kind := range AllKinds() {
+		cfg := testCfg(kind)
+		p, err := New(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		samples, err := SamplesFromRecords(cfg, recs)
+		if err != nil {
+			t.Fatalf("%s: samples: %v", kind, err)
+		}
+		samples = samples[:4]
+		want, err := p.InferBatch(samples)
+		if err != nil {
+			t.Fatalf("%s: float batch: %v", kind, err)
+		}
+		if err := p.EnableQuant(nn.QuantInt8); err != nil {
+			t.Fatalf("%s: enable quant: %v", kind, err)
+		}
+		if got := p.QuantMode(); got != nn.QuantInt8 {
+			t.Fatalf("%s: QuantMode = %q, want %q", kind, got, nn.QuantInt8)
+		}
+		got, err := p.InferBatch(samples)
+		if err != nil {
+			t.Fatalf("%s: quant batch: %v", kind, err)
+		}
+		drift, err := eval.QuantDrift(want, got)
+		if err != nil {
+			t.Fatalf("%s: drift: %v", kind, err)
+		}
+		if !eval.WithinQuantBudget(drift) {
+			t.Errorf("%s: quantized drift %g exceeds the %g budget", kind, drift, eval.QuantBudget)
+		}
+		// The quantized path must itself be deterministic.
+		again, err := p.InferBatch(samples)
+		if err != nil {
+			t.Fatalf("%s: quant batch repeat: %v", kind, err)
+		}
+		for i := range again {
+			if again[i] != got[i] {
+				t.Errorf("%s: quantized inference not deterministic at sample %d", kind, i)
+			}
+		}
+		if err := p.EnableQuant(""); err != nil {
+			t.Fatalf("%s: disable quant: %v", kind, err)
+		}
+		if got := p.QuantMode(); got != "" {
+			t.Fatalf("%s: QuantMode after disable = %q, want empty", kind, got)
+		}
+		back, err := p.InferBatch(samples)
+		if err != nil {
+			t.Fatalf("%s: float batch after disable: %v", kind, err)
+		}
+		for i := range back {
+			if back[i] != want[i] {
+				t.Errorf("%s: float path changed after quant round-trip at sample %d", kind, i)
+			}
+		}
+	}
+}
+
+// TestEnableQuantRejectsUnknownMode pins the error path and that a
+// failed enable leaves the float path serving.
+func TestEnableQuantRejectsUnknownMode(t *testing.T) {
+	p, err := New(testCfg(Linear))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.EnableQuant("int4"); err == nil {
+		t.Fatal("unknown quantization mode accepted")
+	}
+	if p.QuantMode() != "" {
+		t.Fatalf("failed enable left mode %q", p.QuantMode())
+	}
+}
+
+// TestTrainRequantizes: training with quantization enabled rebuilds the
+// int8 copy so quantized inference tracks the new weights instead of
+// serving the stale pre-training snapshot.
+func TestTrainRequantizes(t *testing.T) {
+	cfg := testCfg(Linear)
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := syntheticRecords(t, 24)
+	samples, err := SamplesFromRecords(cfg, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.EnableQuant(nn.QuantInt8); err != nil {
+		t.Fatal(err)
+	}
+	stale, err := p.InferBatch(samples[:4])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Train(samples, nn.TrainConfig{Epochs: 2, BatchSize: 8, ValFrac: 0.25, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := p.InferBatch(samples[:4])
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := false
+	for i := range fresh {
+		if fresh[i] != stale[i] {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Error("quantized outputs identical before and after training; int8 copy not rebuilt")
+	}
+	// And the rebuilt copy still tracks the float model.
+	want := make([][2]float64, 4)
+	mode := p.QuantMode()
+	if err := p.EnableQuant(""); err != nil {
+		t.Fatal(err)
+	}
+	fl, err := p.InferBatch(samples[:4])
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(want, fl)
+	if err := p.EnableQuant(mode); err != nil {
+		t.Fatal(err)
+	}
+	drift, err := eval.QuantDrift(want, fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eval.WithinQuantBudget(drift) {
+		t.Errorf("post-train quantized drift %g exceeds the %g budget", drift, eval.QuantBudget)
+	}
+}

@@ -3,7 +3,9 @@ package serve
 import (
 	"context"
 	"errors"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/faults"
@@ -38,13 +40,15 @@ type response struct {
 	err             error
 }
 
-// batcher is the per-model micro-batching scheduler: a bounded admission
-// queue feeding a single goroutine that collects requests into mini-batches
-// and flushes on MaxBatch or the BatchWindow deadline, whichever comes
-// first. One goroutine per model also serializes forward passes, which the
-// nn layers require (Forward mutates layer state).
+// batcher is one shard of a model's micro-batching scheduler: a bounded
+// admission queue feeding a single goroutine that collects requests into
+// mini-batches and flushes on MaxBatch or the BatchWindow deadline,
+// whichever comes first. One goroutine per shard also serializes forward
+// passes on that shard's pilot replica, which the nn layers require
+// (Forward mutates layer state).
 type batcher struct {
 	model  string
+	shard  int
 	reg    *Registry
 	cfg    Config
 	slow   func() time.Duration
@@ -54,6 +58,18 @@ type batcher struct {
 	done  chan struct{}
 	wg    sync.WaitGroup
 
+	// closeMu closes the submit/stop race: submit holds the read side
+	// across its closed-check and enqueue, so stop's write-side flip of
+	// closed strictly orders every in-flight submit before the final
+	// drain. Without it a request could pass the check, lose the CPU,
+	// and be enqueued after drain emptied the queue — blocking its
+	// caller forever.
+	closeMu sync.RWMutex
+	closed  bool
+
+	// Per-model series, shared by every shard of the model (counters and
+	// histograms are atomic; the depth gauge is kept as a cross-shard
+	// total via deltas).
 	depth     *obs.Gauge
 	batchSize *obs.Histogram
 	latency   *obs.Histogram
@@ -61,23 +77,35 @@ type batcher struct {
 	batches   *obs.Counter
 	shed      *obs.Counter
 	expired   *obs.Counter
+
+	// Per-shard stripes: each shard owns its series, so hot-path updates
+	// from N schedulers never contend on one cache line.
+	shardDepth    *obs.Gauge
+	shardRequests *obs.Counter
+	shardBatches  *obs.Counter
 }
 
 // batchSizeBuckets bound the serve_batch_size histogram.
 var batchSizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64}
 
-func newBatcher(model string, reg *Registry, cfg Config, metrics *obs.Registry, slow func() time.Duration, tracer func() *obs.Tracer) *batcher {
+func newBatcher(model string, shard int, reg *Registry, cfg Config, metrics *obs.Registry, slow func() time.Duration, tracer func() *obs.Tracer) *batcher {
 	lbl := obs.L("model", model)
+	slbl := obs.L("shard", strconv.Itoa(shard))
 	if tracer == nil {
 		tracer = func() *obs.Tracer { return nil }
 	}
+	depth := cfg.QueueDepth / cfg.replicas()
+	if depth < 1 {
+		depth = 1
+	}
 	b := &batcher{
 		model:  model,
+		shard:  shard,
 		reg:    reg,
 		cfg:    cfg,
 		slow:   slow,
 		tracer: tracer,
-		queue:  make(chan *request, cfg.QueueDepth),
+		queue:  make(chan *request, depth),
 		done:   make(chan struct{}),
 
 		depth:     metrics.Gauge("serve_queue_depth", lbl),
@@ -87,36 +115,58 @@ func newBatcher(model string, reg *Registry, cfg Config, metrics *obs.Registry, 
 		batches:   metrics.Counter("serve_batches_total", lbl),
 		shed:      metrics.Counter("serve_shed_total", lbl),
 		expired:   metrics.Counter("serve_expired_total", lbl),
+
+		shardDepth:    metrics.Gauge("serve_replica_queue_depth", lbl, slbl),
+		shardRequests: metrics.Counter("serve_replica_requests_total", lbl, slbl),
+		shardBatches:  metrics.Counter("serve_replica_batches_total", lbl, slbl),
 	}
 	b.wg.Add(1)
 	go b.run()
 	return b
 }
 
-// submit enqueues a request without blocking; a full queue sheds.
+// submit enqueues a request without blocking; a full queue sheds. The
+// read lock spans the closed-check and the enqueue (see closeMu).
 func (b *batcher) submit(r *request) error {
 	b.requests.Inc()
-	select {
-	case <-b.done:
+	b.shardRequests.Inc()
+	b.closeMu.RLock()
+	defer b.closeMu.RUnlock()
+	if b.closed {
 		return ErrShuttingDown
-	default:
 	}
 	select {
 	case b.queue <- r:
-		b.depth.Set(float64(len(b.queue)))
+		b.depth.Add(1)
+		b.shardDepth.Set(float64(len(b.queue)))
 		return nil
 	default:
 		b.shed.Inc()
+		// The queue is at capacity; say so. Before this Set a shed left
+		// the gauge wherever the last successful enqueue put it, so a
+		// saturated shard could report a half-empty queue.
+		b.shardDepth.Set(float64(len(b.queue)))
 		return ErrQueueFull
 	}
 }
 
 // stop shuts the scheduler down and waits for it to drain: queued requests
-// are answered with ErrShuttingDown, the in-flight batch completes.
+// are answered with ErrShuttingDown, the in-flight batch completes. The
+// write lock waits out every in-flight submit before the done channel
+// closes, and the post-wait drain sweeps anything a submit enqueued in
+// the same instant the scheduler exited.
 func (b *batcher) stop() {
+	b.closeMu.Lock()
+	b.closed = true
+	b.closeMu.Unlock()
 	close(b.done)
 	b.wg.Wait()
+	b.drain()
 }
+
+// take records a request leaving the queue, keeping the per-model depth
+// gauge an exact cross-shard total.
+func (b *batcher) take() { b.depth.Add(-1) }
 
 // run is the scheduler loop.
 func (b *batcher) run() {
@@ -127,6 +177,7 @@ func (b *batcher) run() {
 			b.drain()
 			return
 		case first := <-b.queue:
+			b.take()
 			batch := b.collect(first)
 			b.exec(batch)
 		}
@@ -142,13 +193,14 @@ func (b *batcher) collect(first *request) []*request {
 		for len(batch) < b.cfg.MaxBatch {
 			select {
 			case r := <-b.queue:
+				b.take()
 				batch = append(batch, r)
 			default:
-				b.depth.Set(float64(len(b.queue)))
+				b.shardDepth.Set(float64(len(b.queue)))
 				return batch
 			}
 		}
-		b.depth.Set(float64(len(b.queue)))
+		b.shardDepth.Set(float64(len(b.queue)))
 		return batch
 	}
 	timer := time.NewTimer(b.cfg.BatchWindow)
@@ -156,27 +208,33 @@ func (b *batcher) collect(first *request) []*request {
 	for len(batch) < b.cfg.MaxBatch {
 		select {
 		case r := <-b.queue:
+			b.take()
 			batch = append(batch, r)
 		case <-timer.C:
-			b.depth.Set(float64(len(b.queue)))
+			b.shardDepth.Set(float64(len(b.queue)))
 			return batch
 		case <-b.done:
-			b.depth.Set(float64(len(b.queue)))
+			b.shardDepth.Set(float64(len(b.queue)))
 			return batch
 		}
 	}
-	b.depth.Set(float64(len(b.queue)))
+	b.shardDepth.Set(float64(len(b.queue)))
 	return batch
 }
 
 // exec runs one mini-batch: expired requests are dropped, injected
 // slowness is applied, and the batched forward pass answers the rest.
 func (b *batcher) exec(batch []*request) {
+	now := time.Now()
 	live := batch[:0]
 	for _, r := range batch {
 		select {
 		case <-r.ctx.Done():
 			b.expired.Inc()
+			// Observe before replying: once the caller unblocks it may
+			// read the snapshot, and an expired wait is still latency the
+			// client paid.
+			b.latency.ObserveExemplar(now.Sub(r.enqueued).Seconds(), r.sc.TraceID)
 			r.resp <- response{err: r.ctx.Err()}
 		default:
 			live = append(live, r)
@@ -193,6 +251,7 @@ func (b *batcher) exec(batch []*request) {
 			if r.sc.Valid() {
 				bsp = tr.StartWith("serve_batch", r.sc)
 				bsp.SetAttr("model", b.model)
+				bsp.SetAttr("shard", b.shard)
 				bsp.SetAttr("batch_size", len(live))
 				break
 			}
@@ -203,7 +262,7 @@ func (b *batcher) exec(batch []*request) {
 			time.Sleep(d)
 		}
 	}
-	p, ok := b.reg.Pilot(b.model)
+	p, ok := b.reg.PilotShard(b.model, b.shard)
 	if !ok {
 		err := errors.New("serve: model unregistered mid-flight")
 		for _, r := range live {
@@ -217,11 +276,12 @@ func (b *batcher) exec(batch []*request) {
 		samples[i] = r.sample
 	}
 	out, err := p.InferBatch(samples)
-	now := time.Now()
+	now = time.Now()
 	// End before replying: once a caller unblocks, its trace must already
 	// contain the finished batch span.
 	bsp.EndErr(err)
 	b.batches.Inc()
+	b.shardBatches.Inc()
 	b.batchSize.Observe(float64(len(live)))
 	for i, r := range live {
 		b.latency.ObserveExemplar(now.Sub(r.enqueued).Seconds(), r.sc.TraceID)
@@ -238,11 +298,60 @@ func (b *batcher) drain() {
 	for {
 		select {
 		case r := <-b.queue:
+			b.take()
 			r.resp <- response{err: ErrShuttingDown}
 		default:
-			b.depth.Set(0)
+			b.shardDepth.Set(0)
 			return
 		}
+	}
+}
+
+// shardSet routes one model's requests across its batcher shards: the
+// admission layer picks the least-loaded shard starting from a rotating
+// offset, so equal loads spread round-robin and a stalled shard stops
+// receiving work as soon as any sibling is shorter.
+type shardSet struct {
+	shards []*batcher
+	rr     atomic.Uint32
+}
+
+func newShardSet(model string, reg *Registry, cfg Config, metrics *obs.Registry, slow func() time.Duration, tracer func() *obs.Tracer) *shardSet {
+	n := cfg.replicas()
+	ss := &shardSet{shards: make([]*batcher, n)}
+	for i := 0; i < n; i++ {
+		ss.shards[i] = newBatcher(model, i, reg, cfg, metrics, slow, tracer)
+	}
+	return ss
+}
+
+// submit picks a shard and enqueues. Because the pick is the minimum
+// queue length, a shed here means every shard was full.
+func (ss *shardSet) submit(r *request) error {
+	if len(ss.shards) == 1 {
+		return ss.shards[0].submit(r)
+	}
+	start := int(ss.rr.Add(1))
+	best := ss.shards[start%len(ss.shards)]
+	load := len(best.queue)
+	for i := 1; i < len(ss.shards) && load > 0; i++ {
+		s := ss.shards[(start+i)%len(ss.shards)]
+		if l := len(s.queue); l < load {
+			best, load = s, l
+		}
+	}
+	return best.submit(r)
+}
+
+func (ss *shardSet) setSlow(fn func() time.Duration) {
+	for _, b := range ss.shards {
+		b.slow = fn
+	}
+}
+
+func (ss *shardSet) stop() {
+	for _, b := range ss.shards {
+		b.stop()
 	}
 }
 

@@ -26,22 +26,31 @@ type Registry struct {
 	models map[string]*modelEntry
 	tracer *obs.Tracer
 
+	// replicas is how many independent pilot instances each checkpoint
+	// decodes into (each shard's scheduler owns one, so forward passes
+	// run concurrently without sharing mutable layer state). quant, when
+	// set, enables int8 inference on every loaded instance.
+	replicas int
+	quant    string
+
 	metrics *obs.Registry
 }
 
 type modelEntry struct {
 	object string
 	etag   string
-	pilot  *pilot.Pilot
+	pilots []*pilot.Pilot
 }
 
 // ModelInfo describes one registered model for the /models endpoint.
 type ModelInfo struct {
-	Name   string `json:"name"`
-	Object string `json:"object"`
-	Kind   string `json:"kind"`
-	Params int    `json:"params"`
-	ETag   string `json:"etag"`
+	Name     string `json:"name"`
+	Object   string `json:"object"`
+	Kind     string `json:"kind"`
+	Params   int    `json:"params"`
+	ETag     string `json:"etag"`
+	Replicas int    `json:"replicas,omitempty"`
+	Quant    string `json:"quant,omitempty"`
 }
 
 // NewRegistry builds a registry over a store container. The container must
@@ -53,7 +62,65 @@ func NewRegistry(store *objstore.Store, container string) (*Registry, error) {
 	if container == "" {
 		return nil, fmt.Errorf("serve: empty container name")
 	}
-	return &Registry{store: store, container: container, models: map[string]*modelEntry{}}, nil
+	return &Registry{store: store, container: container, models: map[string]*modelEntry{}, replicas: 1}, nil
+}
+
+// SetReplicas sets how many pilot instances each model decodes into.
+// Models already registered with a different count are reloaded from the
+// store so every shard has its own instance. n must be in [1, MaxReplicas].
+func (r *Registry) SetReplicas(n int) error {
+	if n < 1 || n > MaxReplicas {
+		return fmt.Errorf("serve: replicas must be in [1, %d]", MaxReplicas)
+	}
+	r.mu.Lock()
+	if r.replicas == n {
+		r.mu.Unlock()
+		return nil
+	}
+	r.replicas = n
+	r.mu.Unlock()
+	return r.reloadAll()
+}
+
+// SetQuant enables (or, with "", disables) quantized inference for every
+// model the registry loads; already-registered models are reloaded. The
+// mode is validated by the pilot layer, so an unsupported mode surfaces
+// here before any traffic is served on it.
+func (r *Registry) SetQuant(mode string) error {
+	r.mu.Lock()
+	if r.quant == mode {
+		r.mu.Unlock()
+		return nil
+	}
+	r.quant = mode
+	r.mu.Unlock()
+	return r.reloadAll()
+}
+
+// Quant reports the active quantization mode.
+func (r *Registry) Quant() string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.quant
+}
+
+// reloadAll re-registers every current model so a changed replica count
+// or quantization mode applies to models loaded before the change.
+func (r *Registry) reloadAll() error {
+	r.mu.RLock()
+	type target struct{ name, object string }
+	targets := make([]target, 0, len(r.models))
+	for n, e := range r.models {
+		targets = append(targets, target{n, e.object})
+	}
+	r.mu.RUnlock()
+	sort.Slice(targets, func(i, j int) bool { return targets[i].name < targets[j].name })
+	for _, t := range targets {
+		if err := r.Register(t.name, t.object); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Instrument routes reload counts into reg.
@@ -89,19 +156,32 @@ func childCtx(span *obs.Span, sc obs.SpanContext) obs.SpanContext {
 	return sc
 }
 
-// load fetches and decodes the named object as a pilot checkpoint. The
-// store fetch continues sc (the object store emits its own child span when
-// it has a tracer attached).
-func (r *Registry) load(sc obs.SpanContext, object string) (*pilot.Pilot, string, error) {
+// load fetches the named object once and decodes it into the configured
+// number of independent pilot instances, enabling quantization on each
+// when a mode is set. The store fetch continues sc (the object store
+// emits its own child span when it has a tracer attached).
+func (r *Registry) load(sc obs.SpanContext, object string) ([]*pilot.Pilot, string, error) {
 	data, info, err := r.store.GetTraced(sc, r.container, object)
 	if err != nil {
 		return nil, "", fmt.Errorf("serve: fetch %s/%s: %w", r.container, object, err)
 	}
-	p, err := pilot.Load(bytes.NewReader(data))
-	if err != nil {
-		return nil, "", fmt.Errorf("serve: decode %s/%s: %w", r.container, object, err)
+	r.mu.RLock()
+	n, quant := r.replicas, r.quant
+	r.mu.RUnlock()
+	pilots := make([]*pilot.Pilot, n)
+	for i := range pilots {
+		p, err := pilot.Load(bytes.NewReader(data))
+		if err != nil {
+			return nil, "", fmt.Errorf("serve: decode %s/%s: %w", r.container, object, err)
+		}
+		if quant != "" {
+			if err := p.EnableQuant(quant); err != nil {
+				return nil, "", fmt.Errorf("serve: quantize %s/%s: %w", r.container, object, err)
+			}
+		}
+		pilots[i] = p
 	}
-	return p, info.ETag, nil
+	return pilots, info.ETag, nil
 }
 
 // Register names a checkpoint object and loads it immediately. Registering
@@ -123,27 +203,34 @@ func (r *Registry) RegisterCtx(sc obs.SpanContext, name, object string) error {
 		span.SetAttr("model", name)
 		span.SetAttr("object", object)
 	}
-	p, etag, err := r.load(childCtx(span, sc), object)
+	pilots, etag, err := r.load(childCtx(span, sc), object)
 	if err != nil {
 		span.EndErr(err)
 		return err
 	}
 	r.mu.Lock()
-	r.models[name] = &modelEntry{object: object, etag: etag, pilot: p}
+	r.models[name] = &modelEntry{object: object, etag: etag, pilots: pilots}
 	r.mu.Unlock()
 	span.End()
 	return nil
 }
 
-// Pilot returns the current pilot for a name.
+// Pilot returns the current primary pilot for a name (shard 0).
 func (r *Registry) Pilot(name string) (*pilot.Pilot, bool) {
+	return r.PilotShard(name, 0)
+}
+
+// PilotShard returns the pilot instance backing one scheduler shard.
+// Each shard serializes its own forward passes; distinct shards get
+// distinct instances, so they may run concurrently.
+func (r *Registry) PilotShard(name string, shard int) (*pilot.Pilot, bool) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	e, ok := r.models[name]
-	if !ok {
+	if !ok || len(e.pilots) == 0 {
 		return nil, false
 	}
-	return e.pilot, true
+	return e.pilots[shard%len(e.pilots)], true
 }
 
 // Names lists registered model names, sorted.
@@ -167,11 +254,13 @@ func (r *Registry) Info(name string) (ModelInfo, bool) {
 		return ModelInfo{}, false
 	}
 	return ModelInfo{
-		Name:   name,
-		Object: e.object,
-		Kind:   string(e.pilot.Cfg.Kind),
-		Params: e.pilot.ParamCount(),
-		ETag:   e.etag,
+		Name:     name,
+		Object:   e.object,
+		Kind:     string(e.pilots[0].Cfg.Kind),
+		Params:   e.pilots[0].ParamCount(),
+		ETag:     e.etag,
+		Replicas: len(e.pilots),
+		Quant:    e.pilots[0].QuantMode(),
 	}, true
 }
 
@@ -217,7 +306,7 @@ func (r *Registry) PollOnceCtx(sc obs.SpanContext) (int, error) {
 			span = tr.StartWith("serve_reload", sc)
 			span.SetAttr("model", t.name)
 		}
-		p, etag, err := r.load(childCtx(span, sc), t.object)
+		pilots, etag, err := r.load(childCtx(span, sc), t.object)
 		if err != nil {
 			span.EndErr(err)
 			if firstErr == nil {
@@ -227,7 +316,7 @@ func (r *Registry) PollOnceCtx(sc obs.SpanContext) (int, error) {
 		}
 		r.mu.Lock()
 		if e, ok := r.models[t.name]; ok && e.object == t.object {
-			e.pilot, e.etag = p, etag
+			e.pilots, e.etag = pilots, etag
 			reloaded++
 		}
 		r.mu.Unlock()

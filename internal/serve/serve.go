@@ -42,6 +42,23 @@ type Config struct {
 	DefaultDeadline time.Duration
 	// PollInterval paces registry ETag polling in Start (0 disables).
 	PollInterval time.Duration
+	// Replicas shards each model across this many pilot instances, each
+	// with its own batching scheduler, so forward passes run on every
+	// core instead of serializing behind one model goroutine. 0 means 1.
+	// QueueDepth is split across the shards. Capped at MaxReplicas.
+	Replicas int
+}
+
+// MaxReplicas bounds Config.Replicas: it keeps the per-shard metric
+// label space small and one model's replicas from exhausting memory.
+const MaxReplicas = 16
+
+// replicas normalizes Config.Replicas (0 is the single-instance default).
+func (c Config) replicas() int {
+	if c.Replicas < 1 {
+		return 1
+	}
+	return c.Replicas
 }
 
 // DefaultConfig returns serving parameters suited to the 20 Hz control
@@ -70,6 +87,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("serve: DefaultDeadline must be positive")
 	case c.PollInterval < 0:
 		return fmt.Errorf("serve: PollInterval must be >= 0")
+	case c.Replicas < 0 || c.Replicas > MaxReplicas:
+		return fmt.Errorf("serve: Replicas must be in [0, %d]", MaxReplicas)
 	}
 	return nil
 }
@@ -83,7 +102,7 @@ type Service struct {
 	mux     *http.ServeMux
 
 	mu       sync.Mutex
-	batchers map[string]*batcher
+	batchers map[string]*shardSet
 	slow     func() time.Duration
 	tracer   *obs.Tracer
 	closed   bool
@@ -98,20 +117,26 @@ func New(cfg Config, reg *Registry, metrics *obs.Registry) (*Service, error) {
 	if reg == nil {
 		return nil, fmt.Errorf("serve: nil registry")
 	}
+	if err := reg.SetReplicas(cfg.replicas()); err != nil {
+		return nil, err
+	}
 	s := &Service{
 		cfg:      cfg,
 		reg:      reg,
 		metrics:  metrics,
 		mux:      http.NewServeMux(),
-		batchers: map[string]*batcher{},
+		batchers: map[string]*shardSet{},
 	}
-	metrics.Help("serve_queue_depth", "requests waiting in the admission queue, by model")
+	metrics.Help("serve_queue_depth", "requests waiting in the admission queue, by model (total across shards)")
 	metrics.Help("serve_batch_size", "requests per executed mini-batch, by model")
 	metrics.Help("serve_request_seconds", "enqueue-to-reply latency, by model")
 	metrics.Help("serve_requests_total", "prediction requests admitted or shed, by model")
 	metrics.Help("serve_batches_total", "mini-batches executed, by model")
 	metrics.Help("serve_shed_total", "requests shed by the bounded admission queue, by model")
 	metrics.Help("serve_expired_total", "requests whose deadline expired before execution, by model")
+	metrics.Help("serve_replica_queue_depth", "requests waiting in one shard's admission queue, by model and shard")
+	metrics.Help("serve_replica_requests_total", "prediction requests routed to one shard, by model and shard")
+	metrics.Help("serve_replica_batches_total", "mini-batches executed by one shard, by model and shard")
 	reg.Instrument(metrics)
 	s.mux.HandleFunc("/predict", s.handlePredict)
 	s.mux.HandleFunc("/models", s.handleModels)
@@ -146,8 +171,8 @@ func (s *Service) SetSlowHook(fn func() time.Duration) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.slow = fn
-	for _, b := range s.batchers {
-		b.slow = fn
+	for _, ss := range s.batchers {
+		ss.setSlow(fn)
 	}
 }
 
@@ -179,13 +204,13 @@ func (s *Service) Close() {
 		return
 	}
 	s.closed = true
-	bs := make([]*batcher, 0, len(s.batchers))
-	for _, b := range s.batchers {
-		bs = append(bs, b)
+	bs := make([]*shardSet, 0, len(s.batchers))
+	for _, ss := range s.batchers {
+		bs = append(bs, ss)
 	}
 	s.mu.Unlock()
-	for _, b := range bs {
-		b.stop()
+	for _, ss := range bs {
+		ss.stop()
 	}
 }
 
@@ -194,23 +219,23 @@ func (s *Service) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// batcherFor returns (creating if needed) the scheduler for a registered
-// model name.
-func (s *Service) batcherFor(name string) (*batcher, error) {
+// batcherFor returns (creating if needed) the sharded scheduler for a
+// registered model name.
+func (s *Service) batcherFor(name string) (*shardSet, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return nil, ErrShuttingDown
 	}
-	if b, ok := s.batchers[name]; ok {
-		return b, nil
+	if ss, ok := s.batchers[name]; ok {
+		return ss, nil
 	}
 	if _, ok := s.reg.Pilot(name); !ok {
 		return nil, fmt.Errorf("serve: unknown model %q", name)
 	}
-	b := newBatcher(name, s.reg, s.cfg, s.metrics, s.slow, s.getTracer)
-	s.batchers[name] = b
-	return b, nil
+	ss := newShardSet(name, s.reg, s.cfg, s.metrics, s.slow, s.getTracer)
+	s.batchers[name] = ss
+	return ss, nil
 }
 
 // predictRequest is the POST /predict body. Frames carry base64-encoded
@@ -359,7 +384,7 @@ func (s *Service) PredictCtx(ctx context.Context, sc obs.SpanContext, model stri
 	return s.predictOn(ctx, b, sample, sc)
 }
 
-func (s *Service) predictOn(ctx context.Context, b *batcher, sample pilot.Sample, sc obs.SpanContext) (Prediction, error) {
+func (s *Service) predictOn(ctx context.Context, b *shardSet, sample pilot.Sample, sc obs.SpanContext) (Prediction, error) {
 	rq := &request{sample: sample, ctx: ctx, sc: sc, enqueued: time.Now(), resp: make(chan response, 1)}
 	if err := b.submit(rq); err != nil {
 		return Prediction{}, err

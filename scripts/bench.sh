@@ -1,16 +1,17 @@
 #!/bin/sh
 # Reproducible benchmark runner: runs the paper-experiment benchmarks
-# (F1-F3, E1-E7, E10-E13) plus the GEMM kernel micro-benchmarks under
-# pinned GOMAXPROCS, and emits a machine-readable BENCH_pr8.json recording
+# (F1-F3, E1-E7, E10-E14) plus the GEMM kernel micro-benchmarks under
+# pinned GOMAXPROCS, and emits a machine-readable BENCH_pr9.json recording
 # ns/op, bytes/op, allocs/op and — for the serving rows — req/s, and for
 # the federated rows — simulated round wall-clock (round_ms), WAN bytes
-# (bytes_on_wire), and final validation loss (final_valloss) — and for
+# (bytes_on_wire), and final validation loss (final_valloss) — for
 # the scenario-replay rows the count of scripted phase transitions that
-# actually fired (transitions) — one datapoint per benchmark of the
-# repo's performance trajectory.
+# actually fired (transitions) — and for the quantized-inference rows the
+# max control drift against float64 (quant_maxdelta) — one datapoint per
+# benchmark of the repo's performance trajectory.
 #
 # Usage: ./scripts/bench.sh
-#   BENCH_OUT=path        output file (default BENCH_pr8.json)
+#   BENCH_OUT=path        output file (default BENCH_pr9.json)
 #   BENCH_GOMAXPROCS=n    pinned worker count (default 1, the contract
 #                         baseline: results are deterministic at any
 #                         fixed value, but timings only compare at the
@@ -23,7 +24,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-OUT=${BENCH_OUT:-BENCH_pr8.json}
+OUT=${BENCH_OUT:-BENCH_pr9.json}
 export GOMAXPROCS=${BENCH_GOMAXPROCS:-1}
 HEAVY_TIME=${BENCH_TIME_HEAVY:-2x}
 
@@ -52,6 +53,14 @@ go test -run '^$' -bench '^BenchmarkE12FleetScale$' -benchmem -benchtime 1x . | 
 echo "==> scenario-replay benchmarks (E13)"
 go test -run '^$' -bench '^BenchmarkE13Scenario$' -benchtime 1x . | tee -a "$raw"
 
+echo "==> quantized-inference benchmarks (E14)"
+go test -run '^$' -bench '^BenchmarkE14Quantized$' -benchtime 2x . | tee -a "$raw"
+
+# The replica sweep pins GOMAXPROCS inside each row (procsN runs at N),
+# so the global pin does not apply; req/s compares rows to each other.
+echo "==> multicore serving scale-out (E14)"
+go test -run '^$' -bench '^BenchmarkE14Serving$' -benchtime 2000x . | tee -a "$raw"
+
 echo "==> GEMM kernel micro-benchmarks"
 go test -run '^$' -bench '^BenchmarkGEMM$' -benchmem \
     ./internal/nn/kerneltest/ | tee -a "$raw"
@@ -76,7 +85,7 @@ awk -v gomaxprocs="$GOMAXPROCS" '
     name = $1
     sub(/-[0-9]+$/, "", name)   # strip the GOMAXPROCS suffix
     ns = ""; bytes = ""; allocs = ""; reqs = ""
-    roundms = ""; wire = ""; valloss = ""; transitions = ""
+    roundms = ""; wire = ""; valloss = ""; transitions = ""; qdelta = ""
     for (i = 2; i < NF; i++) {
         if ($(i+1) == "ns/op") ns = $i
         if ($(i+1) == "B/op") bytes = $i
@@ -86,6 +95,7 @@ awk -v gomaxprocs="$GOMAXPROCS" '
         if ($(i+1) == "bytes_on_wire") wire = $i
         if ($(i+1) == "final_valloss") valloss = $i
         if ($(i+1) == "transitions") transitions = $i
+        if ($(i+1) == "quant_maxdelta") qdelta = $i
     }
     if (ns == "") next
     if (n++) printf ",\n"
@@ -96,10 +106,11 @@ awk -v gomaxprocs="$GOMAXPROCS" '
     if (wire != "") printf ", \"bytes_on_wire\": %s", wire
     if (valloss != "") printf ", \"final_valloss\": %s", valloss
     if (transitions != "") printf ", \"transitions\": %s", transitions
+    if (qdelta != "") printf ", \"quant_maxdelta\": %s", qdelta
     printf "}"
 }
 BEGIN {
-    printf "{\n  \"pr\": 8,\n  \"gomaxprocs\": %s,\n  \"benchmarks\": {\n", gomaxprocs
+    printf "{\n  \"pr\": 9,\n  \"gomaxprocs\": %s,\n  \"benchmarks\": {\n", gomaxprocs
 }
 END { printf "\n  }\n}\n" }
 ' "$raw" > "$OUT"

@@ -291,6 +291,78 @@ if [ -z "${SKIP_BENCH_GUARD:-}" ]; then
     rm -f "$cout"
 fi
 
+if [ -z "${SKIP_BENCH_GUARD:-}" ]; then
+    echo "==> quantized inference guard (E14: int8 >=2x float64, drift in budget)"
+    qout=$(mktemp)
+    GOMAXPROCS=1 go test -run '^$' -bench '^BenchmarkE14Quantized$' \
+        -benchtime 2x -count 2 . >"$qout" 2>&1 || { cat "$qout" >&2; exit 1; }
+    f64=$(awk '$1 ~ "^BenchmarkE14Quantized/float64" {
+        for (i = 2; i < NF; i++) if ($(i+1) == "ns/op") v = $i
+        if (min == "" || v + 0 < min + 0) min = v
+    } END { print min }' "$qout")
+    i8=$(awk '$1 ~ "^BenchmarkE14Quantized/int8" {
+        for (i = 2; i < NF; i++) if ($(i+1) == "ns/op") v = $i
+        if (min == "" || v + 0 < min + 0) min = v
+    } END { print min }' "$qout")
+    drift=$(awk '$1 ~ "^BenchmarkE14Quantized/int8" {
+        for (i = 2; i < NF; i++) if ($(i+1) == "quant_maxdelta") print $i
+    }' "$qout" | head -1)
+    if [ -z "$f64" ] || [ -z "$i8" ] || [ -z "$drift" ]; then
+        echo "quant guard: missing E14 measurement (float64='$f64' int8='$i8' drift='$drift')" >&2
+        cat "$qout" >&2
+        exit 1
+    fi
+    # The headline acceptance number: the int8 path must stay at least
+    # twice as fast as the float64 kernels on the same batch.
+    if awk -v q="$i8" -v f="$f64" 'BEGIN { exit !(2 * q > f) }'; then
+        echo "quant guard: int8 $i8 ns/op not >=2x faster than float64 $f64" >&2
+        exit 1
+    fi
+    # The benchmark already b.Fatals past eval.QuantBudget; re-checking
+    # the reported number here keeps the guard honest if that changes.
+    if awk -v d="$drift" 'BEGIN { exit !(d > 0.05) }'; then
+        echo "quant guard: quant_maxdelta $drift exceeds the 0.05 budget" >&2
+        exit 1
+    fi
+    echo "    float64 $f64 ns/op vs int8 $i8 ns/op (drift $drift)"
+    if [ -f BENCH_pr9.json ]; then
+        base=$(sed -n 's/.*"BenchmarkE14Quantized\/int8": {[^}]*"ns_per_op": \([0-9.e+]*\).*/\1/p' BENCH_pr9.json)
+        if [ -n "$base" ]; then
+            if awk -v n="$i8" -v b="$base" 'BEGIN { exit !(n > b * 1.25) }'; then
+                echo "quant guard: int8 regressed >25%: $i8 ns/op vs baseline $base" >&2
+                exit 1
+            fi
+            echo "    int8: $i8 ns/op (baseline $base, limit +25%)"
+        fi
+    fi
+    rm -f "$qout"
+fi
+
+if [ -z "${SKIP_BENCH_GUARD:-}" ]; then
+    echo "==> serve scale-out guard (E14: procs8 >=3x procs1 req/s)"
+    sout=$(mktemp)
+    # The rows pin their own GOMAXPROCS (procsN runs at N), so no global
+    # pin; the modeled dispatch makes req/s scheduling-bound, hence
+    # stable enough to gate on even on a small host.
+    go test -run '^$' -bench '^BenchmarkE14Serving/(procs1|procs8)$' \
+        -benchtime 2000x . >"$sout" 2>&1 || { cat "$sout" >&2; exit 1; }
+    r1=$(awk '$1 ~ "^BenchmarkE14Serving/procs1-" || $1 == "BenchmarkE14Serving/procs1" {
+        for (i = 2; i < NF; i++) if ($(i+1) == "req/s") print $i }' "$sout")
+    r8=$(awk '$1 ~ "^BenchmarkE14Serving/procs8" {
+        for (i = 2; i < NF; i++) if ($(i+1) == "req/s") print $i }' "$sout")
+    if [ -z "$r1" ] || [ -z "$r8" ]; then
+        echo "scale-out guard: missing E14 req/s (procs1='$r1' procs8='$r8')" >&2
+        cat "$sout" >&2
+        exit 1
+    fi
+    if awk -v a="$r8" -v b="$r1" 'BEGIN { exit !(a + 0 < 3 * b) }'; then
+        echo "scale-out guard: procs8 $r8 req/s not >=3x procs1 $r1" >&2
+        exit 1
+    fi
+    echo "    procs1 $r1 req/s vs procs8 $r8 req/s"
+    rm -f "$sout"
+fi
+
 echo "==> gofmt -l ."
 unformatted=$(gofmt -l .)
 if [ -n "$unformatted" ]; then
