@@ -47,6 +47,7 @@ import (
 	"repro/internal/eval"
 	"repro/internal/faults"
 	"repro/internal/fed"
+	"repro/internal/gossip"
 	"repro/internal/netem"
 	"repro/internal/nn"
 	"repro/internal/objstore"
@@ -1547,6 +1548,172 @@ func BenchmarkE14Serving(b *testing.B) {
 			defer runtime.GOMAXPROCS(prev)
 			svc := e14Serve(b, n, ckpt.Bytes(), servingModel, false)
 			e14Drive(b, svc, servingModel, sample, 8*n)
+		})
+	}
+}
+
+// --------------------------------------------------------------- E15 ----
+
+// e15Series is one E15 run distilled: the per-round validation losses,
+// the total bytes billed on the links, and the 1-indexed first round at
+// which the cloud partition is in force (0 for the clean control).
+type e15Series struct {
+	losses          []float64
+	bytes           int64
+	partitionedFrom int
+}
+
+// e15Converge is the convergence round count: the first round whose
+// validation loss is already within 2% of the run's own final loss. A
+// topology that spreads updates faster reaches its endpoint earlier.
+func e15Converge(losses []float64) int {
+	final := losses[len(losses)-1]
+	for i, l := range losses {
+		if l <= final*1.02 {
+			return i + 1
+		}
+	}
+	return len(losses)
+}
+
+// e15Survived reports whether the run kept making progress once the
+// cloud link died: the final loss must beat the loss at the last clean
+// round. The star topology funnels every byte through the dead link, so
+// its loss series freezes bit-for-bit and this reads 0; the gossip
+// overlay keeps converging peer-to-peer and reads 1. Clean-control runs
+// trivially report 1.
+func e15Survived(s e15Series) float64 {
+	if s.partitionedFrom <= 0 || s.partitionedFrom > len(s.losses) {
+		return 1
+	}
+	lastClean := s.losses[s.partitionedFrom-2]
+	if s.losses[len(s.losses)-1] < lastClean {
+		return 1
+	}
+	return 0
+}
+
+// e15Run executes one topology under one scenario file ("" = fault-free)
+// and returns the loss series. Both topologies share the fleet shape,
+// dataset, seed, and 15s round gap, so with cloud-partition.scn the WAN
+// dies at 40s — after round 3, before round 4 — for both.
+func e15Run(b *testing.B, topology, scn string) e15Series {
+	b.Helper()
+	pcfg := pilot.DefaultConfig(pilot.Linear, 24, 16, 1)
+	pcfg.ConvFilters1, pcfg.ConvFilters2, pcfg.DenseUnits = 4, 8, 16
+	samples := e11Samples(b, pcfg, 220)
+	val := samples[180:]
+	shards, err := fed.ShardSamples(samples[:180], 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	global, err := pilot.New(pcfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	const seed = 15
+	net := netem.NewNet(seed)
+	var rt *scenario.Runtime
+	var plan *faults.Plan
+	partFrom := 0
+	if scn != "" {
+		s, err := scenario.Load(scn)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rt, err = scenario.NewRuntime(s, seed, benchEpoch)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rt.Start(obs.Observer{})
+		rt.Attach(net)
+		plan = rt.Plan()
+		partFrom = 4 // 40s partition onset lands between rounds 3 and 4
+	}
+
+	out := e15Series{partitionedFrom: partFrom}
+	switch topology {
+	case "star":
+		cfg := fed.DefaultConfig()
+		cfg.Workers, cfg.Rounds = 4, 6
+		cfg.LocalEpochs, cfg.BatchSize = 2, 16
+		cfg.Seed = seed
+		cfg.RoundGap = 15 * time.Second
+		deps := fed.Deps{Net: net, Hub: edge.NewHub(), Store: objstore.New(), Plan: plan, Start: benchEpoch}
+		r, err := fed.NewRun(cfg, deps, global, shards, val)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := r.Execute()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, rr := range res.Rounds {
+			out.losses = append(out.losses, rr.ValLoss)
+		}
+		out.bytes = res.TotalBytes
+	case "gossip":
+		cfg := gossip.DefaultConfig()
+		cfg.Workers, cfg.Rounds = 4, 6
+		cfg.LocalEpochs, cfg.BatchSize = 2, 16
+		cfg.Seed = seed
+		cfg.RoundGap = 15 * time.Second
+		deps := gossip.Deps{Net: net, Hub: edge.NewHub(), Store: objstore.New(), Plan: plan, Start: benchEpoch}
+		r, err := gossip.NewRun(cfg, deps, global, shards, val)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := r.Execute()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, rr := range res.Rounds {
+			out.losses = append(out.losses, rr.FleetValLoss)
+		}
+		out.bytes = res.TotalBytes
+	default:
+		b.Fatalf("e15: unknown topology %q", topology)
+	}
+	if rt != nil {
+		rt.Clock().Advance(2 * time.Hour)
+		rt.Finish()
+	}
+	return out
+}
+
+// BenchmarkE15Gossip is the dissemination-topology experiment: star
+// FedAvg versus the decentralized gossip overlay, fault-free and under
+// scenarios/cloud-partition.scn. Gossip pays more bytes on the wire
+// (push-pull digests plus parcel replication along every mesh edge) to
+// buy partition tolerance: on the clean control both topologies converge
+// to the same neighborhood, and under the partition the star's loss
+// series freezes (partition_survived 0) while gossip keeps descending
+// among reachable peers (partition_survived 1).
+func BenchmarkE15Gossip(b *testing.B) {
+	rows := []struct{ topology, scn string }{
+		{"star", ""},
+		{"gossip", ""},
+		{"star", "scenarios/cloud-partition.scn"},
+		{"gossip", "scenarios/cloud-partition.scn"},
+	}
+	for _, row := range rows {
+		row := row
+		name := row.topology + "/clean"
+		if row.scn != "" {
+			name = row.topology + "/cloud-partition"
+		}
+		b.Run(name, func(b *testing.B) {
+			var s e15Series
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s = e15Run(b, row.topology, row.scn)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(s.bytes), "bytes_on_wire")
+			b.ReportMetric(float64(e15Converge(s.losses)), "rounds_to_converge")
+			b.ReportMetric(e15Survived(s), "partition_survived")
+			b.ReportMetric(s.losses[len(s.losses)-1], "final_valloss")
 		})
 	}
 }

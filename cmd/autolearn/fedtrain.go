@@ -9,6 +9,7 @@ import (
 	"repro/internal/edge"
 	"repro/internal/faults"
 	"repro/internal/fed"
+	"repro/internal/gossip"
 	"repro/internal/netem"
 	"repro/internal/objstore"
 	"repro/internal/obs"
@@ -27,7 +28,12 @@ func cmdFedTrain(args []string) error {
 	fs := flag.NewFlagSet("fed-train", flag.ExitOnError)
 	workers := fs.Int("workers", 4, "edge workers in the fleet")
 	rounds := fs.Int("rounds", 5, "FedAvg rounds")
-	quorum := fs.Int("quorum", 0, "K-of-N quorum (0 = synchronous barrier)")
+	topology := fs.String("topology", "star", "dissemination topology: star (parameter server) or gossip (peer-to-peer overlay)")
+	fanout := fs.Int("fanout", 3, "gossip partners each worker contacts per round (gossip topology)")
+	peerK := fs.Int("peer-k", 4, "Kademlia k-bucket capacity for the gossip peer table")
+	antiEntropy := fs.Int("anti-entropy", 3, "extra farthest-bucket exchange every N rounds, <0 disables (gossip topology)")
+	peerLinkName := fs.String("peer-link", "wifi-local", "link profile for the gossip peer mesh")
+	quorum := fs.Int("quorum", 0, "K-of-N quorum (0 = synchronous barrier; star topology)")
 	compress := fs.String("compress", "none", "delta compression: "+strings.Join(fed.Profiles(), "|"))
 	topKFrac := fs.Float64("topk", 0.2, "fraction of delta entries the topk profile keeps")
 	profile := fs.String("faults", "", "fault profile: "+strings.Join(faults.Profiles(), "|")+" (empty = fault-free)")
@@ -115,6 +121,31 @@ func cmdFedTrain(args []string) error {
 		fmt.Printf("== %s\n", rt.Describe())
 	}
 
+	switch *topology {
+	case "star":
+	case "gossip":
+		gcfg := gossip.DefaultConfig()
+		gcfg.Workers = *workers
+		gcfg.Rounds = *rounds
+		gcfg.Fanout = *fanout
+		gcfg.BucketSize = *peerK
+		gcfg.AntiEntropyEvery = *antiEntropy
+		gcfg.LocalEpochs = *epochs
+		gcfg.BatchSize = *batch
+		gcfg.Seed = *seed
+		gcfg.Compress = *compress
+		gcfg.TopKFrac = *topKFrac
+		gcfg.RoundGap = *roundGap
+		link, ok := netem.ByName(*peerLinkName)
+		if !ok {
+			return fmt.Errorf("fed-train: unknown -peer-link %q", *peerLinkName)
+		}
+		gcfg.PeerLink = link
+		return runGossipTrain(gcfg, deps, pcfg, shards, val, rt, of)
+	default:
+		return fmt.Errorf("fed-train: unknown -topology %q (have star, gossip)", *topology)
+	}
+
 	// The serving side rides along in the same trace: after the first
 	// round registers the global checkpoint, every later round's ETag poll
 	// hot-swaps it, so the exported trace runs end to end from worker
@@ -180,4 +211,85 @@ func cmdFedTrain(args []string) error {
 		fmt.Printf("== faults: %s\n", deps.Plan.Summary())
 	}
 	return of.write(o)
+}
+
+// runGossipTrain is fed-train's peer-to-peer mode: same fleet, same
+// data, same substrates, but dissemination runs over the gossip overlay
+// instead of the parameter server. The serving registry still rides
+// along — it registers the head's checkpoint as soon as the first
+// cloud sync lands one (under a cloud partition that may be never, and
+// the run carries on regardless).
+func runGossipTrain(gcfg gossip.Config, fdeps fed.Deps, pcfg pilot.Config,
+	shards [][]pilot.Sample, val []pilot.Sample, rt *scenario.Runtime, of obsFlags) error {
+	deps := gossip.Deps{
+		Net:   fdeps.Net,
+		Hub:   fdeps.Hub,
+		Store: fdeps.Store,
+		Plan:  fdeps.Plan,
+		Obs:   fdeps.Obs,
+		Start: fdeps.Start,
+	}
+	var reloads int
+	if gcfg.Container != "" && deps.Store != nil {
+		sreg, err := serve.NewRegistry(deps.Store, gcfg.Container)
+		if err != nil {
+			return err
+		}
+		sreg.Instrument(deps.Obs.Metrics)
+		sreg.SetTracer(deps.Obs.Tracer)
+		registered := false
+		deps.AfterRound = func(round int, sc obs.SpanContext) error {
+			if !registered {
+				// No checkpoint yet (the head may be partitioned away from
+				// the mesh): keep training, try again next round.
+				if _, _, err := deps.Store.Get(gcfg.Container, gcfg.Object); err != nil {
+					return nil
+				}
+				registered = true
+				return sreg.RegisterCtx(sc, "gossip-global", gcfg.Object)
+			}
+			n, err := sreg.PollOnceCtx(sc)
+			reloads += n
+			return err
+		}
+	}
+	genesis, err := pilot.New(pcfg)
+	if err != nil {
+		return err
+	}
+	run, err := gossip.NewRun(gcfg, deps, genesis, shards, val)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("== fed-train: gossip overlay, fanout %d, bucket k=%d, anti-entropy every %d, compress=%s, %d params\n",
+		run.Cfg.Fanout, run.Cfg.BucketSize, run.Cfg.AntiEntropyEvery, gcfg.Compress, genesis.ParamCount())
+	out, err := run.Execute()
+	if err != nil {
+		return err
+	}
+	for _, rr := range out.Rounds {
+		head := "synced"
+		if !rr.HeadSynced {
+			head = "headless"
+		}
+		fmt.Printf("   round %d: %d trained, %d offline, %d exchanges (%d parcels), lag %d, %s, wall %8v, %7.1f KB on wire, fleet loss %.4f\n",
+			rr.Round+1, len(rr.Trained), len(rr.Offline), rr.Exchanges, rr.ParcelsMoved,
+			rr.ConvergenceLag, head, rr.Wall.Round(time.Millisecond),
+			float64(rr.BytesOnWire())/1024, rr.FleetValLoss)
+	}
+	fmt.Printf("== final fleet loss %.4f, head loss %.4f, %.1f KB total on wire, %d/%d head syncs\n",
+		out.FinalFleetValLoss, out.FinalHeadValLoss, float64(out.TotalBytes)/1024,
+		out.HeadSyncs, len(out.Rounds))
+	if out.CheckpointContainer != "" {
+		fmt.Printf("== head checkpoint at %s/%s (served as gossip-global, %d hot reloads)\n",
+			out.CheckpointContainer, out.CheckpointObject, reloads)
+	}
+	if rt != nil {
+		rt.Clock().Advance(rt.Scenario().Horizon())
+		fmt.Printf("== scenario: %d phase transitions\n", rt.Finish())
+	}
+	if deps.Plan != nil {
+		fmt.Printf("== faults: %s\n", deps.Plan.Summary())
+	}
+	return of.write(deps.Obs)
 }

@@ -170,7 +170,10 @@ commands:
   hybrid      distill a student and run the hybrid edge-cloud loop
   merge       combine several tubs into one (mix and match)
   serve       run the batched inference service over trained checkpoints
-  fed-train   run federated FedAvg rounds across a fleet of edge workers
+  fed-train   run federated training across a fleet of edge workers:
+              -topology star (FedAvg parameter server, default) or
+              gossip (decentralized peer-to-peer dissemination with
+              -fanout/-peer-k/-anti-entropy/-peer-link knobs)
   obs         observability utilities: obs report -trace FILE summarizes
               a JSONL trace (per-stage timings, tree, critical path)
   scenario    scenario-file utilities: scenario check -file F validates and

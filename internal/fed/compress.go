@@ -13,28 +13,37 @@ import (
 // sparsified tail is not lost, just deferred to a later round. All codecs
 // are pure functions of their input: same delta in, same bytes and same
 // decoded values out, on every run.
+//
+// The API is exported because the codecs are topology-agnostic: the star
+// parameter server compresses uplinks with them, and the gossip overlay
+// (internal/gossip) encodes its parcels through the exact same profiles,
+// so a bytes-on-wire comparison between the two topologies compares
+// dissemination strategies, not compression quality.
 
-// encoded is one worker-to-server (or server-to-worker) payload: the
-// bytes it would occupy on the wire and the values the receiver decodes.
-type encoded struct {
-	wireBytes int64
-	values    [][]float64
+// Encoded is one compressed payload: the bytes it would occupy on the
+// wire and the values the receiver decodes.
+type Encoded struct {
+	WireBytes int64
+	Values    [][]float64
 }
 
-// codec is one compression profile. encodeDelta compresses an upload
-// (residual is the worker's error-feedback accumulator, updated in place;
-// nil disables feedback). broadcastBytes prices the downlink copy of a
-// model with n scalars, and broadcastValue is the worker-side decode of
-// one global weight.
-type codec interface {
-	name() string
-	encodeDelta(delta [][]float64, residual [][]float64) encoded
-	broadcastBytes(n int) int64
-	broadcastValue(v float64) float64
+// Codec is one compression profile. EncodeDelta compresses an upload
+// (residual is the sender's error-feedback accumulator, updated in place;
+// nil disables feedback). BroadcastBytes prices the downlink copy of a
+// model with n scalars, and BroadcastValue is the receiver-side decode of
+// one broadcast weight. Sparsifies reports whether the profile defers
+// part of the delta into the residual (callers allocate accumulators only
+// for profiles that need them).
+type Codec interface {
+	Name() string
+	EncodeDelta(delta [][]float64, residual [][]float64) Encoded
+	BroadcastBytes(n int) int64
+	BroadcastValue(v float64) float64
+	Sparsifies() bool
 }
 
-// newCodec resolves a profile name.
-func newCodec(profile string, topKFrac float64) (codec, error) {
+// NewCodec resolves a profile name.
+func NewCodec(profile string, topKFrac float64) (Codec, error) {
 	switch profile {
 	case "", "none":
 		return rawCodec{}, nil
@@ -52,9 +61,9 @@ func newCodec(profile string, topKFrac float64) (codec, error) {
 // rawCodec ships float64 both ways: 8 bytes per scalar, no loss.
 type rawCodec struct{}
 
-func (rawCodec) name() string { return "none" }
+func (rawCodec) Name() string { return "none" }
 
-func (rawCodec) encodeDelta(delta [][]float64, residual [][]float64) encoded {
+func (rawCodec) EncodeDelta(delta [][]float64, residual [][]float64) Encoded {
 	var n int64
 	out := make([][]float64, len(delta))
 	for i, t := range delta {
@@ -63,11 +72,12 @@ func (rawCodec) encodeDelta(delta [][]float64, residual [][]float64) encoded {
 		copy(cp, t)
 		out[i] = cp
 	}
-	return encoded{wireBytes: 8 * n, values: out}
+	return Encoded{WireBytes: 8 * n, Values: out}
 }
 
-func (rawCodec) broadcastBytes(n int) int64       { return 8 * int64(n) }
-func (rawCodec) broadcastValue(v float64) float64 { return v }
+func (rawCodec) BroadcastBytes(n int) int64       { return 8 * int64(n) }
+func (rawCodec) BroadcastValue(v float64) float64 { return v }
+func (rawCodec) Sparsifies() bool                 { return false }
 
 // f16Codec ships the broadcast as float32 (4 bytes per scalar, ~7
 // significant digits — negligible for weights) and uploads as dense
@@ -75,9 +85,9 @@ func (rawCodec) broadcastValue(v float64) float64 { return v }
 // their shape).
 type f16Codec struct{}
 
-func (f16Codec) name() string { return "fp16" }
+func (f16Codec) Name() string { return "fp16" }
 
-func (f16Codec) encodeDelta(delta [][]float64, residual [][]float64) encoded {
+func (f16Codec) EncodeDelta(delta [][]float64, residual [][]float64) Encoded {
 	var n int64
 	out := make([][]float64, len(delta))
 	for i, t := range delta {
@@ -88,29 +98,30 @@ func (f16Codec) encodeDelta(delta [][]float64, residual [][]float64) encoded {
 		}
 		out[i] = q
 	}
-	return encoded{wireBytes: 2 * n, values: out}
+	return Encoded{WireBytes: 2 * n, Values: out}
 }
 
-func (f16Codec) broadcastBytes(n int) int64       { return 4 * int64(n) }
-func (f16Codec) broadcastValue(v float64) float64 { return float64(float32(v)) }
+func (f16Codec) BroadcastBytes(n int) int64       { return 4 * int64(n) }
+func (f16Codec) BroadcastValue(v float64) float64 { return float64(float32(v)) }
+func (f16Codec) Sparsifies() bool                 { return false }
 
 // topKCodec keeps only the top frac of entries per tensor by magnitude
 // (ties broken by index, so selection is deterministic), shipping each
 // survivor as a 4-byte index plus a float16 value; everything else stays
-// on the worker as error-feedback residual and rides along with the next
+// on the sender as error-feedback residual and rides along with the next
 // round's delta. Broadcast is float32, as in fp16.
 type topKCodec struct{ frac float64 }
 
-func (c topKCodec) name() string { return "topk" }
+func (c topKCodec) Name() string { return "topk" }
 
-func (c topKCodec) encodeDelta(delta [][]float64, residual [][]float64) encoded {
+func (c topKCodec) EncodeDelta(delta [][]float64, residual [][]float64) Encoded {
 	// An accumulator shaped for a different model (a checkpoint hot-swap
 	// mid-run can change tensor shapes under a live worker) is rejected
 	// rather than indexed: its entries belong to parameters that no longer
 	// exist, so feeding them back would corrupt the upload — and blindly
 	// indexing them panics. The caller's residualFor resets the accumulator
 	// on the same condition; this guard keeps the codec safe on its own.
-	if !shapesMatch(residual, delta) {
+	if !ShapesMatch(residual, delta) {
 		residual = nil
 	}
 	var wire int64
@@ -155,16 +166,17 @@ func (c topKCodec) encodeDelta(delta [][]float64, residual [][]float64) encoded 
 		wire += int64(k)*6 + 8
 		out[i] = q
 	}
-	return encoded{wireBytes: wire, values: out}
+	return Encoded{WireBytes: wire, Values: out}
 }
 
-func (c topKCodec) broadcastBytes(n int) int64       { return 4 * int64(n) }
-func (c topKCodec) broadcastValue(v float64) float64 { return float64(float32(v)) }
+func (c topKCodec) BroadcastBytes(n int) int64       { return 4 * int64(n) }
+func (c topKCodec) BroadcastValue(v float64) float64 { return float64(float32(v)) }
+func (c topKCodec) Sparsifies() bool                 { return true }
 
-// shapesMatch reports whether an error-feedback accumulator has exactly
+// ShapesMatch reports whether an error-feedback accumulator has exactly
 // the delta's tensor count and per-tensor lengths. A nil accumulator
 // trivially mismatches (callers treat that as "no feedback").
-func shapesMatch(residual, delta [][]float64) bool {
+func ShapesMatch(residual, delta [][]float64) bool {
 	if residual == nil || len(residual) != len(delta) {
 		return false
 	}

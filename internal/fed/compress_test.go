@@ -64,18 +64,18 @@ func TestCodecByteAccounting(t *testing.T) {
 	}
 
 	raw := rawCodec{}
-	if got := raw.encodeDelta(delta, nil).wireBytes; got != 8*160 {
+	if got := raw.EncodeDelta(delta, nil).WireBytes; got != 8*160 {
 		t.Fatalf("raw upload %d bytes, want %d", got, 8*160)
 	}
-	if got := raw.broadcastBytes(160); got != 8*160 {
+	if got := raw.BroadcastBytes(160); got != 8*160 {
 		t.Fatalf("raw broadcast %d bytes, want %d", got, 8*160)
 	}
 
 	f16 := f16Codec{}
-	if got := f16.encodeDelta(delta, nil).wireBytes; got != 2*160 {
+	if got := f16.EncodeDelta(delta, nil).WireBytes; got != 2*160 {
 		t.Fatalf("fp16 upload %d bytes, want %d", got, 2*160)
 	}
-	if got := f16.broadcastBytes(160); got != 4*160 {
+	if got := f16.BroadcastBytes(160); got != 4*160 {
 		t.Fatalf("fp16 broadcast %d bytes, want %d", got, 4*160)
 	}
 
@@ -83,15 +83,15 @@ func TestCodecByteAccounting(t *testing.T) {
 	// ceil(0.1*100)=10 and ceil(0.1*60)=6 entries at 6 bytes each, plus an
 	// 8-byte header per tensor.
 	want := int64(10*6+8) + int64(6*6+8)
-	if got := topk.encodeDelta(delta, nil).wireBytes; got != want {
+	if got := topk.EncodeDelta(delta, nil).WireBytes; got != want {
 		t.Fatalf("topk upload %d bytes, want %d", got, want)
 	}
 }
 
 func TestTopKKeepsLargest(t *testing.T) {
 	delta := [][]float64{{0.001, -5, 0.002, 3, -0.003, 0.004, 0.0, 2, -0.005, 0.006}}
-	enc := topKCodec{frac: 0.3}.encodeDelta(delta, nil)
-	got := enc.values[0]
+	enc := topKCodec{frac: 0.3}.EncodeDelta(delta, nil)
+	got := enc.Values[0]
 	// ceil(0.3*10)=3 survivors: -5, 3, 2 (by magnitude); everything else 0.
 	for i, v := range got {
 		switch i {
@@ -112,8 +112,8 @@ func TestTopKErrorFeedback(t *testing.T) {
 	// zeros must resurface it once it dominates.
 	residual := [][]float64{make([]float64, 4)}
 	round1 := [][]float64{{10, 0.5, 0.25, 0.125}}
-	enc1 := topKCodec{frac: 0.25}.encodeDelta(round1, residual)
-	if enc1.values[0][0] == 0 {
+	enc1 := topKCodec{frac: 0.25}.EncodeDelta(round1, residual)
+	if enc1.Values[0][0] == 0 {
 		t.Fatal("largest entry dropped in round 1")
 	}
 	if residual[0][1] == 0 {
@@ -121,22 +121,22 @@ func TestTopKErrorFeedback(t *testing.T) {
 	}
 
 	round2 := [][]float64{{0, 0, 0, 0}}
-	enc2 := topKCodec{frac: 0.25}.encodeDelta(round2, residual)
-	if enc2.values[0][1] == 0 {
-		t.Fatalf("residual 0.5 not resurfaced in round 2: %v", enc2.values[0])
+	enc2 := topKCodec{frac: 0.25}.EncodeDelta(round2, residual)
+	if enc2.Values[0][1] == 0 {
+		t.Fatalf("residual 0.5 not resurfaced in round 2: %v", enc2.Values[0])
 	}
 }
 
 func TestTopKDeterministic(t *testing.T) {
 	delta := [][]float64{{1, -1, 1, -1, 0.5, 0.5}}
-	a := topKCodec{frac: 0.5}.encodeDelta(delta, nil)
-	b := topKCodec{frac: 0.5}.encodeDelta(delta, nil)
-	for i := range a.values[0] {
-		if math.Float64bits(a.values[0][i]) != math.Float64bits(b.values[0][i]) {
+	a := topKCodec{frac: 0.5}.EncodeDelta(delta, nil)
+	b := topKCodec{frac: 0.5}.EncodeDelta(delta, nil)
+	for i := range a.Values[0] {
+		if math.Float64bits(a.Values[0][i]) != math.Float64bits(b.Values[0][i]) {
 			t.Fatalf("tie-broken selection not deterministic at %d", i)
 		}
 	}
-	if a.wireBytes != b.wireBytes {
+	if a.WireBytes != b.WireBytes {
 		t.Fatal("wire bytes not deterministic")
 	}
 }
@@ -153,12 +153,12 @@ func TestTopKResidualShapeMismatch(t *testing.T) {
 
 	// Wrong per-tensor length (old model had smaller tensors).
 	stale := [][]float64{{0.5, 0.5}, {0.5}}
-	enc := c.encodeDelta(delta, stale)
-	want := c.encodeDelta(delta, nil)
-	for i := range want.values {
-		for j := range want.values[i] {
-			if enc.values[i][j] != want.values[i][j] {
-				t.Fatalf("mismatched residual leaked into upload at [%d][%d]: %v", i, j, enc.values)
+	enc := c.EncodeDelta(delta, stale)
+	want := c.EncodeDelta(delta, nil)
+	for i := range want.Values {
+		for j := range want.Values[i] {
+			if enc.Values[i][j] != want.Values[i][j] {
+				t.Fatalf("mismatched residual leaked into upload at [%d][%d]: %v", i, j, enc.Values)
 			}
 		}
 	}
@@ -168,8 +168,8 @@ func TestTopKResidualShapeMismatch(t *testing.T) {
 	}
 
 	// Wrong tensor count (old model had fewer tensors).
-	if enc := c.encodeDelta(delta, [][]float64{{0, 0, 0, 0}}); enc.wireBytes != want.wireBytes {
-		t.Fatalf("short residual changed byte accounting: %d != %d", enc.wireBytes, want.wireBytes)
+	if enc := c.EncodeDelta(delta, [][]float64{{0, 0, 0, 0}}); enc.WireBytes != want.WireBytes {
+		t.Fatalf("short residual changed byte accounting: %d != %d", enc.WireBytes, want.WireBytes)
 	}
 }
 
@@ -197,11 +197,11 @@ func TestResidualForResetsOnShapeChange(t *testing.T) {
 }
 
 func TestNewCodecRejectsUnknown(t *testing.T) {
-	if _, err := newCodec("gzip", 0); err == nil {
+	if _, err := NewCodec("gzip", 0); err == nil {
 		t.Fatal("unknown profile accepted")
 	}
 	for _, p := range Profiles() {
-		if _, err := newCodec(p, 0); err != nil {
+		if _, err := NewCodec(p, 0); err != nil {
 			t.Fatalf("profile %q rejected: %v", p, err)
 		}
 	}

@@ -152,7 +152,7 @@ func (c Config) Validate() error {
 	case c.Regions < 0:
 		return fmt.Errorf("fed: negative region count")
 	}
-	if _, err := newCodec(c.Compress, c.TopKFrac); err != nil {
+	if _, err := NewCodec(c.Compress, c.TopKFrac); err != nil {
 		return err
 	}
 	return nil
@@ -215,7 +215,7 @@ type Run struct {
 	plan       *faults.Plan
 	clock      *faults.Clock
 	obs        obs.Observer
-	codec      codec
+	codec      Codec
 	afterRound func(round int, sc obs.SpanContext) error
 
 	playback *heartbeatPlayback
@@ -253,7 +253,7 @@ func NewRun(cfg Config, deps Deps, global *pilot.Pilot, shards [][]pilot.Sample,
 	if cfg.RegionLink == (netem.Link{}) {
 		cfg.RegionLink = netem.FabricManaged
 	}
-	cdc, err := newCodec(cfg.Compress, cfg.TopKFrac)
+	cdc, err := NewCodec(cfg.Compress, cfg.TopKFrac)
 	if err != nil {
 		return nil, err
 	}

@@ -70,7 +70,7 @@ func (r *Run) instrument() {
 type wstate struct {
 	w       *worker
 	elapsed time.Duration // end-to-end virtual time this round
-	enc     encoded       // decoded upload the server received
+	enc     Encoded       // decoded upload the server received
 	ok      bool
 	reason  string // why the worker is out, when !ok
 }
@@ -82,7 +82,7 @@ func (r *Run) Execute() (Result, error) {
 	span.SetAttr("workers", r.Cfg.Workers)
 	span.SetAttr("rounds", r.Cfg.Rounds)
 	span.SetAttr("quorum", r.Cfg.Quorum)
-	span.SetAttr("compress", r.codec.name())
+	span.SetAttr("compress", r.codec.Name())
 	var res Result
 	var wallSum time.Duration
 	for i := 0; i < r.Cfg.Rounds; i++ {
@@ -136,7 +136,7 @@ func (r *Run) round(idx int, parent *obs.Span) (RoundResult, error) {
 	// weights to each live worker, one billed WAN transfer each, in
 	// worker-index order so netem's seeded draws replay identically.
 	paramCount := r.Global.ParamCount()
-	bcastBytes := r.codec.broadcastBytes(paramCount)
+	bcastBytes := r.codec.BroadcastBytes(paramCount)
 	globalVals := r.broadcastSnapshot()
 	for _, st := range states {
 		if !r.live(st.w) {
@@ -264,11 +264,11 @@ func (r *Run) round(idx int, parent *obs.Span) (RoundResult, error) {
 		for i, t := range delta.Tensors {
 			vals[i] = t.Data
 		}
-		st.enc = r.codec.encodeDelta(vals, st.w.residualFor(r.codec, vals))
+		st.enc = r.codec.EncodeDelta(vals, st.w.residualFor(r.codec, vals))
 		usp := span.Child("fed_upload")
 		usp.SetAttr("worker", st.w.name)
-		usp.SetAttr("bytes", st.enc.wireBytes)
-		d, err := r.transfer(usp.Context(), "fed_upload", st.enc.wireBytes, uplink)
+		usp.SetAttr("bytes", st.enc.WireBytes)
+		d, err := r.transfer(usp.Context(), "fed_upload", st.enc.WireBytes, uplink)
 		uploadArrival[st.w.idx] = st.elapsed
 		uploadDur[st.w.idx] = d
 		st.elapsed += d
@@ -284,9 +284,9 @@ func (r *Run) round(idx int, parent *obs.Span) (RoundResult, error) {
 		usp.SetSimDuration("upload", d)
 		usp.End()
 		if !r.Cfg.Hierarchical {
-			rr.UploadBytes += st.enc.wireBytes
+			rr.UploadBytes += st.enc.WireBytes
 		}
-		reg.Counter("fed_bytes_on_wire_total", obs.L("dir", updir)).Add(float64(st.enc.wireBytes))
+		reg.Counter("fed_bytes_on_wire_total", obs.L("dir", updir)).Add(float64(st.enc.WireBytes))
 		// The upload itself advances the clock, so the sweep can evict a
 		// worker while its own transfer is in flight; that upload does not
 		// count either.
@@ -492,7 +492,7 @@ func (r *Run) broadcastSnapshot() [][]float64 {
 	for i, p := range params {
 		vals := make([]float64, len(p.W.Data))
 		for j, v := range p.W.Data {
-			vals[j] = r.codec.broadcastValue(v)
+			vals[j] = r.codec.BroadcastValue(v)
 		}
 		out[i] = vals
 	}
@@ -522,11 +522,11 @@ func (w *worker) setWeights(vals [][]float64) error {
 // model under a live worker — is reset rather than returned: its entries
 // were accumulated against parameters that no longer exist, and indexing
 // it against the new shape would panic.
-func (w *worker) residualFor(c codec, delta [][]float64) [][]float64 {
-	if _, ok := c.(topKCodec); !ok {
+func (w *worker) residualFor(c Codec, delta [][]float64) [][]float64 {
+	if !c.Sparsifies() {
 		return nil
 	}
-	if !shapesMatch(w.residual, delta) {
+	if !ShapesMatch(w.residual, delta) {
 		w.residual = make([][]float64, len(delta))
 		for i, t := range delta {
 			w.residual[i] = make([]float64, len(t))
@@ -538,11 +538,11 @@ func (w *worker) residualFor(c codec, delta [][]float64) [][]float64 {
 // reclaimResidual returns an upload that never made it into the global
 // model to the worker's error-feedback accumulator, so a cut straggler's
 // round defers the update instead of losing it.
-func (w *worker) reclaimResidual(enc encoded) {
-	if !shapesMatch(w.residual, enc.values) {
+func (w *worker) reclaimResidual(enc Encoded) {
+	if !ShapesMatch(w.residual, enc.Values) {
 		return
 	}
-	for i, t := range enc.values {
+	for i, t := range enc.Values {
 		for j, v := range t {
 			w.residual[i][j] += v
 		}
@@ -600,7 +600,7 @@ func (r *Run) aggregate(selected []*wstate) error {
 		}
 		for _, st := range members {
 			weight := float64(len(st.w.shard)) / float64(total)
-			for i, t := range st.enc.values {
+			for i, t := range st.enc.Values {
 				dst := partial.Tensors[i].Data
 				for j, v := range t {
 					dst[j] += weight * v

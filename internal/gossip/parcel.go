@@ -1,0 +1,134 @@
+package gossip
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Parcels are the unit of dissemination: one worker's weight-scaled,
+// codec-decoded training delta for one round, content-addressed by
+// (origin, round). Every replica of a parcel carries identical values —
+// the origin encodes once and every receiver stores the same decoded
+// floats — so a worker's model state is a pure function of the parcel
+// *set* it holds: rebuild from the shared init, adding parcels in the
+// canonical (round, origin) order, and two workers holding the same set
+// have bit-identical weights no matter which peers delivered which
+// parcels in which order. That construction, not hope about float
+// addition associating, is the subsystem's determinism story.
+
+// Key addresses one parcel.
+type Key struct {
+	Origin int // producing worker's index
+	Round  int // training round that produced it
+}
+
+// keyLess is the canonical parcel order: by round, then origin.
+func keyLess(a, b Key) bool {
+	if a.Round != b.Round {
+		return a.Round < b.Round
+	}
+	return a.Origin < b.Origin
+}
+
+// Parcel is one disseminated delta.
+type Parcel struct {
+	Origin    int
+	Round     int
+	WireBytes int64       // what one transfer of this parcel bills
+	Values    [][]float64 // decoded, shard-weight-scaled addends per tensor
+}
+
+// Key returns the parcel's address.
+func (p *Parcel) Key() Key { return Key{Origin: p.Origin, Round: p.Round} }
+
+// Store is a grow-only replica of the parcel space: puts are idempotent,
+// nothing is ever removed, and Keys always returns the canonical order.
+// Grow-only is what makes anti-entropy trivially convergent — a digest
+// diff can only ever add.
+type Store struct {
+	parcels map[Key]*Parcel
+	keys    []Key // maintained in canonical order
+}
+
+// NewStore returns an empty replica.
+func NewStore() *Store {
+	return &Store{parcels: make(map[Key]*Parcel)}
+}
+
+// Put files a parcel, reporting whether it was new. A re-delivery (two
+// peers offering the same parcel in one round) is a no-op, not an error.
+func (s *Store) Put(p *Parcel) bool {
+	k := p.Key()
+	if _, ok := s.parcels[k]; ok {
+		return false
+	}
+	s.parcels[k] = p
+	i := sort.Search(len(s.keys), func(i int) bool { return !keyLess(s.keys[i], k) })
+	s.keys = append(s.keys, Key{})
+	copy(s.keys[i+1:], s.keys[i:])
+	s.keys[i] = k
+	return true
+}
+
+// Has reports whether the key is held.
+func (s *Store) Has(k Key) bool {
+	_, ok := s.parcels[k]
+	return ok
+}
+
+// Get returns the parcel for k, or nil.
+func (s *Store) Get(k Key) *Parcel { return s.parcels[k] }
+
+// Len is the number of parcels held.
+func (s *Store) Len() int { return len(s.keys) }
+
+// Keys returns the held keys in canonical (round, origin) order.
+func (s *Store) Keys() []Key { return append([]Key(nil), s.keys...) }
+
+// Missing returns the digest keys this store does not hold, in canonical
+// order — the "wants" half of a push-pull exchange.
+func (s *Store) Missing(digest []Key) []Key {
+	var out []Key
+	for _, k := range digest {
+		if !s.Has(k) {
+			out = append(out, k)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return keyLess(out[a], out[b]) })
+	return out
+}
+
+// HasAll reports whether every key is held.
+func (s *Store) HasAll(keys []Key) bool {
+	for _, k := range keys {
+		if !s.Has(k) {
+			return false
+		}
+	}
+	return true
+}
+
+// DigestBytes prices a version-vector digest on the wire: a 16-byte
+// header plus 12 bytes per key (4-byte origin, 4-byte round, 4-byte
+// checksum). The digest is what push-pull exchanges trade before any
+// parcel moves, so its cost scales with history length, not model size.
+func DigestBytes(n int) int64 { return 16 + 12*int64(n) }
+
+// Validate sanity-checks a parcel before it enters a store: negative
+// coordinates or empty values reject (a malformed parcel must fail at
+// the door, not corrupt a rebuild later).
+func (p *Parcel) Validate() error {
+	switch {
+	case p == nil:
+		return fmt.Errorf("gossip: nil parcel")
+	case p.Origin < 0:
+		return fmt.Errorf("gossip: parcel origin %d", p.Origin)
+	case p.Round < 0:
+		return fmt.Errorf("gossip: parcel round %d", p.Round)
+	case len(p.Values) == 0:
+		return fmt.Errorf("gossip: parcel %d/%d has no values", p.Origin, p.Round)
+	case p.WireBytes <= 0:
+		return fmt.Errorf("gossip: parcel %d/%d bills %d bytes", p.Origin, p.Round, p.WireBytes)
+	}
+	return nil
+}

@@ -1,0 +1,106 @@
+package gossip
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func testParcel(origin, round int) *Parcel {
+	return &Parcel{
+		Origin: origin, Round: round, WireBytes: 64,
+		Values: [][]float64{{float64(origin), float64(round)}},
+	}
+}
+
+func TestStoreCanonicalOrder(t *testing.T) {
+	keys := []Key{
+		{Origin: 2, Round: 1}, {Origin: 0, Round: 2}, {Origin: 1, Round: 0},
+		{Origin: 0, Round: 0}, {Origin: 2, Round: 0}, {Origin: 1, Round: 2},
+	}
+	// Whatever order parcels arrive in, Keys comes back (round, origin).
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 5; trial++ {
+		s := NewStore()
+		perm := rng.Perm(len(keys))
+		for _, i := range perm {
+			if !s.Put(testParcel(keys[i].Origin, keys[i].Round)) {
+				t.Fatal("fresh put reported duplicate")
+			}
+		}
+		got := s.Keys()
+		for i := 1; i < len(got); i++ {
+			if !keyLess(got[i-1], got[i]) {
+				t.Fatalf("trial %d: keys out of canonical order at %d: %+v", trial, i, got)
+			}
+		}
+	}
+}
+
+func TestStorePutIdempotent(t *testing.T) {
+	s := NewStore()
+	p := testParcel(1, 4)
+	if !s.Put(p) {
+		t.Fatal("first put rejected")
+	}
+	if s.Put(testParcel(1, 4)) {
+		t.Fatal("re-delivery reported as new")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("len %d after duplicate put, want 1", s.Len())
+	}
+	if got := s.Get(Key{Origin: 1, Round: 4}); got != p {
+		t.Fatal("duplicate put replaced the original parcel")
+	}
+}
+
+func TestStoreMissingAndHasAll(t *testing.T) {
+	s := NewStore()
+	s.Put(testParcel(0, 0))
+	s.Put(testParcel(1, 0))
+	digest := []Key{
+		{Origin: 0, Round: 0}, {Origin: 1, Round: 0},
+		{Origin: 0, Round: 1}, {Origin: 1, Round: 1},
+	}
+	miss := s.Missing(digest)
+	if len(miss) != 2 || miss[0] != (Key{Origin: 0, Round: 1}) || miss[1] != (Key{Origin: 1, Round: 1}) {
+		t.Fatalf("missing = %+v", miss)
+	}
+	if s.HasAll(digest) {
+		t.Fatal("HasAll true with two keys absent")
+	}
+	if !s.HasAll(digest[:2]) {
+		t.Fatal("HasAll false for held keys")
+	}
+	if got := s.Missing(nil); len(got) != 0 {
+		t.Fatalf("empty digest produced wants: %+v", got)
+	}
+}
+
+func TestParcelValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		p    *Parcel
+		ok   bool
+	}{
+		{"nil", nil, false},
+		{"good", testParcel(0, 0), true},
+		{"negative origin", &Parcel{Origin: -1, Round: 0, WireBytes: 8, Values: [][]float64{{1}}}, false},
+		{"negative round", &Parcel{Origin: 0, Round: -1, WireBytes: 8, Values: [][]float64{{1}}}, false},
+		{"no values", &Parcel{Origin: 0, Round: 0, WireBytes: 8}, false},
+		{"free transfer", &Parcel{Origin: 0, Round: 0, WireBytes: 0, Values: [][]float64{{1}}}, false},
+	}
+	for _, c := range cases {
+		if err := c.p.Validate(); (err == nil) != c.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+func TestDigestBytesScalesWithHistory(t *testing.T) {
+	if DigestBytes(0) != 16 {
+		t.Fatalf("empty digest bills %d, want the 16-byte header", DigestBytes(0))
+	}
+	if DigestBytes(10)-DigestBytes(9) != 12 {
+		t.Fatal("digest marginal cost is not 12 bytes per key")
+	}
+}

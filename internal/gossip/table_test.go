@@ -1,0 +1,173 @@
+package gossip
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func TestIDOfAndBuckets(t *testing.T) {
+	if IDOf("gossip-worker-0") != IDOf("gossip-worker-0") {
+		t.Fatal("IDOf not stable")
+	}
+	if IDOf("a") == IDOf("b") {
+		t.Fatal("distinct names hash to the same node ID")
+	}
+	a, b := IDOf("a"), IDOf("b")
+	if a.Distance(b) != b.Distance(a) {
+		t.Fatal("XOR distance not symmetric")
+	}
+	if a.Distance(a) != 0 {
+		t.Fatal("self distance not zero")
+	}
+	// The bucket index is the highest set bit of the distance.
+	if bucketIndex(1) != 0 {
+		t.Fatalf("bucketIndex(1) = %d, want 0", bucketIndex(1))
+	}
+	if bucketIndex(1<<63) != 63 {
+		t.Fatalf("bucketIndex(1<<63) = %d, want 63", bucketIndex(1<<63))
+	}
+	if bucketIndex(0b1011) != 3 {
+		t.Fatalf("bucketIndex(0b1011) = %d, want 3", bucketIndex(0b1011))
+	}
+}
+
+func TestTableInsertRejections(t *testing.T) {
+	tb := NewTable("self", 4)
+	if tb.Insert("self") {
+		t.Fatal("self-insert accepted")
+	}
+	if !tb.Insert("peer") {
+		t.Fatal("first insert rejected")
+	}
+	if tb.Insert("peer") {
+		t.Fatal("duplicate insert accepted")
+	}
+	if tb.Len() != 1 || tb.Rejected() != 2 {
+		t.Fatalf("len %d rejected %d, want 1 and 2", tb.Len(), tb.Rejected())
+	}
+}
+
+func TestTableFullBucketRejects(t *testing.T) {
+	// Find five names that land in the same bucket of one table, then
+	// watch the fifth bounce off a k=4 bucket.
+	tb := NewTable("self", 4)
+	byBucket := map[int][]string{}
+	target, members := -1, []string(nil)
+	for i := 0; i < 4096 && target < 0; i++ {
+		n := fmt.Sprintf("candidate-%d", i)
+		b := tb.BucketOf(n)
+		byBucket[b] = append(byBucket[b], n)
+		if len(byBucket[b]) == 5 {
+			target, members = b, byBucket[b]
+		}
+	}
+	if target < 0 {
+		t.Fatal("could not find 5 same-bucket names in 4096 candidates")
+	}
+	for i, n := range members {
+		got := tb.Insert(n)
+		if want := i < 4; got != want {
+			t.Fatalf("insert %d into bucket %d = %v, want %v", i, target, got, want)
+		}
+	}
+	if got := len(tb.Bucket(target)); got != 4 {
+		t.Fatalf("bucket %d holds %d, want 4", target, got)
+	}
+}
+
+func TestSeedOrderIndependent(t *testing.T) {
+	names := []string{"w3", "w1", "cloud", "w0", "w2"}
+	reversed := []string{"w2", "w0", "cloud", "w1", "w3"}
+	a, b := NewTable("w1", 4), NewTable("w1", 4)
+	Seed(a, names)
+	Seed(b, reversed)
+	if a.Len() != b.Len() || a.Len() != 4 {
+		t.Fatalf("seeded lens %d vs %d, want 4", a.Len(), b.Len())
+	}
+	for i := 0; i < 64; i++ {
+		ba, bb := a.Bucket(i), b.Bucket(i)
+		if len(ba) != len(bb) {
+			t.Fatalf("bucket %d: %d vs %d members", i, len(ba), len(bb))
+		}
+		for j := range ba {
+			if ba[j] != bb[j] {
+				t.Fatalf("bucket %d member %d: %+v vs %+v", i, j, ba[j], bb[j])
+			}
+		}
+	}
+}
+
+func TestSelectDeterministicAndBounded(t *testing.T) {
+	tb := NewTable("w0", 4)
+	names := make([]string, 12)
+	for i := range names {
+		names[i] = fmt.Sprintf("w%d", i)
+	}
+	Seed(tb, names)
+
+	pick := func(seed int64, fanout int) []Peer {
+		return tb.Select(rand.New(rand.NewSource(seed)), fanout)
+	}
+	a, b := pick(7, 3), pick(7, 3)
+	if len(a) != 3 || len(b) != 3 {
+		t.Fatalf("fanout-3 selection returned %d and %d peers", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same-seed selections diverge at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	// No duplicates, and every pick is a real member.
+	seen := map[string]bool{}
+	for _, p := range pick(3, tb.Len()) {
+		if seen[p.Name] {
+			t.Fatalf("duplicate pick %q", p.Name)
+		}
+		seen[p.Name] = true
+		if p.Name == "w0" {
+			t.Fatal("selected self")
+		}
+	}
+	if len(seen) != tb.Len() {
+		t.Fatalf("full-fanout selection found %d of %d peers", len(seen), tb.Len())
+	}
+	// Asking past the table size caps at the table size.
+	if got := pick(1, 100); len(got) != tb.Len() {
+		t.Fatalf("oversized fanout returned %d, want %d", len(got), tb.Len())
+	}
+	// Fanout 1 draws from the nearest occupied bucket.
+	nearest := -1
+	for i := 0; i < 64 && nearest < 0; i++ {
+		if len(tb.Bucket(i)) > 0 {
+			nearest = i
+		}
+	}
+	one := pick(9, 1)
+	if len(one) != 1 || tb.BucketOf(one[0].Name) != nearest {
+		t.Fatalf("fanout-1 pick %+v not from nearest bucket %d", one, nearest)
+	}
+}
+
+func TestFarthestPicksFarthestBucket(t *testing.T) {
+	tb := NewTable("w0", 4)
+	names := make([]string, 12)
+	for i := range names {
+		names[i] = fmt.Sprintf("w%d", i)
+	}
+	Seed(tb, names)
+	far := -1
+	for i := 63; i >= 0 && far < 0; i-- {
+		if len(tb.Bucket(i)) > 0 {
+			far = i
+		}
+	}
+	p, ok := tb.Farthest(rand.New(rand.NewSource(1)))
+	if !ok || tb.BucketOf(p.Name) != far {
+		t.Fatalf("farthest pick %+v (ok=%v) not from bucket %d", p, ok, far)
+	}
+	empty := NewTable("alone", 4)
+	if _, ok := empty.Farthest(rand.New(rand.NewSource(1))); ok {
+		t.Fatal("empty table produced a farthest peer")
+	}
+}

@@ -1,0 +1,130 @@
+package netem
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestMeshValidation(t *testing.T) {
+	base := WiFiLocal
+	if _, err := NewMesh(base, []string{"a"}); err == nil {
+		t.Fatal("single-peer mesh accepted")
+	}
+	if _, err := NewMesh(base, []string{"a", "b", "a"}); err == nil {
+		t.Fatal("duplicate peer accepted")
+	}
+	if _, err := NewMesh(base, []string{"a", ""}); err == nil {
+		t.Fatal("empty peer name accepted")
+	}
+	if _, err := NewMesh(Link{Name: "bad"}, []string{"a", "b"}); err == nil {
+		t.Fatal("invalid base profile accepted")
+	}
+
+	m, err := NewMesh(base, []string{"w2", "w0", "w1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Size() != 3 || len(m.Pairs()) != 3 {
+		t.Fatalf("size %d, pairs %d; want 3 and 3", m.Size(), len(m.Pairs()))
+	}
+	// Lookup is order-independent and the name is canonical (sorted pair).
+	ab, err := m.Link("w1", "w0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ba, err := m.Link("w0", "w1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ab.Name != ba.Name || ab.Name != PairLinkName(base.Name, "w1", "w0") {
+		t.Fatalf("non-canonical pair names: %q vs %q", ab.Name, ba.Name)
+	}
+	if ab.Bandwidth != base.Bandwidth || ab.Latency != base.Latency {
+		t.Fatalf("pair link did not inherit the base profile: %+v", ab)
+	}
+	if _, err := m.Link("w0", "w0"); err == nil {
+		t.Fatal("self-pair lookup accepted")
+	}
+	if _, err := m.Link("w0", "ghost"); err == nil {
+		t.Fatal("unknown peer lookup accepted")
+	}
+}
+
+func TestMeshOverride(t *testing.T) {
+	m, err := NewMesh(WiFiLocal, []string{"a", "b", "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := HomeBroadband
+	slow.Name = "ignored-by-override"
+	if err := m.Override("c", "a", slow); err != nil {
+		t.Fatal(err)
+	}
+	l, err := m.Link("a", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Bandwidth != HomeBroadband.Bandwidth {
+		t.Fatalf("override did not apply: %+v", l)
+	}
+	if l.Name != PairLinkName(WiFiLocal.Name, "a", "c") {
+		t.Fatalf("override renamed the pair link to %q", l.Name)
+	}
+	if err := m.Override("a", "a", slow); err == nil {
+		t.Fatal("self-pair override accepted")
+	}
+	if err := m.Override("a", "ghost", slow); err == nil {
+		t.Fatal("unknown-pair override accepted")
+	}
+	bad := Link{Name: "x", Bandwidth: -1}
+	if err := m.Override("a", "b", bad); err == nil {
+		t.Fatal("invalid override accepted")
+	}
+}
+
+// TestMeshConcurrentTransfers hammers one Net with parallel transfers
+// over every pair of a mesh — the shape of a gossip exchange phase — so
+// the race detector sees mesh reads and Net RNG/metric writes interleave.
+func TestMeshConcurrentTransfers(t *testing.T) {
+	peers := make([]string, 8)
+	for i := range peers {
+		peers[i] = fmt.Sprintf("w%d", i)
+	}
+	m, err := NewMesh(Loopback, peers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := NewNet(7)
+	var wg sync.WaitGroup
+	for _, pair := range m.Pairs() {
+		pair := pair
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			l, err := m.Link(pair[0], pair[1])
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for k := 0; k < 20; k++ {
+				res, err := n.Transfer(l, 4096)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if res.Duration <= 0 {
+					t.Errorf("non-positive duration %v on %s", res.Duration, l.Name)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	bytes, transfers, _ := n.Stats()
+	wantTransfers := len(m.Pairs()) * 20
+	if transfers != wantTransfers || bytes != int64(wantTransfers)*4096 {
+		t.Fatalf("stats %d transfers / %d bytes, want %d / %d",
+			transfers, bytes, wantTransfers, int64(wantTransfers)*4096)
+	}
+}

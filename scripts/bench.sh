@@ -1,17 +1,20 @@
 #!/bin/sh
 # Reproducible benchmark runner: runs the paper-experiment benchmarks
-# (F1-F3, E1-E7, E10-E14) plus the GEMM kernel micro-benchmarks under
-# pinned GOMAXPROCS, and emits a machine-readable BENCH_pr9.json recording
+# (F1-F3, E1-E7, E10-E15) plus the GEMM kernel micro-benchmarks under
+# pinned GOMAXPROCS, and emits a machine-readable BENCH_pr10.json recording
 # ns/op, bytes/op, allocs/op and — for the serving rows — req/s, and for
 # the federated rows — simulated round wall-clock (round_ms), WAN bytes
 # (bytes_on_wire), and final validation loss (final_valloss) — for
 # the scenario-replay rows the count of scripted phase transitions that
 # actually fired (transitions) — and for the quantized-inference rows the
-# max control drift against float64 (quant_maxdelta) — one datapoint per
-# benchmark of the repo's performance trajectory.
+# max control drift against float64 (quant_maxdelta) — and for the
+# dissemination-topology rows the convergence round count
+# (rounds_to_converge) and whether the run kept improving through the
+# cloud partition (partition_survived) — one datapoint per benchmark of
+# the repo's performance trajectory.
 #
 # Usage: ./scripts/bench.sh
-#   BENCH_OUT=path        output file (default BENCH_pr9.json)
+#   BENCH_OUT=path        output file (default BENCH_pr10.json)
 #   BENCH_GOMAXPROCS=n    pinned worker count (default 1, the contract
 #                         baseline: results are deterministic at any
 #                         fixed value, but timings only compare at the
@@ -24,7 +27,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-OUT=${BENCH_OUT:-BENCH_pr9.json}
+OUT=${BENCH_OUT:-BENCH_pr10.json}
 export GOMAXPROCS=${BENCH_GOMAXPROCS:-1}
 HEAVY_TIME=${BENCH_TIME_HEAVY:-2x}
 
@@ -52,6 +55,9 @@ go test -run '^$' -bench '^BenchmarkE12FleetScale$' -benchmem -benchtime 1x . | 
 
 echo "==> scenario-replay benchmarks (E13)"
 go test -run '^$' -bench '^BenchmarkE13Scenario$' -benchtime 1x . | tee -a "$raw"
+
+echo "==> dissemination-topology benchmarks (E15)"
+go test -run '^$' -bench '^BenchmarkE15Gossip$' -benchtime 1x . | tee -a "$raw"
 
 echo "==> quantized-inference benchmarks (E14)"
 go test -run '^$' -bench '^BenchmarkE14Quantized$' -benchtime 2x . | tee -a "$raw"
@@ -86,6 +92,7 @@ awk -v gomaxprocs="$GOMAXPROCS" '
     sub(/-[0-9]+$/, "", name)   # strip the GOMAXPROCS suffix
     ns = ""; bytes = ""; allocs = ""; reqs = ""
     roundms = ""; wire = ""; valloss = ""; transitions = ""; qdelta = ""
+    converge = ""; survived = ""
     for (i = 2; i < NF; i++) {
         if ($(i+1) == "ns/op") ns = $i
         if ($(i+1) == "B/op") bytes = $i
@@ -96,6 +103,8 @@ awk -v gomaxprocs="$GOMAXPROCS" '
         if ($(i+1) == "final_valloss") valloss = $i
         if ($(i+1) == "transitions") transitions = $i
         if ($(i+1) == "quant_maxdelta") qdelta = $i
+        if ($(i+1) == "rounds_to_converge") converge = $i
+        if ($(i+1) == "partition_survived") survived = $i
     }
     if (ns == "") next
     if (n++) printf ",\n"
@@ -107,10 +116,12 @@ awk -v gomaxprocs="$GOMAXPROCS" '
     if (valloss != "") printf ", \"final_valloss\": %s", valloss
     if (transitions != "") printf ", \"transitions\": %s", transitions
     if (qdelta != "") printf ", \"quant_maxdelta\": %s", qdelta
+    if (converge != "") printf ", \"rounds_to_converge\": %s", converge
+    if (survived != "") printf ", \"partition_survived\": %s", survived
     printf "}"
 }
 BEGIN {
-    printf "{\n  \"pr\": 9,\n  \"gomaxprocs\": %s,\n  \"benchmarks\": {\n", gomaxprocs
+    printf "{\n  \"pr\": 10,\n  \"gomaxprocs\": %s,\n  \"benchmarks\": {\n", gomaxprocs
 }
 END { printf "\n  }\n}\n" }
 ' "$raw" > "$OUT"

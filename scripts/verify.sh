@@ -3,7 +3,9 @@
 # fault-profile pipeline smoke run, a metrics-cardinality lint, a
 # cross-subsystem trace smoke (byte-identical same-seed exports), a
 # scenario smoke (library checks, replay determinism, probe tolerance),
-# the registry contention guard, and gofmt.
+# a gossip smoke (byte-identical same-seed overlay runs, partition
+# survival vs the star control), the registry contention guard, and
+# gofmt.
 # Run from the repo root: ./scripts/verify.sh
 set -eu
 
@@ -136,6 +138,65 @@ go run ./cmd/autolearn scenario probe -file scenarios/lossy-wan.scn -at 90s >/de
     echo "scenario smoke: lossy-wan.scn probe out of tolerance at 90s" >&2
     exit 1
 }
+
+echo "==> gossip smoke (byte-identical same-seed traces, partition survival)"
+# Same-seed gossip runs must export byte-identical traces: the overlay's
+# whole determinism story (canonical parcel-set merges, seeded peer
+# selection, billed clocks) collapses to one cmp.
+g1=$(mktemp) g2=$(mktemp) gout=$(mktemp) stout=$(mktemp)
+go run ./cmd/autolearn fed-train -topology gossip -workers 3 -rounds 2 -ticks 240 \
+    -faults lossy-wan -seed 1 -trace "$g1" >/dev/null 2>&1 || {
+    echo "gossip smoke: traced gossip fed-train run failed" >&2; exit 1; }
+go run ./cmd/autolearn fed-train -topology gossip -workers 3 -rounds 2 -ticks 240 \
+    -faults lossy-wan -seed 1 -trace "$g2" >/dev/null 2>&1 || {
+    echo "gossip smoke: second traced gossip run failed" >&2; exit 1; }
+cmp -s "$g1" "$g2" || {
+    echo "gossip smoke: same-seed gossip runs exported different trace bytes" >&2
+    exit 1
+}
+for span in gossip-train gossip-round gossip_local_train gossip_exchange \
+    gossip_validate netem_transfer; do
+    if ! grep -q "\"$span\"" "$g1"; then
+        echo "gossip smoke: trace missing \"$span\" spans" >&2
+        exit 1
+    fi
+done
+# The headline partition claim, end to end through the CLI: under
+# cloud-partition.scn the star fleet stalls (its last round aggregates
+# nobody and its loss freezes at the last pre-partition value) while the
+# gossip overlay goes headless but keeps converging peer-to-peer.
+go run ./cmd/autolearn fed-train -topology gossip -workers 4 -rounds 6 -ticks 400 \
+    -seed 7 -scenario scenarios/cloud-partition.scn >"$gout" 2>&1 || {
+    echo "gossip smoke: partitioned gossip run failed:" >&2; cat "$gout" >&2; exit 1; }
+go run ./cmd/autolearn fed-train -workers 4 -rounds 6 -ticks 400 \
+    -seed 7 -scenario scenarios/cloud-partition.scn >"$stout" 2>&1 || {
+    echo "gossip smoke: partitioned star run failed:" >&2; cat "$stout" >&2; exit 1; }
+grep -q 'headless' "$gout" || {
+    echo "gossip smoke: partitioned gossip run reports no headless rounds" >&2
+    cat "$gout" >&2
+    exit 1
+}
+g3=$(awk '/^   round 3:/ { print $NF }' "$gout")
+g6=$(awk '/^   round 6:/ { print $NF }' "$gout")
+s3=$(awk '/^   round 3:/ { print $NF }' "$stout")
+s6=$(awk '/^   round 6:/ { print $NF }' "$stout")
+if [ -z "$g3" ] || [ -z "$g6" ] || [ -z "$s3" ] || [ -z "$s6" ]; then
+    echo "gossip smoke: missing per-round losses (gossip '$g3'/'$g6', star '$s3'/'$s6')" >&2
+    exit 1
+fi
+awk -v a="$g6" -v b="$g3" 'BEGIN { exit !(a + 0 < b + 0) }' || {
+    echo "gossip smoke: gossip loss did not improve through the partition ($g3 -> $g6)" >&2
+    exit 1
+}
+[ "$s6" = "$s3" ] || {
+    echo "gossip smoke: star loss moved through the partition ($s3 -> $s6); the control is broken" >&2
+    exit 1
+}
+grep -q '0 aggregated' "$stout" || {
+    echo "gossip smoke: partitioned star run still aggregated workers" >&2
+    exit 1
+}
+rm -f "$g1" "$g2" "$gout" "$stout"
 
 if [ -z "${SKIP_BENCH_GUARD:-}" ] && [ -f BENCH_pr3.json ]; then
     echo "==> benchmark regression guard vs BENCH_pr3.json (SKIP_BENCH_GUARD=1 to skip)"
@@ -363,6 +424,45 @@ if [ -z "${SKIP_BENCH_GUARD:-}" ]; then
     rm -f "$sout"
 fi
 
+if [ -z "${SKIP_BENCH_GUARD:-}" ]; then
+    echo "==> dissemination guard (E15: partition survival, wire-cost drift)"
+    dout=$(mktemp)
+    GOMAXPROCS=1 go test -run '^$' -bench '^BenchmarkE15Gossip$' \
+        -benchtime 1x . >"$dout" 2>&1 || { cat "$dout" >&2; exit 1; }
+    gsurv=$(awk '$1 ~ "^BenchmarkE15Gossip/gossip/cloud-partition" {
+        for (i = 2; i < NF; i++) if ($(i+1) == "partition_survived") print $i }' "$dout")
+    ssurv=$(awk '$1 ~ "^BenchmarkE15Gossip/star/cloud-partition" {
+        for (i = 2; i < NF; i++) if ($(i+1) == "partition_survived") print $i }' "$dout")
+    gwire=$(awk '$1 ~ "^BenchmarkE15Gossip/gossip/clean" {
+        for (i = 2; i < NF; i++) if ($(i+1) == "bytes_on_wire") print $i }' "$dout")
+    if [ -z "$gsurv" ] || [ -z "$ssurv" ] || [ -z "$gwire" ]; then
+        echo "dissemination guard: missing E15 metrics (gossip='$gsurv' star='$ssurv' wire='$gwire')" >&2
+        cat "$dout" >&2
+        exit 1
+    fi
+    if awk -v g="$gsurv" -v s="$ssurv" 'BEGIN { exit !(g + 0 == 1 && s + 0 == 0) }'; then :; else
+        echo "dissemination guard: partition_survived gossip=$gsurv star=$ssurv (want 1 and 0)" >&2
+        exit 1
+    fi
+    echo "    partition_survived: gossip $gsurv, star $ssurv"
+    if [ -f BENCH_pr10.json ]; then
+        # bytes_on_wire is billed on the simulated links, so it is
+        # deterministic on any machine: drifting >25% past the baseline
+        # means the overlay's wire economics changed, not the host.
+        base=$(awk -v n="\"BenchmarkE15Gossip/gossip/clean\"" '
+            index($0, n": {") { sub(".*\"bytes_on_wire\": ", ""); sub("[,}].*", ""); print }
+        ' BENCH_pr10.json)
+        if [ -n "$base" ]; then
+            if awk -v n="$gwire" -v b="$base" 'BEGIN { exit !(n > b * 1.25) }'; then
+                echo "dissemination guard: gossip/clean bytes_on_wire grew >25%: $gwire vs baseline $base" >&2
+                exit 1
+            fi
+            echo "    gossip/clean: bytes_on_wire $gwire (baseline $base, limit +25%)"
+        fi
+    fi
+    rm -f "$dout"
+fi
+
 echo "==> gofmt -l ."
 unformatted=$(gofmt -l .)
 if [ -n "$unformatted" ]; then
@@ -371,4 +471,4 @@ if [ -n "$unformatted" ]; then
     exit 1
 fi
 
-echo "OK: vet, build, race tests, fault smoke, cardinality lint, trace smoke, scenario smoke, and gofmt all clean."
+echo "OK: vet, build, race tests, fault smoke, cardinality lint, trace smoke, scenario smoke, gossip smoke, and gofmt all clean."
